@@ -1,0 +1,287 @@
+//! Minimum spanning forest — Borůvka (parallel) vs. Kruskal (baseline).
+//!
+//! Borůvka fits the abstraction's loop structure naturally: each superstep
+//! every component selects its lightest outgoing edge in parallel (a
+//! compute operator over vertices + an atomic min-reduction keyed by
+//! component), then the selected edges merge components; convergence when
+//! no component has an outgoing edge. Expects a **symmetric** weighted
+//! graph; returns a forest on disconnected inputs.
+
+use essentials_core::prelude::*;
+use parking_lot::Mutex;
+
+/// Minimum spanning forest result.
+#[derive(Debug, Clone)]
+pub struct MstResult {
+    /// Chosen edges as `(u, v, w)` with `u < v`.
+    pub edges: Vec<(VertexId, VertexId, f32)>,
+    /// Total forest weight.
+    pub total_weight: f64,
+    /// Borůvka rounds (0 for Kruskal).
+    pub rounds: usize,
+}
+
+#[derive(Clone)]
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            self.parent[v as usize] = self.parent[self.parent[v as usize] as usize];
+            v = self.parent[v as usize];
+        }
+        v
+    }
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi as usize] = lo;
+        true
+    }
+}
+
+/// Parallel Borůvka. Ties between equal-weight edges are broken by
+/// `(weight, u, v)` lexicographic order, making the result deterministic
+/// even when the MST is not unique.
+pub fn boruvka<P: ExecutionPolicy>(_policy: P, ctx: &Context, g: &Graph<f32>) -> MstResult {
+    let n = g.get_num_vertices();
+    let mut dsu = Dsu::new(n);
+    let mut chosen: Vec<(VertexId, VertexId, f32)> = Vec::new();
+    let mut rounds = 0usize;
+
+    loop {
+        rounds += 1;
+        // Snapshot component labels for this round.
+        let comp: Vec<u32> = {
+            let mut d = dsu.clone();
+            (0..n as u32).map(|v| d.find(v)).collect()
+        };
+        // Per-thread best outgoing edge per component, merged at the end.
+        // (A component-indexed atomic min over (weight, u, v) keys.)
+        type Best = std::collections::HashMap<u32, (f32, VertexId, VertexId)>;
+        let locals: Vec<Mutex<Best>> = (0..ctx.num_threads()).map(|_| Mutex::new(Best::new())).collect();
+        let better = |a: (f32, VertexId, VertexId), b: (f32, VertexId, VertexId)| -> bool {
+            // true if a is strictly better than b
+            (a.0, a.1, a.2) < (b.0, b.1, b.2)
+        };
+        // Scan all vertices' edges (compute operator with tid-aware body).
+        let frontier: Vec<VertexId> = g.vertices().collect();
+        let consider = |tid: usize, v: VertexId| {
+            let cv = comp[v as usize];
+            for e in g.get_edges(v) {
+                let u = g.get_dest_vertex(e);
+                if comp[u as usize] == cv {
+                    continue;
+                }
+                let w = g.get_edge_weight(e);
+                let key = if v < u { (w, v, u) } else { (w, u, v) };
+                let mut best = locals[tid].lock();
+                match best.get(&cv) {
+                    Some(&cur) if !better(key, cur) => {}
+                    _ => {
+                        best.insert(cv, key);
+                    }
+                }
+            }
+        };
+        if P::IS_PARALLEL && ctx.num_threads() > 1 {
+            for_each_vertex_balanced(ctx, &frontier, consider);
+        } else {
+            for &v in &frontier {
+                consider(0, v);
+            }
+        }
+        // Merge per-thread bests.
+        let mut best: Best = Best::new();
+        for l in locals {
+            for (c, key) in l.into_inner() {
+                match best.get(&c) {
+                    Some(&cur) if !better(key, cur) => {}
+                    _ => {
+                        best.insert(c, key);
+                    }
+                }
+            }
+        }
+        if best.is_empty() {
+            break;
+        }
+        // Hook: add each component's best edge unless it would cycle (two
+        // components may pick the same edge — union() filters).
+        let mut merged_any = false;
+        let mut picks: Vec<(f32, VertexId, VertexId)> = best.into_values().collect();
+        picks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        picks.dedup();
+        for (w, u, v) in picks {
+            if dsu.union(u, v) {
+                chosen.push((u, v, w));
+                merged_any = true;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    chosen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total_weight = chosen.iter().map(|&(_, _, w)| w as f64).sum();
+    MstResult {
+        edges: chosen,
+        total_weight,
+        rounds,
+    }
+}
+
+/// Sequential Kruskal with the same tie-breaking — the oracle. On graphs
+/// with distinct weights the edge sets match exactly; with ties, total
+/// weights match.
+pub fn kruskal(g: &Graph<f32>) -> MstResult {
+    let n = g.get_num_vertices();
+    let mut edges: Vec<(f32, VertexId, VertexId)> = Vec::new();
+    for v in g.vertices() {
+        for e in g.get_edges(v) {
+            let u = g.get_dest_vertex(e);
+            if v < u {
+                edges.push((g.get_edge_weight(e), v, u));
+            }
+        }
+    }
+    edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    edges.dedup();
+    let mut dsu = Dsu::new(n);
+    let mut chosen = Vec::new();
+    for (w, u, v) in edges {
+        if dsu.union(u, v) {
+            chosen.push((u, v, w));
+        }
+    }
+    chosen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total_weight = chosen.iter().map(|&(_, _, w)| w as f64).sum();
+    MstResult {
+        edges: chosen,
+        total_weight,
+        rounds: 0,
+    }
+}
+
+/// Verifies that `edges` forms a spanning forest of the right size (one
+/// less edge than vertices per connected component) and acyclic.
+pub fn verify_forest(g: &Graph<f32>, result: &MstResult) -> bool {
+    let n = g.get_num_vertices();
+    let mut dsu = Dsu::new(n);
+    for &(u, v, _) in &result.edges {
+        if !g.csr().has_edge(u, v) && !g.csr().has_edge(v, u) {
+            return false; // not a graph edge
+        }
+        if !dsu.union(u, v) {
+            return false; // cycle
+        }
+    }
+    // Forest spans: its components must equal the graph's components.
+    let graph_comps = crate::cc::num_components(&crate::cc::cc_union_find(g).comp);
+    let forest_comps = (0..n as u32)
+        .map(|v| dsu.find(v))
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    graph_comps == forest_comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_gen as gen;
+
+    fn weighted_sym(seed: u64, n: usize, m: usize) -> Graph<f32> {
+        let coo = gen::gnm(n, m, seed);
+        let sym = {
+            let mut c = coo.clone();
+            c.symmetrize();
+            c.sort_and_dedup();
+            c
+        };
+        // Hash weights: symmetric pairs get equal weights.
+        Graph::from_coo(&gen::hash_weights(&sym, 0.1, 10.0, seed))
+    }
+
+    #[test]
+    fn boruvka_matches_kruskal_weight_on_random_graphs() {
+        let ctx = Context::new(4);
+        for seed in [1, 6, 11] {
+            let g = weighted_sym(seed, 120, 400);
+            let b = boruvka(execution::par, &ctx, &g);
+            let k = kruskal(&g);
+            assert!(
+                (b.total_weight - k.total_weight).abs() < 1e-3,
+                "seed {seed}: {} vs {}",
+                b.total_weight,
+                k.total_weight
+            );
+            assert!(verify_forest(&g, &b), "invalid forest, seed {seed}");
+            assert!(verify_forest(&g, &k));
+        }
+    }
+
+    #[test]
+    fn known_mst_on_a_small_graph() {
+        // Square with a diagonal: MST must pick the three lightest
+        // non-cyclic edges.
+        let mut coo = Coo::<f32>::new(4);
+        for (a, b, w) in [
+            (0, 1, 1.0f32),
+            (1, 2, 2.0),
+            (2, 3, 3.0),
+            (3, 0, 4.0),
+            (0, 2, 2.5),
+        ] {
+            coo.push(a, b, w);
+            coo.push(b, a, w);
+        }
+        let g = Graph::from_coo(&coo);
+        let ctx = Context::sequential();
+        let b = boruvka(execution::seq, &ctx, &g);
+        assert_eq!(b.total_weight, 6.0); // 1 + 2 + 3
+        assert_eq!(b.edges.len(), 3);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let mut coo = Coo::<f32>::new(5);
+        for (a, b, w) in [(0, 1, 1.0f32), (2, 3, 2.0)] {
+            coo.push(a, b, w);
+            coo.push(b, a, w);
+        }
+        let g = Graph::from_coo(&coo);
+        let ctx = Context::new(2);
+        let b = boruvka(execution::par, &ctx, &g);
+        assert_eq!(b.edges.len(), 2);
+        assert!(verify_forest(&g, &b));
+    }
+
+    #[test]
+    fn policy_equivalence_exact_edges() {
+        let ctx = Context::new(4);
+        let g = weighted_sym(3, 80, 300);
+        let a = boruvka(execution::seq, &ctx, &g);
+        let b = boruvka(execution::par, &ctx, &g);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn empty_graph_empty_forest() {
+        let g = Graph::<f32>::from_coo(&Coo::new(3));
+        let ctx = Context::sequential();
+        let b = boruvka(execution::par, &ctx, &g);
+        assert!(b.edges.is_empty());
+        assert_eq!(b.total_weight, 0.0);
+    }
+}

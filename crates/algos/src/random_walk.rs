@@ -1,0 +1,220 @@
+//! Uniform random walks — the sampling workload (`rw` in the Gunrock
+//! essentials suite; the substrate of node2vec/DeepWalk-style embedding
+//! pipelines and Monte-Carlo PPR).
+//!
+//! Each walk is an independent task (embarrassingly parallel over walks);
+//! determinism comes from a per-walk RNG seeded by `(seed, walk index)`, so
+//! results are reproducible regardless of scheduling.
+
+use essentials_core::prelude::*;
+use essentials_graph::INVALID_VERTEX;
+
+/// A batch of random walks, row-major: `walks[w]` has `1 + length` slots,
+/// padded with [`INVALID_VERTEX`] after a dead end (vertex with no
+/// out-edges).
+#[derive(Debug, Clone)]
+pub struct WalkResult {
+    /// Flattened walks: `walks[w * stride + i]` = i-th vertex of walk w.
+    pub steps: Vec<VertexId>,
+    /// Slots per walk (`length + 1`).
+    pub stride: usize,
+}
+
+impl WalkResult {
+    /// The w-th walk (including padding).
+    pub fn walk(&self, w: usize) -> &[VertexId] {
+        &self.steps[w * self.stride..(w + 1) * self.stride]
+    }
+
+    /// Number of walks.
+    pub fn num_walks(&self) -> usize {
+        if self.stride == 0 {
+            0
+        } else {
+            self.steps.len() / self.stride
+        }
+    }
+}
+
+/// Runs one uniform random walk of `length` steps from each start vertex.
+pub fn random_walks<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+    starts: &[VertexId],
+    length: usize,
+    seed: u64,
+) -> WalkResult {
+    let stride = length + 1;
+    let steps: Vec<Vec<VertexId>> = fill_indexed(policy, ctx, starts.len(), |w| {
+        let mut rng = SplitMix64::new(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut walk = Vec::with_capacity(stride);
+        let mut cur = starts[w];
+        walk.push(cur);
+        for _ in 0..length {
+            let nbrs = g.out_neighbors(cur);
+            if nbrs.is_empty() {
+                break;
+            }
+            cur = nbrs[rng.next_below(nbrs.len())];
+            walk.push(cur);
+        }
+        walk.resize(stride, INVALID_VERTEX);
+        walk
+    });
+    WalkResult {
+        steps: steps.concat(),
+        stride,
+    }
+}
+
+/// Monte-Carlo personalized PageRank: visit frequencies of many short
+/// walks from the seed, with geometric restart (each step continues with
+/// probability `damping`). Converges to PPR as `num_walks → ∞`.
+pub fn monte_carlo_ppr<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+    seed_vertex: VertexId,
+    num_walks: usize,
+    damping: f64,
+    seed: u64,
+) -> Vec<f64> {
+    use essentials_parallel::atomics::Counter;
+    let n = g.get_num_vertices();
+    let visits: Vec<Counter> = (0..n).map(|_| Counter::new()).collect();
+    let total = Counter::new();
+    foreach_vertex(policy, ctx, num_walks, |w| {
+        let mut rng = SplitMix64::new(seed ^ (w as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let mut cur = seed_vertex;
+        loop {
+            visits[cur as usize].add(1);
+            total.add(1);
+            // Restart with probability 1 - damping.
+            if rng.next_f64() >= damping {
+                break;
+            }
+            let nbrs = g.out_neighbors(cur);
+            if nbrs.is_empty() {
+                cur = seed_vertex; // dangling: teleport home
+            } else {
+                cur = nbrs[rng.next_below(nbrs.len())];
+            }
+        }
+    });
+    let total = total.get().max(1) as f64;
+    visits.into_iter().map(|c| c.get() as f64 / total).collect()
+}
+
+/// Minimal SplitMix64 (deterministic, seedable, no dependency on `rand`'s
+/// thread-local state inside parallel regions).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_gen as gen;
+
+    fn cycle_graph() -> Graph<()> {
+        Graph::from_coo(&gen::cycle(10))
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = GraphBuilder::from_coo(gen::gnm(50, 400, 1)).deduplicate().build();
+        let ctx = Context::new(2);
+        let starts: Vec<VertexId> = (0..20).collect();
+        let r = random_walks(execution::par, &ctx, &g, &starts, 8, 7);
+        assert_eq!(r.num_walks(), 20);
+        for w in 0..20 {
+            let walk = r.walk(w);
+            assert_eq!(walk[0], starts[w]);
+            for pair in walk.windows(2) {
+                if pair[1] == INVALID_VERTEX {
+                    break;
+                }
+                assert!(
+                    g.out_neighbors(pair[0]).contains(&pair[1]),
+                    "walk {w} took a non-edge {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_policies_and_seeded() {
+        // On a cycle every step is forced: policy equivalence is exact.
+        let g = cycle_graph();
+        let ctx = Context::new(4);
+        let starts: Vec<VertexId> = (0..10).collect();
+        let a = random_walks(execution::seq, &ctx, &g, &starts, 5, 3);
+        let b = random_walks(execution::par, &ctx, &g, &starts, 5, 3);
+        assert_eq!(a.steps, b.steps);
+
+        // On a branching graph the seed changes the trajectories (and the
+        // same seed reproduces them).
+        let g = GraphBuilder::from_coo(gen::gnm(40, 400, 9)).deduplicate().build();
+        let x = random_walks(execution::par, &ctx, &g, &starts, 12, 3);
+        let y = random_walks(execution::par, &ctx, &g, &starts, 12, 3);
+        let z = random_walks(execution::par, &ctx, &g, &starts, 12, 4);
+        assert_eq!(x.steps, y.steps);
+        assert_ne!(x.steps, z.steps);
+    }
+
+    #[test]
+    fn dead_ends_pad_with_invalid() {
+        // 0 -> 1, 1 has no out-edges.
+        let g = Graph::<()>::from_coo(&Coo::from_edges(2, [(0, 1, ())]));
+        let ctx = Context::sequential();
+        let r = random_walks(execution::seq, &ctx, &g, &[0], 4, 1);
+        let walk = r.walk(0);
+        assert_eq!(walk[0], 0);
+        assert_eq!(walk[1], 1);
+        assert!(walk[2..].iter().all(|&v| v == INVALID_VERTEX));
+    }
+
+    #[test]
+    fn monte_carlo_ppr_approximates_exact_ppr() {
+        let g = GraphBuilder::from_coo(gen::gnm(30, 240, 2))
+            .symmetrize()
+            .deduplicate()
+            .with_csc()
+            .build();
+        let ctx = Context::new(2);
+        let exact = crate::pagerank::personalized_pagerank(
+            execution::par,
+            &ctx,
+            &g,
+            &[0],
+            crate::pagerank::PrConfig::default(),
+        );
+        let approx = monte_carlo_ppr(execution::par, &ctx, &g, 0, 60_000, 0.85, 5);
+        // Loose agreement: L1 distance under 0.12 with 60k walks.
+        let l1: f64 = exact
+            .rank
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 < 0.12, "Monte-Carlo PPR too far from exact: L1 = {l1}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Ablations of individual design choices inside the abstraction —
+//! the knobs DESIGN.md's inventory calls out, measured in isolation:
+//! uniquify strategies, frontier conversions, loop schedules, adjacency
+//! intersection kernels, and representation build costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essentials_bench::Workload;
+use essentials_core::operators::filter::{uniquify, uniquify_with_bitmap};
+use essentials_core::operators::intersect::{intersect_count, intersect_count_gallop};
+use essentials_core::prelude::*;
+use essentials_frontier::convert;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    let ctx = Context::new(2);
+    let n = 1 << 14;
+
+    // --- uniquify: sort-based vs bitmap-based, at two duplicate rates ----
+    for (label, dup_factor) in [("low_dup", 1usize), ("high_dup", 16)] {
+        let ids: Vec<VertexId> = (0..(n / 4) * dup_factor)
+            .map(|i| ((i * 2654435761) % n) as VertexId)
+            .collect();
+        let f = SparseFrontier::from_vec(ids);
+        group.bench_function(format!("uniquify_sort/{label}"), |b| {
+            b.iter(|| uniquify(execution::seq, &ctx, &f))
+        });
+        group.bench_function(format!("uniquify_bitmap/{label}"), |b| {
+            b.iter(|| uniquify_with_bitmap(execution::par, &ctx, &f, n))
+        });
+    }
+
+    // --- frontier conversions (the direction-optimizing switch cost) -----
+    for density_pct in [1usize, 25, 75] {
+        let ids: Vec<VertexId> = (0..n)
+            .filter(|i| (i * 37) % 100 < density_pct)
+            .map(|i| i as VertexId)
+            .collect();
+        let sparse = SparseFrontier::from_vec(ids);
+        let dense = convert::sparse_to_dense(&sparse, n);
+        group.bench_function(format!("sparse_to_dense/{density_pct}pct"), |b| {
+            b.iter(|| convert::sparse_to_dense(&sparse, n))
+        });
+        group.bench_function(format!("dense_to_sparse/{density_pct}pct"), |b| {
+            b.iter(|| convert::dense_to_sparse(&dense))
+        });
+    }
+
+    // --- schedules on skewed per-index work --------------------------------
+    let g = Workload::Rmat.directed(10);
+    for (name, schedule) in [
+        ("static", Schedule::Static),
+        ("dynamic_64", Schedule::Dynamic(64)),
+        ("dynamic_1024", Schedule::Dynamic(1024)),
+        ("guided_64", Schedule::Guided(64)),
+    ] {
+        group.bench_function(format!("schedule/{name}"), |b| {
+            b.iter(|| {
+                let acc = std::sync::atomic::AtomicUsize::new(0);
+                ctx.pool()
+                    .parallel_for(0..g.get_num_vertices(), schedule, |i| {
+                        // Per-vertex work proportional to degree (skewed).
+                        let mut s = 0usize;
+                        for &d in g.out_neighbors(i as VertexId) {
+                            s = s.wrapping_add(d as usize);
+                        }
+                        acc.fetch_add(s & 7, std::sync::atomic::Ordering::Relaxed);
+                    });
+                acc.into_inner()
+            })
+        });
+    }
+
+    // --- intersection kernels: balanced vs skewed list sizes -------------
+    let a: Vec<VertexId> = (0..4096).map(|i| i * 3).collect();
+    let b_: Vec<VertexId> = (0..4096).map(|i| i * 5).collect();
+    let tiny: Vec<VertexId> = (0..32).map(|i| i * 391).collect();
+    group.bench_function("intersect_merge/balanced", |bch| {
+        bch.iter(|| intersect_count(&a, &b_))
+    });
+    group.bench_function("intersect_gallop/balanced", |bch| {
+        bch.iter(|| intersect_count_gallop(&a, &b_))
+    });
+    group.bench_function("intersect_merge/skewed", |bch| {
+        bch.iter(|| intersect_count(&tiny, &a))
+    });
+    group.bench_function("intersect_gallop/skewed", |bch| {
+        bch.iter(|| intersect_count_gallop(&tiny, &a))
+    });
+
+    // --- representation build costs (Listing 1's "cost of memory space") -
+    let coo = Workload::Rmat.edges(10);
+    group.bench_function("build_csr", |b| b.iter(|| Csr::from_coo(&coo)));
+    let csr = Csr::<()>::from_coo(&coo);
+    group.bench_function("build_csc_from_csr", |b| b.iter(|| csr.transposed()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

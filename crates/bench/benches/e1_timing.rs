@@ -1,0 +1,44 @@
+//! E1 — timing models: bulk-synchronous vs asynchronous execution of the
+//! same relaxation (DESIGN.md §4, Table I "Timing" row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use essentials_algos::{bfs, sssp};
+use essentials_bench::Workload;
+use essentials_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_timing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.weighted(10);
+        for threads in [1usize, 2] {
+            let ctx = Context::new(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sssp_bsp/{}", w.name()), threads),
+                &threads,
+                |b, _| b.iter(|| sssp::sssp(execution::par, &ctx, &g, 0)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("sssp_async/{}", w.name()), threads),
+                &threads,
+                |b, _| b.iter(|| sssp::sssp_async(&ctx, &g, 0)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("bfs_bsp/{}", w.name()), threads),
+                &threads,
+                |b, _| b.iter(|| bfs::bfs(execution::par, &ctx, &g, 0)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("bfs_async/{}", w.name()), threads),
+                &threads,
+                |b, _| b.iter(|| bfs::bfs_async(&ctx, &g, 0)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

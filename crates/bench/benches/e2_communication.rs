@@ -1,0 +1,31 @@
+//! E2 — communication models: sparse vs dense(bitmap) vs queue frontier
+//! representations behind the same BFS loop (Table I "Communication" row).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essentials_algos::bfs;
+use essentials_bench::Workload;
+use essentials_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_communication");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let ctx = Context::new(2);
+    for w in Workload::ALL {
+        let g = w.directed(10);
+        group.bench_function(format!("sparse/{}", w.name()), |b| {
+            b.iter(|| bfs::bfs(execution::par, &ctx, &g, 0))
+        });
+        group.bench_function(format!("dense_bitmap/{}", w.name()), |b| {
+            b.iter(|| bfs::bfs_dense(execution::par, &ctx, &g, 0))
+        });
+        group.bench_function(format!("queue/{}", w.name()), |b| {
+            b.iter(|| bfs::bfs_queue(&ctx, &g, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E3 — execution model: push vs pull vs direction-optimizing traversal
+//! (Table I "Execution Model" row); PageRank in both directions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essentials_algos::{bfs, pagerank};
+use essentials_bench::Workload;
+use essentials_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_direction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.symmetric(10);
+        group.bench_function(format!("bfs_push/{}", w.name()), |b| {
+            b.iter(|| bfs::bfs(execution::par, &ctx, &g, 0))
+        });
+        group.bench_function(format!("bfs_pull/{}", w.name()), |b| {
+            b.iter(|| bfs::bfs_pull(execution::par, &ctx, &g, 0))
+        });
+        group.bench_function(format!("bfs_do/{}", w.name()), |b| {
+            b.iter(|| {
+                bfs::bfs_direction_optimizing(
+                    execution::par,
+                    &ctx,
+                    &g,
+                    0,
+                    bfs::DoParams::default(),
+                )
+            })
+        });
+        let cfg = pagerank::PrConfig { max_iterations: 20, tolerance: 0.0, ..Default::default() };
+        group.bench_function(format!("pagerank_pull/{}", w.name()), |b| {
+            b.iter(|| pagerank::pagerank_pull(execution::par, &ctx, &g, cfg))
+        });
+        group.bench_function(format!("pagerank_push/{}", w.name()), |b| {
+            b.iter(|| pagerank::pagerank_push(execution::par, &ctx, &g, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 — partitioning heuristics: cost and quality of random, contiguous,
+//! and multilevel partitioning (Table I "Partitioning" row).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essentials_bench::Workload;
+use essentials_partition::{
+    contiguous_partition, multilevel_partition, random_partition, MultilevelConfig,
+    PartitionedGraph,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_partition");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.symmetric(10);
+        let n = g.get_num_vertices();
+        group.bench_function(format!("random_k4/{}", w.name()), |b| {
+            b.iter(|| random_partition(n, 4, 1))
+        });
+        group.bench_function(format!("contiguous_k4/{}", w.name()), |b| {
+            b.iter(|| contiguous_partition(n, 4))
+        });
+        group.bench_function(format!("multilevel_k4/{}", w.name()), |b| {
+            b.iter(|| multilevel_partition(&g, MultilevelConfig::new(4)))
+        });
+        let p = multilevel_partition(&g, MultilevelConfig::new(4));
+        group.bench_function(format!("build_partitioned/{}", w.name()), |b| {
+            b.iter(|| PartitionedGraph::build(&g, &p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6 — Listing-4 SSSP and friends vs hand-written sequential baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essentials_algos::sssp;
+use essentials_bench::Workload;
+use essentials_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_sssp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.weighted(10);
+        group.bench_function(format!("dijkstra/{}", w.name()), |b| {
+            b.iter(|| sssp::dijkstra(&g, 0))
+        });
+        group.bench_function(format!("bellman_ford/{}", w.name()), |b| {
+            b.iter(|| sssp::bellman_ford(&g, 0))
+        });
+        group.bench_function(format!("bsp_listing4/{}", w.name()), |b| {
+            b.iter(|| sssp::sssp(execution::par, &ctx, &g, 0))
+        });
+        group.bench_function(format!("delta_stepping_2/{}", w.name()), |b| {
+            b.iter(|| sssp::delta_stepping(execution::par, &ctx, &g, 0, 2.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

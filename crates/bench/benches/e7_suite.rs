@@ -1,0 +1,49 @@
+//! E7 — the full algorithm suite on both topology regimes: one
+//! abstraction, many algorithms (paper §V).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essentials_algos::{cc, color, kcore, pagerank, spmv, tc};
+use essentials_bench::Workload;
+use essentials_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_suite");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let sym = w.symmetric(10);
+        let wg = w.weighted(10);
+        group.bench_function(format!("pagerank/{}", w.name()), |b| {
+            let cfg = pagerank::PrConfig { max_iterations: 20, tolerance: 0.0, ..Default::default() };
+            b.iter(|| pagerank::pagerank_pull(execution::par, &ctx, &sym, cfg))
+        });
+        group.bench_function(format!("cc_label_prop/{}", w.name()), |b| {
+            b.iter(|| cc::cc_label_propagation(execution::par, &ctx, &sym))
+        });
+        group.bench_function(format!("cc_hooking/{}", w.name()), |b| {
+            b.iter(|| cc::cc_hooking(execution::par, &ctx, &sym))
+        });
+        group.bench_function(format!("tc_merge/{}", w.name()), |b| {
+            b.iter(|| tc::triangle_count(execution::par, &ctx, &sym, false))
+        });
+        group.bench_function(format!("tc_gallop/{}", w.name()), |b| {
+            b.iter(|| tc::triangle_count(execution::par, &ctx, &sym, true))
+        });
+        group.bench_function(format!("kcore/{}", w.name()), |b| {
+            b.iter(|| kcore::kcore_peel(execution::par, &ctx, &sym))
+        });
+        group.bench_function(format!("color/{}", w.name()), |b| {
+            b.iter(|| color::color_greedy(execution::par, &ctx, &sym))
+        });
+        let x: Vec<f32> = (0..wg.get_num_vertices()).map(|i| (i % 13) as f32).collect();
+        group.bench_function(format!("spmv/{}", w.name()), |b| {
+            b.iter(|| spmv::spmv(execution::par, &ctx, &wg, &x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 — message-passing vertex programs over thread-ranks vs shared
+//! memory (the Pregel row of Table I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use essentials_algos::{bfs, sssp};
+use essentials_bench::Workload;
+use essentials_core::prelude::*;
+use essentials_mp::algorithms::{mp_bfs, mp_sssp};
+use essentials_partition::{multilevel_partition, MultilevelConfig, PartitionedGraph};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_message_passing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.weighted(10);
+        for ranks in [1usize, 2, 4] {
+            let p = multilevel_partition(&g, MultilevelConfig::new(ranks));
+            let pg = PartitionedGraph::build(&g, &p);
+            group.bench_with_input(
+                BenchmarkId::new(format!("mp_bfs/{}", w.name()), ranks),
+                &ranks,
+                |b, _| b.iter(|| mp_bfs(&pg, 0)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("mp_sssp/{}", w.name()), ranks),
+                &ranks,
+                |b, _| b.iter(|| mp_sssp(&pg, 0)),
+            );
+        }
+        group.bench_function(format!("shm_bfs/{}", w.name()), |b| {
+            b.iter(|| bfs::bfs(execution::par, &ctx, &g, 0))
+        });
+        group.bench_function(format!("shm_sssp/{}", w.name()), |b| {
+            b.iter(|| sssp::sssp(execution::par, &ctx, &g, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,660 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p essentials-bench --bin harness [scale]`
+//! (default scale 12 ⇒ ~4k-vertex graphs; scale 14–16 for longer runs).
+//!
+//! Each experiment E1–E8 instantiates one coverage claim of the paper's
+//! Table I as a measurable comparison; see DESIGN.md §4 for the mapping.
+//! Wall times on this host are indicative only (single-core container);
+//! the work columns (relaxations, edges inspected, messages, edge-cut) are
+//! machine-independent.
+
+use essentials_algos::{bfs, cc, color, hits, kcore, mst, pagerank, spmv, sssp, sswp, tc};
+use essentials_bench::{median_ms, table_header, time_ms, Workload};
+use essentials_core::prelude::*;
+use essentials_mp::algorithms::{mp_bfs, mp_pagerank, mp_sssp, mp_sssp_combined};
+use essentials_mp::async_mp::{async_mp_bfs, async_mp_sssp};
+use essentials_partition::{
+    balance, contiguous_partition, edge_cut, multilevel_partition, random_partition,
+    MultilevelConfig, PartitionedGraph,
+};
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let threads = [1usize, 2, 4];
+    println!("essentials-rs experiment harness — scale {scale}, host threads sweep {threads:?}");
+    println!("(single-core host: wall-times are indicative; work columns are exact)\n");
+
+    e1_timing(scale);
+    e2_communication(scale);
+    e3_direction(scale);
+    e4_partitioning(scale);
+    e5_load_balance(scale);
+    e6_sssp(scale);
+    e7_suite(scale);
+    e8_message_passing(scale);
+}
+
+/// E1 — Timing models: BSP vs asynchronous (Table I row 1).
+fn e1_timing(scale: u32) {
+    println!("== E1: timing — bulk-synchronous vs asynchronous (SSSP & BFS) ==");
+    table_header(&[
+        ("workload", 11),
+        ("algo", 6),
+        ("mode", 12),
+        ("threads", 7),
+        ("ms", 9),
+        ("supersteps", 10),
+        ("work", 10),
+    ]);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.weighted(scale);
+        for &t in &[1usize, 2, 4] {
+            let ctx = Context::new(t);
+            let runs: Vec<(&str, &str, Box<dyn Fn() -> (usize, usize)>)> = vec![
+                (
+                    "sssp",
+                    "bsp/par",
+                    Box::new(|| {
+                        let r = sssp::sssp(execution::par, &ctx, &g, 0);
+                        (r.stats.iterations, r.relaxations)
+                    }),
+                ),
+                (
+                    "sssp",
+                    "async",
+                    Box::new(|| {
+                        let r = sssp::sssp_async(&ctx, &g, 0);
+                        (r.stats.iterations, r.relaxations)
+                    }),
+                ),
+                (
+                    "bfs",
+                    "bsp/par",
+                    Box::new(|| {
+                        let r = bfs::bfs(execution::par, &ctx, &g, 0);
+                        (r.stats.iterations, r.edges_inspected)
+                    }),
+                ),
+                (
+                    "bfs",
+                    "async",
+                    Box::new(|| {
+                        let r = bfs::bfs_async(&ctx, &g, 0);
+                        (r.stats.iterations, r.edges_inspected)
+                    }),
+                ),
+            ];
+            for (algo, mode, f) in runs {
+                let (iters, work) = f();
+                let ms = median_ms(3, || {
+                    f();
+                });
+                println!(
+                    "{:>11}  {algo:>6}  {mode:>12}  {t:>7}  {ms:>9.2}  {iters:>10}  {work:>10}",
+                    w.name()
+                );
+            }
+        }
+    }
+    println!();
+}
+
+/// E2 — Communication: frontier representations behind one interface
+/// (Table I row 2).
+fn e2_communication(scale: u32) {
+    println!("== E2: communication — sparse vs dense(bitmap) vs queue frontiers (BFS) ==");
+    table_header(&[
+        ("workload", 11),
+        ("frontier", 14),
+        ("ms", 9),
+        ("iters", 6),
+        ("edges", 10),
+    ]);
+    let ctx = Context::new(2);
+    for w in Workload::ALL {
+        let g = w.directed(scale);
+        let runs: Vec<(&str, Box<dyn Fn() -> bfs::BfsResult>)> = vec![
+            (
+                "sparse(vec)",
+                Box::new(|| bfs::bfs(execution::par, &ctx, &g, 0)),
+            ),
+            (
+                "dense(bitmap)",
+                Box::new(|| bfs::bfs_dense(execution::par, &ctx, &g, 0)),
+            ),
+            ("queue(msgs)", Box::new(|| bfs::bfs_queue(&ctx, &g, 0))),
+        ];
+        let reference = bfs::bfs_sequential(&g, 0).level;
+        for (name, f) in runs {
+            let r = f();
+            assert_eq!(r.level, reference, "{name} diverged");
+            let ms = median_ms(3, || {
+                f();
+            });
+            println!(
+                "{:>11}  {name:>14}  {ms:>9.2}  {:>6}  {:>10}",
+                w.name(),
+                r.stats.iterations,
+                r.edges_inspected
+            );
+        }
+    }
+    println!();
+}
+
+/// E3 — Execution model: push vs pull vs direction-optimizing
+/// (Table I row 3).
+fn e3_direction(scale: u32) {
+    println!("== E3: push vs pull vs direction-optimizing ==");
+    table_header(&[
+        ("workload", 11),
+        ("variant", 9),
+        ("ms", 9),
+        ("edges-inspected", 15),
+        ("pull-iters", 10),
+    ]);
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.symmetric(scale);
+        let reference = bfs::bfs_sequential(&g, 0).level;
+        let runs: Vec<(&str, Box<dyn Fn() -> bfs::BfsResult>)> = vec![
+            ("push", Box::new(|| bfs::bfs(execution::par, &ctx, &g, 0))),
+            (
+                "pull",
+                Box::new(|| bfs::bfs_pull(execution::par, &ctx, &g, 0)),
+            ),
+            (
+                "do",
+                Box::new(|| {
+                    bfs::bfs_direction_optimizing(
+                        execution::par,
+                        &ctx,
+                        &g,
+                        0,
+                        bfs::DoParams::default(),
+                    )
+                }),
+            ),
+        ];
+        for (name, f) in runs {
+            let r = f();
+            assert_eq!(r.level, reference, "{name} diverged");
+            let pulls = r
+                .directions
+                .iter()
+                .filter(|&&d| d == bfs::Direction::Pull)
+                .count();
+            let ms = median_ms(3, || {
+                f();
+            });
+            println!(
+                "{:>11}  {name:>9}  {ms:>9.2}  {:>15}  {pulls:>10}",
+                w.name(),
+                r.edges_inspected
+            );
+        }
+    }
+    // PageRank push vs pull: same fixpoint, different direction.
+    println!("\n   pagerank (same fixpoint through either direction):");
+    table_header(&[("workload", 11), ("variant", 9), ("ms", 9), ("iters", 6)]);
+    let cfg = pagerank::PrConfig {
+        tolerance: 1e-8,
+        ..pagerank::PrConfig::default()
+    };
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.symmetric(scale);
+        let pull = pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
+        let push = pagerank::pagerank_push(execution::par, &ctx, &g, cfg);
+        let diff = pull
+            .rank
+            .iter()
+            .zip(&push.rank)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-6, "push/pull fixpoints diverged: {diff}");
+        for (name, iters) in [("pull", pull.stats.iterations), ("push", push.stats.iterations)] {
+            let ms = median_ms(2, || {
+                if name == "pull" {
+                    pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
+                } else {
+                    pagerank::pagerank_push(execution::par, &ctx, &g, cfg);
+                }
+            });
+            println!("{:>11}  {name:>9}  {ms:>9.2}  {iters:>6}", w.name());
+        }
+    }
+    println!();
+}
+
+/// E4 — Partitioning heuristics (Table I row 4).
+fn e4_partitioning(scale: u32) {
+    println!("== E4: partitioning — random vs contiguous vs multilevel ==");
+    table_header(&[
+        ("workload", 11),
+        ("heuristic", 10),
+        ("k", 3),
+        ("edge-cut", 9),
+        ("balance", 8),
+        ("mp-bfs remote msgs", 18),
+    ]);
+    for w in Workload::ALL {
+        let g = w.symmetric(scale);
+        let n = g.get_num_vertices();
+        for k in [2usize, 4, 8] {
+            let parts = [
+                ("random", random_partition(n, k, 1)),
+                ("contig", contiguous_partition(n, k)),
+                ("multilevel", multilevel_partition(&g, MultilevelConfig::new(k))),
+            ];
+            for (name, p) in parts {
+                let cut = edge_cut(&g, &p);
+                let bal = balance(&p);
+                let pg = PartitionedGraph::build(&g, &p);
+                let (_, stats) = mp_bfs(&pg, 0);
+                println!(
+                    "{:>11}  {name:>10}  {k:>3}  {cut:>9}  {bal:>8.3}  {:>18}",
+                    w.name(),
+                    stats.messages_remote
+                );
+            }
+        }
+    }
+    println!();
+}
+
+/// E5 — Load balancing inside operators (§IV-C).
+fn e5_load_balance(scale: u32) {
+    println!("== E5: operator load balancing — vertex- vs edge-balanced advance ==");
+
+    // Machine-independent half: divide the full-graph frontier among T
+    // workers statically by vertices vs. by edges, and report the worst
+    // worker's share of edge work relative to ideal (1.0 = perfect).
+    println!("   static work division imbalance (max worker edges / ideal):");
+    table_header(&[("workload", 11), ("workers", 7), ("by-vertex", 10), ("by-edge", 10)]);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.directed(scale);
+        let degrees: Vec<usize> = g.vertices().map(|v| g.out_degree(v)).collect();
+        let total: usize = degrees.iter().sum();
+        for t in [2usize, 4, 8] {
+            let ideal = total as f64 / t as f64;
+            // Vertex-contiguous chunks.
+            let chunk = degrees.len().div_ceil(t);
+            let worst_vertex = degrees
+                .chunks(chunk)
+                .map(|c| c.iter().sum::<usize>())
+                .max()
+                .unwrap_or(0) as f64;
+            // Edge-balanced chunks: walk the prefix sum cutting at ideal
+            // boundaries (a vertex's edges stay together, as the operator's
+            // merge-path division does at vertex granularity).
+            let mut worst_edge = 0usize;
+            let mut acc = 0usize;
+            let mut cut = 1usize;
+            let mut current = 0usize;
+            for &d in &degrees {
+                current += d;
+                acc += d;
+                if acc as f64 >= ideal * cut as f64 {
+                    worst_edge = worst_edge.max(current);
+                    current = 0;
+                    cut += 1;
+                }
+            }
+            worst_edge = worst_edge.max(current);
+            println!(
+                "{:>11}  {t:>7}  {:>10.2}  {:>10.2}",
+                w.name(),
+                worst_vertex / ideal,
+                worst_edge as f64 / ideal
+            );
+        }
+    }
+
+    println!("
+   wall time (indicative on this host):");
+    table_header(&[
+        ("workload", 11),
+        ("strategy", 15),
+        ("threads", 7),
+        ("ms", 9),
+    ]);
+    use essentials_parallel::atomics::Counter;
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.directed(scale);
+        let frontier: Vec<VertexId> = g.vertices().collect();
+        for &t in &[2usize, 4] {
+            let ctx = Context::new(t);
+            let vertex_ms = median_ms(3, || {
+                let c = Counter::new();
+                essentials_core::load_balance::for_each_vertex_balanced(&ctx, &frontier, |_, v| {
+                    let mut acc = 0usize;
+                    for &d in g.out_neighbors(v) {
+                        acc = acc.wrapping_add(d as usize);
+                    }
+                    c.add(acc & 1);
+                });
+            });
+            let edge_ms = median_ms(3, || {
+                let c = Counter::new();
+                essentials_core::load_balance::for_each_edge_balanced(
+                    &ctx,
+                    &g,
+                    &frontier,
+                    |_, _, e| {
+                        c.add(g.edge_dest(e) as usize & 1);
+                    },
+                );
+            });
+            println!("{:>11}  {:>15}  {t:>7}  {vertex_ms:>9.2}", w.name(), "vertex-balanced");
+            println!("{:>11}  {:>15}  {t:>7}  {edge_ms:>9.2}", w.name(), "edge-balanced");
+        }
+        // Mutex-guarded Listing-3 vs collector-based expansion.
+        let ctx = Context::new(4);
+        let f: SparseFrontier = g.vertices().collect();
+        let mutex_ms = median_ms(2, || {
+            neighbors_expand_mutex(execution::par, &ctx, &g, &f, |_, _, _, _| true);
+        });
+        let collector_ms = median_ms(2, || {
+            neighbors_expand(execution::par, &ctx, &g, &f, |_, _, _, _| true);
+        });
+        println!(
+            "{:>11}  {:>15}  {:>7}  {mutex_ms:>9.2}   (Listing-3 mutex output)",
+            w.name(),
+            "mutex-output",
+            4
+        );
+        println!(
+            "{:>11}  {:>15}  {:>7}  {collector_ms:>9.2}   (per-thread collectors)",
+            w.name(),
+            "collector",
+            4
+        );
+    }
+    println!();
+}
+
+/// E6 — Listing-4 SSSP against hand-written baselines.
+fn e6_sssp(scale: u32) {
+    println!("== E6: SSSP variants vs sequential baselines ==");
+    table_header(&[
+        ("workload", 11),
+        ("variant", 16),
+        ("ms", 9),
+        ("relaxations", 11),
+        ("supersteps", 10),
+    ]);
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.weighted(scale);
+        let oracle = sssp::dijkstra(&g, 0);
+        let check = |name: &str, r: &sssp::SsspResult| {
+            let ok = r.dist.iter().zip(&oracle.dist).all(|(a, b)| {
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3
+            });
+            assert!(ok, "{name} diverged from Dijkstra");
+        };
+        let runs: Vec<(&str, Box<dyn Fn() -> sssp::SsspResult>)> = vec![
+            ("dijkstra", Box::new(|| sssp::dijkstra(&g, 0))),
+            ("bellman-ford", Box::new(|| sssp::bellman_ford(&g, 0))),
+            (
+                "bsp (listing 4)",
+                Box::new(|| sssp::sssp(execution::par, &ctx, &g, 0)),
+            ),
+            ("async", Box::new(|| sssp::sssp_async(&ctx, &g, 0))),
+            (
+                "delta=0.5",
+                Box::new(|| sssp::delta_stepping(execution::par, &ctx, &g, 0, 0.5)),
+            ),
+            (
+                "delta=2.0",
+                Box::new(|| sssp::delta_stepping(execution::par, &ctx, &g, 0, 2.0)),
+            ),
+        ];
+        for (name, f) in runs {
+            let r = f();
+            check(name, &r);
+            let ms = median_ms(3, || {
+                f();
+            });
+            println!(
+                "{:>11}  {name:>16}  {ms:>9.2}  {:>11}  {:>10}",
+                w.name(),
+                r.relaxations,
+                r.stats.iterations
+            );
+        }
+    }
+    println!();
+}
+
+/// E7 — The full algorithm suite: one abstraction, many algorithms (§V).
+fn e7_suite(scale: u32) {
+    println!("== E7: algorithm suite (parallel vs sequential baseline, verified) ==");
+    table_header(&[
+        ("algorithm", 10),
+        ("workload", 11),
+        ("par ms", 9),
+        ("seq ms", 9),
+        ("work metric", 24),
+    ]);
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let sym = w.symmetric(scale);
+        let wg = w.weighted(scale);
+
+        // BFS
+        let (p, r) = time_ms(|| bfs::bfs(execution::par, &ctx, &sym, 0));
+        let (s, oracle) = time_ms(|| bfs::bfs_sequential(&sym, 0));
+        assert_eq!(r.level, oracle.level);
+        print_suite_row("bfs", w, p, s, &format!("{} edges", r.edges_inspected));
+
+        // SSSP
+        let (p, r) = time_ms(|| sssp::sssp(execution::par, &ctx, &wg, 0));
+        let (s, d) = time_ms(|| sssp::dijkstra(&wg, 0));
+        assert!(sssp::verify_sssp(&wg, 0, &r.dist, 1e-3));
+        let _ = d;
+        print_suite_row("sssp", w, p, s, &format!("{} relaxations", r.relaxations));
+
+        // PageRank
+        let cfg = pagerank::PrConfig::default();
+        let (p, r) = time_ms(|| pagerank::pagerank_pull(execution::par, &ctx, &sym, cfg));
+        let (s, _) = time_ms(|| pagerank::pagerank_sequential(&sym, cfg));
+        assert!(pagerank::verify_pagerank(&sym, &r.rank, cfg.damping, 1e-6));
+        print_suite_row("pagerank", w, p, s, &format!("{} iterations", r.stats.iterations));
+
+        // Connected components
+        let (p, r) = time_ms(|| cc::cc_label_propagation(execution::par, &ctx, &sym));
+        let (s, oracle) = time_ms(|| cc::cc_union_find(&sym));
+        assert_eq!(r.comp, oracle.comp);
+        print_suite_row(
+            "cc",
+            w,
+            p,
+            s,
+            &format!("{} components", cc::num_components(&r.comp)),
+        );
+
+        // Triangle counting
+        let (p, r) = time_ms(|| tc::triangle_count(execution::par, &ctx, &sym, true));
+        let (s, r2) = time_ms(|| tc::triangle_count(execution::seq, &ctx, &sym, false));
+        assert_eq!(r.triangles, r2.triangles);
+        print_suite_row("tc", w, p, s, &format!("{} triangles", r.triangles));
+
+        // k-core
+        let (p, r) = time_ms(|| kcore::kcore_peel(execution::par, &ctx, &sym));
+        let (s, oracle) = time_ms(|| kcore::kcore_sequential(&sym));
+        assert_eq!(r.core, oracle.core);
+        let kmax = r.core.iter().max().copied().unwrap_or(0);
+        print_suite_row("kcore", w, p, s, &format!("max core {kmax}"));
+
+        // Coloring
+        let (p, r) = time_ms(|| color::color_greedy(execution::par, &ctx, &sym));
+        let (s, r2) = time_ms(|| color::color_sequential(&sym));
+        assert!(color::verify_coloring(&sym, &r.color));
+        print_suite_row(
+            "color",
+            w,
+            p,
+            s,
+            &format!("{} colors (seq {})", r.num_colors, r2.num_colors),
+        );
+
+        // MST
+        let (p, r) = time_ms(|| mst::boruvka(execution::par, &ctx, &wg));
+        let (s, k) = time_ms(|| mst::kruskal(&wg));
+        assert!((r.total_weight - k.total_weight).abs() < 1e-2);
+        print_suite_row("mst", w, p, s, &format!("weight {:.1}", r.total_weight));
+
+        // HITS
+        let (p, r) = time_ms(|| hits::hits(execution::par, &ctx, &sym, hits::HitsConfig::default()));
+        let (s, _) = time_ms(|| {
+            let c = Context::sequential();
+            hits::hits(execution::seq, &c, &sym, hits::HitsConfig::default())
+        });
+        print_suite_row("hits", w, p, s, &format!("{} iterations", r.stats.iterations));
+
+        // SpMV
+        let x: Vec<f32> = (0..wg.get_num_vertices()).map(|i| (i % 13) as f32).collect();
+        let (p, y) = time_ms(|| spmv::spmv(execution::par, &ctx, &wg, &x));
+        let (s, y2) = time_ms(|| spmv::spmv_sequential(&wg, &x));
+        assert_eq!(y, y2);
+        print_suite_row("spmv", w, p, s, &format!("{} rows", y.len()));
+
+        // SSWP
+        let (p, r) = time_ms(|| sswp::sswp(execution::par, &ctx, &wg, 0));
+        let (s, oracle) = time_ms(|| sswp::sswp_sequential(&wg, 0));
+        assert_eq!(r.width, oracle.width);
+        print_suite_row("sswp", w, p, s, &format!("{} supersteps", r.stats.iterations));
+
+        // Betweenness (sampled sources — exact BC is quadratic).
+        let sources: Vec<VertexId> = (0..8).collect();
+        let (p, r) = time_ms(|| {
+            essentials_algos::bc::betweenness(execution::par, &ctx, &sym, &sources)
+        });
+        let (s, oracle) = time_ms(|| essentials_algos::bc::betweenness_sequential(&sym, &sources));
+        let ok = r
+            .iter()
+            .zip(&oracle)
+            .all(|(a, b)| (a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        assert!(ok);
+        print_suite_row("bc(8 src)", w, p, s, "sampled Brandes");
+    }
+    println!();
+}
+
+fn print_suite_row(algo: &str, w: Workload, par_ms: f64, seq_ms: f64, metric: &str) {
+    println!(
+        "{algo:>10}  {:>11}  {par_ms:>9.2}  {seq_ms:>9.2}  {metric:>24}",
+        w.name()
+    );
+}
+
+/// E8 — Message-passing vertex programs vs shared memory (Pregel row).
+fn e8_message_passing(scale: u32) {
+    println!("== E8: message-passing (Pregel ranks) vs shared memory ==");
+    table_header(&[
+        ("workload", 11),
+        ("algo", 9),
+        ("ranks", 5),
+        ("ms", 9),
+        ("supersteps", 10),
+        ("msgs", 10),
+        ("remote", 10),
+    ]);
+    let ctx = Context::new(2);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.weighted(scale);
+        let bfs_oracle = bfs::bfs(execution::par, &ctx, &g, 0);
+        let sssp_oracle = sssp::sssp(execution::par, &ctx, &g, 0);
+        for k in [1usize, 2, 4] {
+            let p = multilevel_partition(&g, MultilevelConfig::new(k));
+            let pg = PartitionedGraph::build(&g, &p);
+
+            let (ms, (levels, stats)) = time_ms(|| mp_bfs(&pg, 0));
+            assert_eq!(levels, bfs_oracle.level);
+            println!(
+                "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
+                w.name(),
+                "mp-bfs",
+                stats.supersteps,
+                stats.messages_total,
+                stats.messages_remote
+            );
+
+            let (ms, (dist, stats)) = time_ms(|| mp_sssp(&pg, 0));
+            let ok = dist.iter().zip(&sssp_oracle.dist).all(|(a, b)| {
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3
+            });
+            assert!(ok, "mp-sssp diverged");
+            println!(
+                "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
+                w.name(),
+                "mp-sssp",
+                stats.supersteps,
+                stats.messages_total,
+                stats.messages_remote
+            );
+
+            let (ms, (_, stats)) = time_ms(|| mp_pagerank(&pg, 0.85, 20));
+            println!(
+                "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
+                w.name(),
+                "mp-pr(20)",
+                stats.supersteps,
+                stats.messages_total,
+                stats.messages_remote
+            );
+
+            // Sender-side combining (Pregel combiners).
+            let (ms, (dist, stats)) = time_ms(|| mp_sssp_combined(&pg, 0));
+            let ok = dist.iter().zip(&sssp_oracle.dist).all(|(a, b)| {
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3
+            });
+            assert!(ok, "mp-sssp-combined diverged");
+            println!(
+                "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
+                w.name(),
+                "mp-sssp+c",
+                stats.supersteps,
+                stats.messages_total,
+                stats.messages_remote
+            );
+
+            // Asynchronous message passing (no supersteps at all).
+            let (ms, (levels, stats)) = time_ms(|| async_mp_bfs(&pg, 0));
+            assert_eq!(levels, bfs_oracle.level, "async-mp-bfs diverged");
+            println!(
+                "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
+                w.name(),
+                "amp-bfs",
+                "-",
+                stats.messages_processed,
+                stats.messages_remote
+            );
+            let (ms, (dist, stats)) = time_ms(|| async_mp_sssp(&pg, 0));
+            let ok = dist.iter().zip(&sssp_oracle.dist).all(|(a, b)| {
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3
+            });
+            assert!(ok, "async-mp-sssp diverged");
+            println!(
+                "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
+                w.name(),
+                "amp-sssp",
+                "-",
+                stats.messages_processed,
+                stats.messages_remote
+            );
+        }
+        // Shared-memory equivalents for reference.
+        let (ms, _) = time_ms(|| bfs::bfs(execution::par, &ctx, &g, 0));
+        println!("{:>11}  {:>9}  {:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}", w.name(), "shm-bfs", "-", "-", "-", "-");
+        let (ms, _) = time_ms(|| sssp::sssp(execution::par, &ctx, &g, 0));
+        println!("{:>11}  {:>9}  {:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}", w.name(), "shm-sssp", "-", "-", "-", "-");
+    }
+    println!();
+}

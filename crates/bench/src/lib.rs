@@ -1,0 +1,144 @@
+//! `essentials-bench` — shared workloads and table formatting for the
+//! experiment suite (DESIGN.md §4).
+//!
+//! The paper has no quantitative tables of its own (Table I is
+//! qualitative), so each experiment E1–E8 instantiates one of its coverage
+//! claims as a measurable comparison. The same workload definitions feed
+//! both the Criterion microbenches (`benches/e*.rs`) and the `harness`
+//! binary that prints the full paper-style tables archived in
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+use essentials_core::prelude::*;
+use essentials_gen as gen;
+
+/// The two topology regimes every experiment sweeps, plus a mid-point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Power-law / low diameter (social-network proxy).
+    Rmat,
+    /// Uniform / high diameter (road-network proxy).
+    Grid,
+    /// Small-world in between.
+    SmallWorld,
+}
+
+impl Workload {
+    /// All workloads in report order.
+    pub const ALL: [Workload; 3] = [Workload::Rmat, Workload::Grid, Workload::SmallWorld];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Rmat => "rmat",
+            Workload::Grid => "grid",
+            Workload::SmallWorld => "small-world",
+        }
+    }
+
+    /// Builds the unweighted edge list at a given size class. `scale`
+    /// controls vertex count ≈ 2^scale.
+    pub fn edges(&self, scale: u32) -> Coo<()> {
+        match self {
+            Workload::Rmat => gen::rmat(scale, 16, gen::RmatParams::default(), 42),
+            Workload::Grid => {
+                let side = ((1usize << scale) as f64).sqrt() as usize;
+                gen::grid2d(side, side)
+            }
+            Workload::SmallWorld => gen::watts_strogatz(1 << scale, 8, 0.1, 42),
+        }
+    }
+
+    /// Simple directed graph (loops removed, deduplicated), CSR + CSC.
+    pub fn directed(&self, scale: u32) -> Graph<()> {
+        GraphBuilder::from_coo(self.edges(scale))
+            .remove_self_loops()
+            .deduplicate()
+            .with_csc()
+            .build()
+    }
+
+    /// Symmetrized simple graph, CSR + CSC.
+    pub fn symmetric(&self, scale: u32) -> Graph<()> {
+        GraphBuilder::from_coo(self.edges(scale))
+            .remove_self_loops()
+            .symmetrize()
+            .deduplicate()
+            .with_csc()
+            .build()
+    }
+
+    /// Symmetrized weighted graph (endpoint-hashed weights in [0.1, 2.0),
+    /// equal in both directions), CSR + CSC.
+    pub fn weighted(&self, scale: u32) -> Graph<f32> {
+        let coo = {
+            let mut c = self.edges(scale);
+            c.remove_self_loops();
+            c.symmetrize();
+            c.sort_and_dedup();
+            c
+        };
+        let mut g = Graph::from_coo(&gen::hash_weights(&coo, 0.1, 2.0, 42));
+        g.ensure_csc();
+        g
+    }
+}
+
+/// Milliseconds of one run of `f`, plus its output.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t = std::time::Instant::now();
+    let out = f();
+    (t.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// Median-of-`reps` wall time in milliseconds (first run discarded as
+/// warm-up when `reps > 1`).
+pub fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
+    f(); // warm-up
+    for _ in 0..reps {
+        samples.push(time_ms(&mut f).0);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[reps / 2]
+}
+
+/// Prints a table header + rule, `widths` in characters.
+pub fn table_header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    let mut rule = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = w));
+        rule.push_str(&format!("{:->w$}  ", "", w = w));
+    }
+    println!("{line}");
+    println!("{rule}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_at_small_scale() {
+        for w in Workload::ALL {
+            let g = w.directed(8);
+            assert!(g.get_num_vertices() > 0, "{}", w.name());
+            assert!(g.csc().is_some());
+            let s = w.symmetric(8);
+            assert!(essentials_graph::properties::is_symmetric(s.csr()));
+            let wg = w.weighted(8);
+            assert!(wg.csr().values().iter().all(|&x| (0.1..2.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn median_ms_is_finite() {
+        let m = median_ms(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(m >= 0.0 && m.is_finite());
+    }
+}

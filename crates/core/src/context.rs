@@ -1,0 +1,71 @@
+//! Execution context: the thread pool an algorithm runs on.
+
+use std::sync::Arc;
+
+use essentials_parallel::ThreadPool;
+
+/// Carries the thread pool (and nothing else — policies are types, not
+/// state) through operators and algorithms. Cheap to clone.
+#[derive(Clone)]
+pub struct Context {
+    pool: Arc<ThreadPool>,
+}
+
+impl Context {
+    /// A context with its own pool of `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Context {
+            pool: Arc::new(ThreadPool::new(threads)),
+        }
+    }
+
+    /// A single-threaded context (reference semantics / baselines).
+    pub fn sequential() -> Self {
+        Context::new(1)
+    }
+
+    /// Wraps an existing shared pool.
+    pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        Context { pool }
+    }
+
+    /// The pool.
+    #[inline]
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Worker count.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+}
+
+impl Default for Context {
+    /// Sized to available hardware parallelism.
+    fn default() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Context::new(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_share_pools_on_clone() {
+        let ctx = Context::new(2);
+        let ctx2 = ctx.clone();
+        assert_eq!(ctx2.num_threads(), 2);
+        assert!(std::ptr::eq(ctx.pool(), ctx2.pool()));
+    }
+
+    #[test]
+    fn sequential_context_has_one_worker() {
+        assert_eq!(Context::sequential().num_threads(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Loop structure and convergence conditions — essential component 4.
+//!
+//! Listing 4's skeleton — `while (f.size() != 0) { f = operator(...); }` —
+//! generalized: the [`Enactor`] owns the iteration bookkeeping (iteration
+//! counter, frontier-size trace, iteration cap) and the convergence
+//! condition, so algorithms write only the per-iteration operator
+//! composition. Two shapes cover the suite:
+//!
+//! * [`Enactor::run`] — frontier-driven: converge when the frontier
+//!   empties (traversal algorithms: BFS, SSSP, …);
+//! * [`Enactor::run_until`] — state-driven: converge when a caller
+//!   predicate holds (fixed-point algorithms: PageRank, HITS, coloring).
+
+use essentials_frontier::Frontier;
+
+/// Statistics recorded by an enacted loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Number of iterations (supersteps) executed.
+    pub iterations: usize,
+    /// Frontier size after each iteration (empty for `run_until` unless the
+    /// step reports sizes itself). Benches use this as the workload trace.
+    pub frontier_trace: Vec<usize>,
+    /// True if the loop stopped because it hit the iteration cap rather
+    /// than converging.
+    pub hit_iteration_cap: bool,
+}
+
+/// The iterative loop with a convergence condition.
+#[derive(Debug, Clone)]
+pub struct Enactor {
+    max_iterations: usize,
+}
+
+impl Default for Enactor {
+    fn default() -> Self {
+        Enactor::new()
+    }
+}
+
+impl Enactor {
+    /// An enactor with no iteration cap.
+    pub fn new() -> Self {
+        Enactor {
+            max_iterations: usize::MAX,
+        }
+    }
+
+    /// Caps the number of iterations (a safety net for non-monotone
+    /// conditions; a cap hit is reported in [`LoopStats`]).
+    pub fn max_iterations(mut self, k: usize) -> Self {
+        self.max_iterations = k;
+        self
+    }
+
+    /// Frontier-driven loop: runs `step(iteration, frontier)` until the
+    /// frontier is empty. Returns the final (empty) frontier and stats.
+    pub fn run<S, F>(&self, init: S, mut step: F) -> (S, LoopStats)
+    where
+        S: Frontier,
+        F: FnMut(usize, S) -> S,
+    {
+        let mut frontier = init;
+        let mut stats = LoopStats::default();
+        while !frontier.is_empty() {
+            if stats.iterations >= self.max_iterations {
+                stats.hit_iteration_cap = true;
+                break;
+            }
+            frontier = step(stats.iterations, frontier);
+            stats.iterations += 1;
+            stats.frontier_trace.push(frontier.len());
+        }
+        (frontier, stats)
+    }
+
+    /// State-driven loop: runs `step(iteration, &mut state)` until it
+    /// returns `true` (converged). Returns the state and stats.
+    pub fn run_until<T, F>(&self, mut state: T, mut step: F) -> (T, LoopStats)
+    where
+        F: FnMut(usize, &mut T) -> bool,
+    {
+        let mut stats = LoopStats::default();
+        loop {
+            if stats.iterations >= self.max_iterations {
+                stats.hit_iteration_cap = true;
+                break;
+            }
+            let converged = step(stats.iterations, &mut state);
+            stats.iterations += 1;
+            if converged {
+                break;
+            }
+        }
+        (state, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_frontier::SparseFrontier;
+
+    #[test]
+    fn frontier_loop_runs_until_empty() {
+        // Shrink the frontier by one per iteration.
+        let init = SparseFrontier::from_vec(vec![0, 1, 2, 3]);
+        let (f, stats) = Enactor::new().run(init, |_, f| {
+            let mut v = f.into_vec();
+            v.pop();
+            SparseFrontier::from_vec(v)
+        });
+        assert!(f.is_empty());
+        assert_eq!(stats.iterations, 4);
+        assert_eq!(stats.frontier_trace, vec![3, 2, 1, 0]);
+        assert!(!stats.hit_iteration_cap);
+    }
+
+    #[test]
+    fn empty_initial_frontier_means_zero_iterations() {
+        let (_, stats) = Enactor::new().run(SparseFrontier::new(), |_, f| f);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_cap_reported() {
+        let init = SparseFrontier::single(0);
+        let (_, stats) = Enactor::new()
+            .max_iterations(5)
+            .run(init, |_, f| f /* never shrinks */);
+        assert_eq!(stats.iterations, 5);
+        assert!(stats.hit_iteration_cap);
+    }
+
+    #[test]
+    fn state_loop_converges_on_predicate() {
+        let (x, stats) = Enactor::new().run_until(1.0f64, |_, x| {
+            *x /= 2.0;
+            *x < 0.01
+        });
+        assert!(x < 0.01);
+        assert_eq!(stats.iterations, 7);
+    }
+}

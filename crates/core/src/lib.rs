@@ -1,0 +1,55 @@
+//! `essentials-core` — the paper's primary contribution: an abstraction for
+//! native-graph analytics built from four essential components.
+//!
+//! 1. **Graph data structure** — `essentials-graph` (multiple simultaneous
+//!    representations behind one API).
+//! 2. **Frontiers** — `essentials-frontier` (sparse / dense / queue, one
+//!    query interface).
+//! 3. **Operators** — [`operators`]: traversals and transformations over
+//!    graphs and frontiers, generic over
+//!    [`ExecutionPolicy`](essentials_parallel::ExecutionPolicy) so the same
+//!    operator runs sequentially, bulk-synchronously, or asynchronously
+//!    with identical semantics (§III-A).
+//! 4. **Loop structure / convergence** — [`enactor`]: the iterative
+//!    while-loop of Listing 4 with pluggable convergence conditions.
+//!
+//! [`load_balance`] holds the work-division machinery the paper locates in
+//! operators ("this is where the bulk of optimizations can be introduced",
+//! §IV-C), and [`context`] carries the thread pool through an algorithm.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod enactor;
+pub mod load_balance;
+pub mod operators;
+
+pub use context::Context;
+pub use enactor::{Enactor, LoopStats};
+
+/// Everything a typical algorithm needs, in one import.
+pub mod prelude {
+    pub use crate::context::Context;
+    pub use crate::enactor::{Enactor, LoopStats};
+    pub use crate::load_balance::{for_each_edge_balanced, for_each_vertex_balanced};
+    pub use crate::operators::advance::{
+        advance_edges, expand_pull, expand_pull_counted, expand_push_dense, expand_to_edges,
+        neighbors_expand,
+        neighbors_expand_mutex, PullConfig,
+    };
+    pub use crate::operators::compute::{fill_indexed, foreach_active, foreach_vertex};
+    pub use crate::operators::filter::{filter, uniquify, uniquify_with_bitmap};
+    pub use crate::operators::intersect::{intersect_count, intersect_count_gallop};
+    pub use crate::operators::reduce::{count_if, reduce};
+    pub use essentials_frontier::{
+        Collector, DenseFrontier, EdgeFrontier, Frontier, QueueFrontier, SparseFrontier,
+        VertexFrontier,
+    };
+    pub use essentials_graph::{
+        Coo, Csr, EdgeId, EdgeValue, EdgeWeights, Graph, GraphBase, GraphBuilder, InNeighbors,
+        OutNeighbors, VertexId, INVALID_VERTEX,
+    };
+    pub use essentials_parallel::{
+        execution, ExecutionPolicy, Par, ParNosync, Schedule, Seq, ThreadPool,
+    };
+}

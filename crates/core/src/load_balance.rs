@@ -1,0 +1,135 @@
+//! Work-division strategies for frontier expansion (§IV-C, experiment E5).
+//!
+//! The naïve division — one task per frontier *vertex* — collapses on
+//! power-law graphs: one hub vertex can own half the edges of an iteration
+//! while thousands of degree-1 vertices finish instantly. The edge-balanced
+//! strategy divides the *edge* work evenly instead: a prefix sum over the
+//! frontier's degrees defines a global edge numbering, equal-size chunks of
+//! which are handed to workers; each chunk locates its starting vertex by
+//! binary search (the CPU analogue of GPU merge-path load balancing).
+
+use essentials_graph::{EdgeId, OutNeighbors, VertexId};
+use essentials_parallel::Schedule;
+
+use crate::context::Context;
+
+/// Vertex-balanced iteration: one dynamic-scheduled task per frontier
+/// vertex. `f(worker, src)` is called once per active vertex.
+pub fn for_each_vertex_balanced<F>(ctx: &Context, frontier: &[VertexId], f: F)
+where
+    F: Fn(usize, VertexId) + Sync,
+{
+    ctx.pool()
+        .parallel_for_with(0..frontier.len(), Schedule::Dynamic(64), |tid, i| {
+            f(tid, frontier[i]);
+        });
+}
+
+/// Edge-balanced iteration: `f(worker, src, edge)` is called once per
+/// out-edge of every frontier vertex, with edge work divided evenly across
+/// workers regardless of degree skew.
+pub fn for_each_edge_balanced<G, F>(ctx: &Context, g: &G, frontier: &[VertexId], f: F)
+where
+    G: OutNeighbors + Sync,
+    F: Fn(usize, VertexId, EdgeId) + Sync,
+{
+    // Prefix-sum the degrees: offsets[i] = first global work item of
+    // frontier[i].
+    let mut offsets = Vec::with_capacity(frontier.len() + 1);
+    offsets.push(0usize);
+    for &v in frontier {
+        offsets.push(offsets.last().unwrap() + g.out_degree(v));
+    }
+    let total = *offsets.last().unwrap();
+    if total == 0 {
+        return;
+    }
+    let threads = ctx.num_threads();
+    let grain = (total / (threads * 8).max(1)).clamp(256, 1 << 16);
+    let chunks = total.div_ceil(grain);
+
+    ctx.pool()
+        .parallel_for_with(0..chunks, Schedule::Dynamic(1), |tid, c| {
+            let work_lo = c * grain;
+            let work_hi = ((c + 1) * grain).min(total);
+            // First frontier index whose edge range intersects [work_lo, ..).
+            let mut fi = offsets.partition_point(|&o| o <= work_lo) - 1;
+            let mut w = work_lo;
+            while w < work_hi {
+                let src = frontier[fi];
+                let row = g.out_edges(src);
+                // Position inside src's edge list.
+                let inner = w - offsets[fi];
+                let take = (offsets[fi + 1] - w).min(work_hi - w);
+                for k in 0..take {
+                    f(tid, src, row.start + inner + k);
+                }
+                w += take;
+                fi += 1;
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_graph::{Coo, Graph, GraphBase};
+    use essentials_parallel::atomics::Counter;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn skewed() -> Graph<()> {
+        // Vertex 0 has degree 64; vertices 1..=8 have degree 1.
+        let mut coo = Coo::new(100);
+        for d in 0..64 {
+            coo.push(0, 30 + d as VertexId, ());
+        }
+        for v in 1..=8 {
+            coo.push(v, 0, ());
+        }
+        Graph::from_coo(&coo)
+    }
+
+    #[test]
+    fn edge_balanced_touches_every_edge_exactly_once() {
+        let g = skewed();
+        let ctx = Context::new(4);
+        let frontier: Vec<VertexId> = (0..9).collect();
+        let hits: Vec<AtomicUsize> = (0..g.num_edges()).map(|_| AtomicUsize::new(0)).collect();
+        for_each_edge_balanced(&ctx, &g, &frontier, |_, src, e| {
+            assert!(g.out_edges(src).contains(&e), "edge id outside source row");
+            hits[e].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn edge_balanced_subset_frontier() {
+        let g = skewed();
+        let ctx = Context::new(2);
+        // Only the degree-1 vertices.
+        let frontier: Vec<VertexId> = (1..=8).collect();
+        let count = Counter::new();
+        for_each_edge_balanced(&ctx, &g, &frontier, |_, _, _| count.add(1));
+        assert_eq!(count.get(), 8);
+    }
+
+    #[test]
+    fn edge_balanced_empty_and_zero_degree() {
+        let g = skewed();
+        let ctx = Context::new(2);
+        for_each_edge_balanced(&ctx, &g, &[], |_, _, _| panic!("no work expected"));
+        // Frontier of sinks only.
+        for_each_edge_balanced(&ctx, &g, &[50, 51], |_, _, _| panic!("sinks have no edges"));
+    }
+
+    #[test]
+    fn vertex_balanced_visits_each_entry() {
+        let g = skewed();
+        let _ = &g;
+        let ctx = Context::new(3);
+        let frontier: Vec<VertexId> = (0..1000).map(|i| (i % 50) as VertexId).collect();
+        let count = Counter::new();
+        for_each_vertex_balanced(&ctx, &frontier, |_, _| count.add(1));
+        assert_eq!(count.get(), 1000);
+    }
+}

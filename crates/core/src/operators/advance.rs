@@ -1,0 +1,496 @@
+//! Advance (traversal) operators: frontier expansion along graph edges.
+//!
+//! [`neighbors_expand`] is the Rust port of the paper's Listing 3 — the
+//! push-direction traversal at the heart of Listing 4's SSSP — generic over
+//! execution policies exactly as the C++ version is overloaded on them.
+//! [`neighbors_expand_mutex`] keeps the listing's literal mutex-guarded
+//! output for fidelity (and as the contention baseline the collector
+//! version is measured against). [`expand_pull`] is the CSC-based pull
+//! direction of §III-C, and [`expand_push_dense`] emits a bitmap frontier so
+//! direction-optimizing algorithms can switch representations mid-run.
+
+use essentials_frontier::{Collector, DenseFrontier, EdgeFrontier, SparseFrontier};
+use essentials_graph::{EdgeId, EdgeValue, EdgeWeights, InEdgeWeights, OutNeighbors, VertexId};
+use essentials_parallel::{run_async, ExecutionPolicy, Schedule};
+use parking_lot::Mutex;
+
+use crate::context::Context;
+use crate::load_balance::for_each_edge_balanced;
+
+/// Push-direction neighbor expansion (paper Listing 3).
+///
+/// For every active vertex `v` and out-edge `e = (v, n)` with weight `w`,
+/// evaluates `condition(v, n, e, w)`; destinations for which it returns
+/// `true` enter the output frontier. Duplicates are possible (one per
+/// admitting edge), as in the paper — filter/uniquify afterwards if set
+/// semantics are needed.
+///
+/// Policy behavior:
+/// * `Seq` — plain loop on the calling thread;
+/// * `Par` — bulk-synchronous: edge-balanced parallel expansion, implicit
+///   barrier, then the output frontier is assembled;
+/// * `ParNosync` — the frontier is drained through the asynchronous
+///   work-queue engine (no per-chunk barriers; completion by quiescence).
+///
+/// ```
+/// use essentials_core::prelude::*;
+///
+/// let g: Graph<f32> = GraphBuilder::new(3)
+///     .edges([(0, 1, 1.0), (0, 2, 9.0)])
+///     .build();
+/// let ctx = Context::new(2);
+/// let f = SparseFrontier::single(0);
+/// // Expand only along edges lighter than 5.0 — identical under any policy.
+/// let out = neighbors_expand(execution::par, &ctx, &g, &f, |_s, _d, _e, w| w < 5.0);
+/// assert_eq!(out.as_slice(), &[1]);
+/// ```
+pub fn neighbors_expand<P, G, W, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        let mut output = SparseFrontier::new();
+        for v in f.iter() {
+            for e in g.out_edges(v) {
+                let n = g.edge_dest(e);
+                let w = g.edge_weight(e);
+                if condition(v, n, e, w) {
+                    output.add_vertex(n);
+                }
+            }
+        }
+        return output;
+    }
+
+    let collector = Collector::new(ctx.num_threads());
+    if P::IS_SYNCHRONIZED {
+        // Bulk-synchronous: edge-balanced division, barrier at the end of
+        // the parallel-for.
+        for_each_edge_balanced(ctx, g, f.as_slice(), |tid, v, e| {
+            let n = g.edge_dest(e);
+            let w = g.edge_weight(e);
+            if condition(v, n, e, w) {
+                collector.push(tid, n);
+            }
+        });
+    } else {
+        // Asynchronous: vertices drain through the work-queue engine; no
+        // barrier other than final quiescence.
+        run_async(ctx.pool(), f.iter().collect(), |v: VertexId, pusher| {
+            for e in g.out_edges(v) {
+                let n = g.edge_dest(e);
+                let w = g.edge_weight(e);
+                if condition(v, n, e, w) {
+                    collector.push(pusher.worker(), n);
+                }
+            }
+        });
+    }
+    collector.into_frontier()
+}
+
+/// Literal port of Listing 3: a single mutex guards `output.add_vertex`.
+/// Semantically identical to [`neighbors_expand`]; kept as the paper's
+/// exact construction and as the contention baseline for benches.
+pub fn neighbors_expand_mutex<P, G, W, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let m = Mutex::new(SparseFrontier::new());
+    let expand = |v: VertexId| {
+        // For all edges of vertex v.
+        for e in g.out_edges(v) {
+            let n = g.edge_dest(e);
+            let w = g.edge_weight(e);
+            // If expand condition is true, add the neighbor into the
+            // output frontier.
+            if condition(v, n, e, w) {
+                m.lock().add_vertex(n);
+            }
+        }
+    };
+    if P::IS_PARALLEL {
+        ctx.pool()
+            .parallel_for(0..f.len(), Schedule::Dynamic(16), |i| {
+                expand(f.get_active_vertex(i))
+            });
+    } else {
+        for v in f.iter() {
+            expand(v);
+        }
+    }
+    // Synchronized here and return output.
+    m.into_inner()
+}
+
+/// Push expansion into a **dense** output frontier. Insertion is atomic and
+/// idempotent, so no uniquify pass is ever needed; the natural output
+/// representation when the next frontier is expected to be large.
+pub fn expand_push_dense<P, G, W, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> DenseFrontier
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let output = DenseFrontier::new(g.num_vertices());
+    let body = |v: VertexId, e: EdgeId| {
+        let n = g.edge_dest(e);
+        let w = g.edge_weight(e);
+        if condition(v, n, e, w) {
+            output.insert(n);
+        }
+    };
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        for v in f.iter() {
+            for e in g.out_edges(v) {
+                body(v, e);
+            }
+        }
+    } else {
+        for_each_edge_balanced(ctx, g, f.as_slice(), |_tid, v, e| body(v, e));
+    }
+    output
+}
+
+/// Configuration of a pull-direction expansion.
+pub struct PullConfig {
+    /// Stop scanning a destination's in-neighbors after the first admitting
+    /// edge (correct for reachability-style conditions like BFS; wrong for
+    /// conditions that must see every edge, like SSSP relaxation).
+    pub early_exit: bool,
+}
+
+impl Default for PullConfig {
+    fn default() -> Self {
+        PullConfig { early_exit: false }
+    }
+}
+
+/// Pull-direction expansion (§III-C): every *candidate* destination scans
+/// its **in**-neighbors for active sources instead of active sources
+/// scattering to destinations.
+///
+/// For each vertex `dst` with `candidate(dst)` true, and each in-edge
+/// `(src → dst)` with weight `w` where `input.contains(src)`, evaluates
+/// `condition(src, dst, w)`; if it returns `true`, `dst` enters the output
+/// frontier (and with `early_exit` the scan of `dst` stops).
+///
+/// Requires the CSC representation (`Graph::with_csc()`); membership tests
+/// against the input are O(1) because the input is dense — this is why
+/// direction-optimizing traversal switches representation when it switches
+/// direction.
+///
+/// Returns the output frontier and the number of in-edges scanned — the
+/// honest work measure for push-vs-pull comparisons (a pull iteration's
+/// cost is the scan, not just the admitting edges).
+pub fn expand_pull_counted<P, G, W, C, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    input: &DenseFrontier,
+    cfg: PullConfig,
+    candidate: C,
+    condition: F,
+) -> (DenseFrontier, usize)
+where
+    P: ExecutionPolicy,
+    G: InEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    C: Fn(VertexId) -> bool + Sync,
+    F: Fn(VertexId, VertexId, W) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    let output = DenseFrontier::new(n);
+    let scanned = essentials_parallel::atomics::Counter::new();
+    let scan = |dst: VertexId| {
+        if !candidate(dst) {
+            return;
+        }
+        let srcs = g.in_neighbors(dst);
+        let ws = g.in_neighbor_weights(dst);
+        let mut local_scans = 0usize;
+        for (k, &src) in srcs.iter().enumerate() {
+            local_scans += 1;
+            if input.contains(src) && condition(src, dst, ws[k]) {
+                output.insert(dst);
+                if cfg.early_exit {
+                    break;
+                }
+            }
+        }
+        scanned.add(local_scans);
+    };
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        for dst in 0..n as VertexId {
+            scan(dst);
+        }
+    } else {
+        ctx.pool()
+            .parallel_for(0..n, Schedule::Dynamic(256), |i| scan(i as VertexId));
+    }
+    (output, scanned.get())
+}
+
+/// [`expand_pull_counted`] without the work counter.
+pub fn expand_pull<P, G, W, C, F>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    input: &DenseFrontier,
+    cfg: PullConfig,
+    candidate: C,
+    condition: F,
+) -> DenseFrontier
+where
+    P: ExecutionPolicy,
+    G: InEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    C: Fn(VertexId) -> bool + Sync,
+    F: Fn(VertexId, VertexId, W) -> bool + Sync,
+{
+    expand_pull_counted(policy, ctx, g, input, cfg, candidate, condition).0
+}
+
+/// Edge-to-vertex advance: applies `condition(src, dst, edge, w)` to every
+/// active edge and emits the destinations that pass — the second half of
+/// an edge-centric program (§III-C). Pairs with [`expand_to_edges`], which
+/// turns a vertex frontier into its out-edge set.
+pub fn advance_edges<P, G, W, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &EdgeFrontier,
+    condition: F,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let apply = |ae: &essentials_frontier::edge::ActiveEdge| -> Option<VertexId> {
+        let dst = g.edge_dest(ae.edge);
+        let w = g.edge_weight(ae.edge);
+        condition(ae.src, dst, ae.edge, w).then_some(dst)
+    };
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        return f.as_slice().iter().filter_map(apply).collect();
+    }
+    let collector = Collector::new(ctx.num_threads());
+    ctx.pool()
+        .parallel_for_with(0..f.len(), Schedule::Dynamic(256), |tid, i| {
+            if let Some(dst) = apply(&f.as_slice()[i]) {
+                collector.push(tid, dst);
+            }
+        });
+    collector.into_frontier()
+}
+
+/// Vertex-to-edge advance: the active *edges* of a vertex frontier
+/// (§III-C's edge-centric frontier type).
+pub fn expand_to_edges<P, G>(_policy: P, ctx: &Context, g: &G, f: &SparseFrontier) -> EdgeFrontier
+where
+    P: ExecutionPolicy,
+    G: OutNeighbors + Sync,
+{
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        let mut out = EdgeFrontier::new();
+        for v in f.iter() {
+            for e in g.out_edges(v) {
+                out.add_edge(v, e);
+            }
+        }
+        return out;
+    }
+    let buffers: Vec<Mutex<Vec<(VertexId, EdgeId)>>> =
+        (0..ctx.num_threads()).map(|_| Mutex::new(Vec::new())).collect();
+    for_each_edge_balanced(ctx, g, f.as_slice(), |tid, v, e| {
+        buffers[tid].lock().push((v, e));
+    });
+    let mut out = EdgeFrontier::new();
+    for b in buffers {
+        for (v, e) in b.into_inner() {
+            out.add_edge(v, e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_graph::{Coo, Graph, GraphBase};
+    use essentials_parallel::execution;
+
+    fn weighted_diamond() -> Graph<f32> {
+        Graph::from_coo(&Coo::from_edges(
+            4,
+            [(0, 1, 1.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 1.0)],
+        ))
+        .with_csc()
+    }
+
+    #[test]
+    fn push_expand_finds_all_admitted_destinations() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let f = SparseFrontier::single(0);
+        let mut out = neighbors_expand(execution::seq, &ctx, &g, &f, |_, _, _, _| true);
+        out.uniquify();
+        assert_eq!(out.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn condition_filters_edges() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let f = SparseFrontier::single(0);
+        let out = neighbors_expand(execution::seq, &ctx, &g, &f, |_, _, _, w| w < 2.0);
+        assert_eq!(out.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn policy_equivalence_across_all_three_policies() {
+        let g = weighted_diamond();
+        let ctx = Context::new(4);
+        let f = SparseFrontier::from_vec(vec![0, 1, 2]);
+        let run = |frontier: SparseFrontier| {
+            let mut a = neighbors_expand(execution::seq, &ctx, &g, &frontier, |_, _, _, _| true);
+            let mut b = neighbors_expand(execution::par, &ctx, &g, &frontier, |_, _, _, _| true);
+            let mut c =
+                neighbors_expand(execution::par_nosync, &ctx, &g, &frontier, |_, _, _, _| true);
+            let mut d =
+                neighbors_expand_mutex(execution::par, &ctx, &g, &frontier, |_, _, _, _| true);
+            for f in [&mut a, &mut b, &mut c, &mut d] {
+                f.uniquify();
+            }
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+            assert_eq!(a, d);
+            a
+        };
+        let out = run(f);
+        assert_eq!(out.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn dense_output_collapses_duplicates() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        // 1 and 2 both point at 3.
+        let f = SparseFrontier::from_vec(vec![1, 2]);
+        let out = expand_push_dense(execution::par, &ctx, &g, &f, |_, _, _, _| true);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(3));
+    }
+
+    #[test]
+    fn pull_matches_push_on_the_same_frontier() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let sparse = SparseFrontier::from_vec(vec![0]);
+        let dense_in = essentials_frontier::convert::sparse_to_dense(&sparse, g.num_vertices());
+
+        let mut push = neighbors_expand(execution::seq, &ctx, &g, &sparse, |_, _, _, _| true);
+        push.uniquify();
+        let pull = expand_pull(
+            execution::par,
+            &ctx,
+            &g,
+            &dense_in,
+            PullConfig::default(),
+            |_| true,
+            |_, _, _| true,
+        );
+        let pull_sparse = essentials_frontier::convert::dense_to_sparse(&pull);
+        assert_eq!(push, pull_sparse);
+    }
+
+    #[test]
+    fn pull_early_exit_still_finds_the_set() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let sparse = SparseFrontier::from_vec(vec![1, 2]);
+        let dense_in = essentials_frontier::convert::sparse_to_dense(&sparse, g.num_vertices());
+        let pull = expand_pull(
+            execution::seq,
+            &ctx,
+            &g,
+            &dense_in,
+            PullConfig { early_exit: true },
+            |_| true,
+            |_, _, _| true,
+        );
+        assert_eq!(pull.len(), 1);
+        assert!(pull.contains(3));
+    }
+
+    #[test]
+    fn candidate_prunes_pull_scan() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let dense_in = DenseFrontier::new(4);
+        dense_in.insert(0);
+        let pull = expand_pull(
+            execution::seq,
+            &ctx,
+            &g,
+            &dense_in,
+            PullConfig::default(),
+            |dst| dst != 1, // pretend 1 is already visited
+            |_, _, _| true,
+        );
+        assert_eq!(pull.len(), 1);
+        assert!(pull.contains(2));
+    }
+
+    #[test]
+    fn edge_frontier_expansion() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let f = SparseFrontier::from_vec(vec![0, 1]);
+        for out in [
+            expand_to_edges(execution::seq, &ctx, &g, &f),
+            expand_to_edges(execution::par, &ctx, &g, &f),
+        ] {
+            let mut out = out;
+            out.uniquify();
+            assert_eq!(out.len(), 3);
+            assert_eq!(out.sources(), vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn empty_frontier_expands_to_empty() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let f = SparseFrontier::new();
+        assert!(neighbors_expand(execution::par, &ctx, &g, &f, |_, _, _, _| true).is_empty());
+        assert!(expand_push_dense(execution::par, &ctx, &g, &f, |_, _, _, _| true).is_empty());
+    }
+}

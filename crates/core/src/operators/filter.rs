@@ -1,0 +1,122 @@
+//! Filter operators: frontier contraction.
+//!
+//! The complement of advance — drop active vertices that fail a predicate
+//! (already-visited, out of scope) and collapse duplicates left behind by a
+//! push expansion.
+
+use essentials_frontier::{Collector, DenseFrontier, SparseFrontier};
+use essentials_graph::VertexId;
+use essentials_parallel::{ExecutionPolicy, Schedule};
+
+use crate::context::Context;
+
+/// Keeps the active vertices for which `pred` returns `true`. Input order
+/// is preserved in the `Seq` path; parallel paths preserve per-worker order
+/// only (frontiers are sets — callers needing canonical order uniquify).
+pub fn filter<P, F>(_policy: P, ctx: &Context, f: &SparseFrontier, pred: F) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    F: Fn(VertexId) -> bool + Sync,
+{
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        return f.iter().filter(|&v| pred(v)).collect();
+    }
+    let collector = Collector::new(ctx.num_threads());
+    ctx.pool()
+        .parallel_for_with(0..f.len(), Schedule::Dynamic(256), |tid, i| {
+            let v = f.get_active_vertex(i);
+            if pred(v) {
+                collector.push(tid, v);
+            }
+        });
+    collector.into_frontier()
+}
+
+/// Sort-based uniquify: returns the frontier as a sorted duplicate-free
+/// set. O(k log k) in frontier size, no auxiliary O(n) storage.
+pub fn uniquify<P>(_policy: P, _ctx: &Context, f: &SparseFrontier) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+{
+    let mut out = f.clone();
+    out.uniquify();
+    out
+}
+
+/// Bitmap-based uniquify over a universe of `n` vertices: O(k) time and
+/// O(n) bits, parallel claim via atomic test-and-set. Wins over the sort
+/// when the frontier is a large fraction of the graph.
+pub fn uniquify_with_bitmap<P>(
+    _policy: P,
+    ctx: &Context,
+    f: &SparseFrontier,
+    n: usize,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+{
+    let seen = DenseFrontier::new(n);
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        let mut out = SparseFrontier::with_capacity(f.len());
+        for v in f.iter() {
+            if seen.insert(v) {
+                out.add_vertex(v);
+            }
+        }
+        return out;
+    }
+    let collector = Collector::new(ctx.num_threads());
+    ctx.pool()
+        .parallel_for_with(0..f.len(), Schedule::Dynamic(256), |tid, i| {
+            let v = f.get_active_vertex(i);
+            if seen.insert(v) {
+                collector.push(tid, v);
+            }
+        });
+    collector.into_frontier()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_parallel::execution;
+
+    #[test]
+    fn filter_keeps_matching_in_order_seq() {
+        let ctx = Context::sequential();
+        let f = SparseFrontier::from_vec(vec![5, 2, 8, 1]);
+        let out = filter(execution::seq, &ctx, &f, |v| v >= 3);
+        assert_eq!(out.as_slice(), &[5, 8]);
+    }
+
+    #[test]
+    fn filter_policy_equivalence_as_sets() {
+        let ctx = Context::new(4);
+        let f: SparseFrontier = (0..10_000).collect();
+        let mut a = filter(execution::seq, &ctx, &f, |v| v % 3 == 0);
+        let mut b = filter(execution::par, &ctx, &f, |v| v % 3 == 0);
+        a.uniquify();
+        b.uniquify();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3334);
+    }
+
+    #[test]
+    fn both_uniquify_flavors_agree() {
+        let ctx = Context::new(4);
+        let f = SparseFrontier::from_vec((0..5000).map(|i| i % 97).collect());
+        let a = uniquify(execution::seq, &ctx, &f);
+        let mut b = uniquify_with_bitmap(execution::par, &ctx, &f, 100);
+        b.uniquify(); // canonical order for comparison
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 97);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ctx = Context::new(2);
+        let f = SparseFrontier::new();
+        assert!(filter(execution::par, &ctx, &f, |_| true).is_empty());
+        assert!(uniquify_with_bitmap(execution::par, &ctx, &f, 10).is_empty());
+    }
+}

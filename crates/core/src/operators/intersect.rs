@@ -1,0 +1,113 @@
+//! Sorted-adjacency intersection — the operator behind triangle counting
+//! and clustering coefficients.
+//!
+//! CSR rows are destination-sorted (see `Csr::from_coo`), so two adjacency
+//! lists intersect by linear merge, or by galloping (exponential) search
+//! when their lengths are wildly different — the skewed case power-law
+//! graphs hit constantly.
+
+use essentials_graph::VertexId;
+
+/// Linear-merge intersection count of two sorted slices.
+pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Galloping intersection: for each element of the shorter list, find it in
+/// the longer by exponential + binary search. O(|short| · log |long|),
+/// which beats the merge when |long| ≫ |short|.
+pub fn intersect_count_gallop(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0;
+    let mut base = 0usize; // everything before base is < all remaining x
+    for &x in short {
+        if base >= long.len() {
+            break;
+        }
+        // Exponential probe: find a window [prev, hi) guaranteed to contain
+        // the first element >= x.
+        let mut step = 1;
+        let mut prev = base;
+        let mut probe = base;
+        while probe < long.len() && long[probe] < x {
+            prev = probe + 1;
+            probe += step;
+            step <<= 1;
+        }
+        let hi = probe.min(long.len());
+        let idx = prev + long[prev..hi].partition_point(|&y| y < x);
+        if idx < long.len() && long[idx] == x {
+            count += 1;
+            base = idx + 1;
+        } else {
+            base = idx;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_counts_common_elements() {
+        assert_eq!(intersect_count(&[1, 3, 5, 7], &[3, 4, 5, 6, 7]), 3);
+        assert_eq!(intersect_count(&[], &[1, 2]), 0);
+        assert_eq!(intersect_count(&[2], &[2]), 1);
+    }
+
+    #[test]
+    fn gallop_agrees_with_merge() {
+        let a: Vec<VertexId> = (0..2000).step_by(3).collect();
+        let b: Vec<VertexId> = (0..2000).step_by(7).collect();
+        assert_eq!(intersect_count(&a, &b), intersect_count_gallop(&a, &b));
+        // Skewed sizes.
+        let small: Vec<VertexId> = vec![5, 600, 1500];
+        assert_eq!(
+            intersect_count(&small, &a),
+            intersect_count_gallop(&small, &a)
+        );
+    }
+
+    #[test]
+    fn gallop_handles_disjoint_and_identical() {
+        let a: Vec<VertexId> = (0..100).collect();
+        let b: Vec<VertexId> = (100..200).collect();
+        assert_eq!(intersect_count_gallop(&a, &b), 0);
+        assert_eq!(intersect_count_gallop(&a, &a), 100);
+    }
+
+    #[test]
+    fn gallop_exhaustive_small_cases() {
+        // Cross-check on all subsets of a small universe.
+        let universe: Vec<VertexId> = (0..8).collect();
+        for mask_a in 0u32..256 {
+            for mask_b in [0u32, 1, 37, 170, 255] {
+                let pick = |mask: u32| -> Vec<VertexId> {
+                    universe.iter().copied().filter(|&v| mask >> v & 1 == 1).collect()
+                };
+                let (a, b) = (pick(mask_a), pick(mask_b));
+                assert_eq!(
+                    intersect_count(&a, &b),
+                    intersect_count_gallop(&a, &b),
+                    "a={a:?} b={b:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Reduction operators over vertex ranges.
+
+use essentials_parallel::{ExecutionPolicy, Schedule};
+
+use crate::context::Context;
+
+/// Reduces `map(i)` for `i in 0..n` with an associative `combine` starting
+/// from `identity`.
+pub fn reduce<P, T, M, C>(_policy: P, ctx: &Context, n: usize, identity: T, map: M, combine: C) -> T
+where
+    P: ExecutionPolicy,
+    T: Clone + Send + Sync,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync + Send,
+{
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = combine(acc, map(i));
+        }
+        return acc;
+    }
+    ctx.pool()
+        .parallel_reduce(0..n, Schedule::default(), identity, map, combine)
+}
+
+/// Counts indices in `0..n` satisfying `pred`.
+pub fn count_if<P, F>(policy: P, ctx: &Context, n: usize, pred: F) -> usize
+where
+    P: ExecutionPolicy,
+    F: Fn(usize) -> bool + Sync,
+{
+    reduce(
+        policy,
+        ctx,
+        n,
+        0usize,
+        |i| usize::from(pred(i)),
+        |a, b| a + b,
+    )
+}
+
+/// Maximum of `map(i)` over `0..n` under `f64` ordering (NaN-free inputs).
+pub fn max_f64<P, M>(policy: P, ctx: &Context, n: usize, map: M) -> f64
+where
+    P: ExecutionPolicy,
+    M: Fn(usize) -> f64 + Sync,
+{
+    reduce(policy, ctx, n, f64::NEG_INFINITY, map, f64::max)
+}
+
+/// Sum of `map(i)` over `0..n`. Parallel summation reassociates, so
+/// floating-point results may differ from sequential by rounding; callers
+/// compare with tolerances.
+pub fn sum_f64<P, M>(policy: P, ctx: &Context, n: usize, map: M) -> f64
+where
+    P: ExecutionPolicy,
+    M: Fn(usize) -> f64 + Sync,
+{
+    reduce(policy, ctx, n, 0.0, map, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_parallel::execution;
+
+    #[test]
+    fn reduce_policy_equivalence_exact_for_integers() {
+        let ctx = Context::new(4);
+        let seq = reduce(execution::seq, &ctx, 100_000, 0u64, |i| i as u64, |a, b| a + b);
+        let par = reduce(execution::par, &ctx, 100_000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn count_if_counts() {
+        let ctx = Context::new(4);
+        assert_eq!(count_if(execution::par, &ctx, 10_000, |i| i % 7 == 0), 1429);
+    }
+
+    #[test]
+    fn max_and_sum() {
+        let ctx = Context::new(2);
+        assert_eq!(max_f64(execution::par, &ctx, 1000, |i| i as f64), 999.0);
+        let s = sum_f64(execution::par, &ctx, 1000, |_| 0.5);
+        assert!((s - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_reduction_yields_identity() {
+        let ctx = Context::new(2);
+        assert_eq!(reduce(execution::par, &ctx, 0, 7u32, |_| 0, |a, b| a + b), 7);
+        assert_eq!(max_f64(execution::seq, &ctx, 0, |_| 1.0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-thread output buffers for building the next frontier in parallel.
+//!
+//! Listing 3 of the paper guards `output.add_vertex(n)` with a mutex; that
+//! is correct but serializes the hot path. The collector keeps one buffer
+//! per worker — pushes are contention-free — and concatenates on flush.
+//! Operators use it for sparse outputs; dense outputs don't need it
+//! (bitmap insertion is already atomic and idempotent). A mutex-guarded
+//! construction is kept in `essentials-core`'s literal Listing-3 port for
+//! fidelity, with this as the fast path.
+
+use essentials_graph::VertexId;
+use parking_lot::Mutex;
+
+use crate::sparse::SparseFrontier;
+
+/// One lock-free-in-practice buffer per worker thread.
+pub struct Collector {
+    buffers: Vec<Mutex<Vec<VertexId>>>,
+}
+
+impl Collector {
+    /// A collector for `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Collector {
+            buffers: (0..threads.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Pushes `v` into worker `tid`'s buffer. The lock is thread-private by
+    /// convention (each worker passes its own id), so it is never contended;
+    /// it exists to keep the API safe if the convention is broken.
+    #[inline]
+    pub fn push(&self, tid: usize, v: VertexId) {
+        self.buffers[tid % self.buffers.len()].lock().push(v);
+    }
+
+    /// Pushes many vertices at once.
+    pub fn extend(&self, tid: usize, vs: impl IntoIterator<Item = VertexId>) {
+        self.buffers[tid % self.buffers.len()].lock().extend(vs);
+    }
+
+    /// Total buffered entries.
+    pub fn len(&self) -> usize {
+        self.buffers.iter().map(|b| b.lock().len()).sum()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Concatenates all buffers into a sparse frontier, emptying the
+    /// collector. Order is per-thread-deterministic but interleaving across
+    /// threads follows worker id, so the result is deterministic given a
+    /// deterministic work division.
+    pub fn into_frontier(self) -> SparseFrontier {
+        let mut out = Vec::with_capacity(self.len());
+        for b in self.buffers {
+            out.extend(b.into_inner());
+        }
+        SparseFrontier::from_vec(out)
+    }
+
+    /// Drains into a sparse frontier without consuming the collector.
+    pub fn flush(&self) -> SparseFrontier {
+        let mut out = Vec::with_capacity(self.len());
+        for b in &self.buffers {
+            out.append(&mut b.lock());
+        }
+        SparseFrontier::from_vec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_parallel::{Schedule, ThreadPool};
+
+    #[test]
+    fn collects_everything_once() {
+        let pool = ThreadPool::new(4);
+        let c = Collector::new(4);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        // Abuse parallel_for's index as the pushed value; tid unknown, so
+        // use index-derived pseudo-tid — correctness only needs no loss.
+        pool.parallel_for(0..5000, Schedule::Dynamic(64), |i| {
+            let tid = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % 4;
+            c.push(tid, i as VertexId);
+        });
+        let mut f = c.into_frontier();
+        f.uniquify();
+        assert_eq!(f.len(), 5000);
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_collector_usable() {
+        let c = Collector::new(2);
+        c.push(0, 1);
+        c.push(1, 2);
+        let f = c.flush();
+        assert_eq!(f.len(), 2);
+        assert!(c.is_empty());
+        c.push(0, 3);
+        assert_eq!(c.flush().as_slice(), &[3]);
+    }
+
+    #[test]
+    fn out_of_range_tid_wraps() {
+        let c = Collector::new(2);
+        c.push(17, 9);
+        assert_eq!(c.len(), 1);
+    }
+}

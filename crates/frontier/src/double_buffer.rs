@@ -1,0 +1,119 @@
+//! Double-buffered frontier pair: the ping-pong allocation pattern of BSP
+//! loops. Instead of allocating a fresh output frontier every iteration,
+//! the loop writes into `next()`, then `swap()`s — the old input becomes
+//! the new (cleared) output, reusing both allocations for the whole run.
+
+use essentials_graph::VertexId;
+
+use crate::sparse::SparseFrontier;
+
+/// A current/next pair of sparse frontiers with O(1) swap.
+#[derive(Debug, Default)]
+pub struct DoubleBuffer {
+    current: SparseFrontier,
+    next: SparseFrontier,
+}
+
+impl DoubleBuffer {
+    /// Starts with `seed` as the current frontier.
+    pub fn seeded(seed: SparseFrontier) -> Self {
+        DoubleBuffer {
+            current: seed,
+            next: SparseFrontier::new(),
+        }
+    }
+
+    /// The active (input) frontier.
+    pub fn current(&self) -> &SparseFrontier {
+        &self.current
+    }
+
+    /// Queues a vertex for the next iteration.
+    pub fn activate(&mut self, v: VertexId) {
+        self.next.add_vertex(v);
+    }
+
+    /// Bulk-queues vertices for the next iteration.
+    pub fn activate_all(&mut self, vs: impl IntoIterator<Item = VertexId>) {
+        for v in vs {
+            self.next.add_vertex(v);
+        }
+    }
+
+    /// Ends the iteration: next becomes current; the old current is cleared
+    /// and becomes the write target (its capacity is kept).
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.next.clear();
+    }
+
+    /// Replaces the next buffer wholesale (for operators that build their
+    /// own output), still recycling the old current on swap.
+    pub fn set_next(&mut self, next: SparseFrontier) {
+        self.next = next;
+    }
+
+    /// Convergence test on the *current* frontier.
+    pub fn is_converged(&self) -> bool {
+        self.current.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_reuses_capacity() {
+        let mut db = DoubleBuffer::seeded(SparseFrontier::single(0));
+        assert_eq!(db.current().as_slice(), &[0]);
+        db.activate(1);
+        db.activate(2);
+        db.swap();
+        assert_eq!(db.current().as_slice(), &[1, 2]);
+        // Old current was cleared and is now the write target.
+        db.activate(9);
+        db.swap();
+        assert_eq!(db.current().as_slice(), &[9]);
+    }
+
+    #[test]
+    fn converges_when_nothing_is_activated() {
+        let mut db = DoubleBuffer::seeded(SparseFrontier::single(5));
+        assert!(!db.is_converged());
+        db.swap();
+        assert!(db.is_converged());
+    }
+
+    #[test]
+    fn a_bfs_like_loop_with_the_buffer() {
+        // Walk a path graph 0→1→2→3 using only the buffer.
+        let adj = [vec![1], vec![2], vec![3], vec![]];
+        let mut db = DoubleBuffer::seeded(SparseFrontier::single(0));
+        let mut visited = vec![false, false, false, false];
+        visited[0] = true;
+        let mut iterations = 0;
+        while !db.is_converged() {
+            let activations: Vec<VertexId> = db
+                .current()
+                .iter()
+                .flat_map(|v| adj[v as usize].iter().copied())
+                .filter(|&n: &VertexId| !std::mem::replace(&mut visited[n as usize], true))
+                .collect();
+            db.activate_all(activations);
+            db.swap();
+            iterations += 1;
+        }
+        assert!(visited.iter().all(|&v| v));
+        assert_eq!(iterations, 4);
+    }
+
+    #[test]
+    fn set_next_overrides_activations() {
+        let mut db = DoubleBuffer::seeded(SparseFrontier::single(0));
+        db.activate(1);
+        db.set_next(SparseFrontier::from_vec(vec![7, 8]));
+        db.swap();
+        assert_eq!(db.current().as_slice(), &[7, 8]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Edge frontier: the active set as *edges* rather than vertices.
+//!
+//! §III-C: the frontier type "expressed as either a set of active vertices
+//! or a set of active edges … allows for both edge and vertex-centric
+//! programs." Each entry carries the source alongside the edge id so
+//! edge-centric operators avoid the O(log n) source recovery of
+//! `Csr::edge_src`.
+
+use essentials_graph::{EdgeId, VertexId};
+
+/// An active edge: its id plus its (cached) source endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveEdge {
+    /// Source vertex of the edge.
+    pub src: VertexId,
+    /// Edge id in CSR order.
+    pub edge: EdgeId,
+}
+
+/// Vector-backed frontier of active edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeFrontier {
+    active_edges: Vec<ActiveEdge>,
+}
+
+impl EdgeFrontier {
+    /// An empty edge frontier.
+    pub fn new() -> Self {
+        EdgeFrontier::default()
+    }
+
+    /// Builds from `(src, edge)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VertexId, EdgeId)>) -> Self {
+        EdgeFrontier {
+            active_edges: pairs
+                .into_iter()
+                .map(|(src, edge)| ActiveEdge { src, edge })
+                .collect(),
+        }
+    }
+
+    /// Number of active edges.
+    pub fn len(&self) -> usize {
+        self.active_edges.len()
+    }
+
+    /// True if no edge is active.
+    pub fn is_empty(&self) -> bool {
+        self.active_edges.is_empty()
+    }
+
+    /// Appends an active edge.
+    pub fn add_edge(&mut self, src: VertexId, edge: EdgeId) {
+        self.active_edges.push(ActiveEdge { src, edge });
+    }
+
+    /// Slice view.
+    pub fn as_slice(&self) -> &[ActiveEdge] {
+        &self.active_edges
+    }
+
+    /// Removes duplicate edge ids (sorts by edge id as a side effect).
+    pub fn uniquify(&mut self) {
+        self.active_edges.sort_unstable_by_key(|a| a.edge);
+        self.active_edges.dedup_by_key(|a| a.edge);
+    }
+
+    /// The distinct source vertices of the active edges, sorted.
+    pub fn sources(&self) -> Vec<VertexId> {
+        let mut s: Vec<VertexId> = self.active_edges.iter().map(|a| a.src).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut f = EdgeFrontier::new();
+        f.add_edge(0, 10);
+        f.add_edge(0, 11);
+        f.add_edge(2, 40);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.sources(), vec![0, 2]);
+    }
+
+    #[test]
+    fn uniquify_by_edge_id() {
+        let mut f = EdgeFrontier::from_pairs([(1, 5), (2, 3), (1, 5)]);
+        f.uniquify();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.as_slice()[0].edge, 3);
+    }
+
+    #[test]
+    fn empty_frontier() {
+        let f = EdgeFrontier::new();
+        assert!(f.is_empty());
+        assert!(f.sources().is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! The sparse frontier of Listing 2: a vector of active vertex ids.
+//!
+//! Method names follow the paper (`size`, `get_active_vertex`,
+//! `add_vertex`) alongside idiomatic accessors. Duplicates are allowed —
+//! a parallel expansion may activate a vertex through several in-edges —
+//! and [`SparseFrontier::uniquify`] collapses them when an algorithm needs
+//! set semantics (the paper's filter/uniquify stage).
+
+use essentials_graph::VertexId;
+
+/// Vector-backed frontier of active vertices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseFrontier {
+    active_vertices: Vec<VertexId>,
+}
+
+impl SparseFrontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        SparseFrontier::default()
+    }
+
+    /// An empty frontier with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        SparseFrontier {
+            active_vertices: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds from a vector of ids.
+    pub fn from_vec(active_vertices: Vec<VertexId>) -> Self {
+        SparseFrontier { active_vertices }
+    }
+
+    /// A frontier holding a single vertex (`f.add_vertex(source)` of
+    /// Listing 4).
+    pub fn single(v: VertexId) -> Self {
+        SparseFrontier {
+            active_vertices: vec![v],
+        }
+    }
+
+    /// Number of active entries, counting duplicates — the paper's `size()`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.active_vertices.len()
+    }
+
+    /// Same as [`SparseFrontier::size`], idiomatic spelling.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.active_vertices.len()
+    }
+
+    /// True when the frontier is empty (loop convergence).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.active_vertices.is_empty()
+    }
+
+    /// The active vertex at position `i` — the paper's
+    /// `get_active_vertex(i)`.
+    #[inline]
+    pub fn get_active_vertex(&self, i: usize) -> VertexId {
+        self.active_vertices[i]
+    }
+
+    /// Appends a vertex — the paper's `add_vertex(v)`.
+    #[inline]
+    pub fn add_vertex(&mut self, v: VertexId) {
+        self.active_vertices.push(v);
+    }
+
+    /// Membership scan (O(len); dense frontiers answer this in O(1) — the
+    /// interface is uniform, the cost is representation-specific).
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.active_vertices.contains(&v)
+    }
+
+    /// Slice view of the active ids.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.active_vertices
+    }
+
+    /// Consumes into the underlying vector.
+    pub fn into_vec(self) -> Vec<VertexId> {
+        self.active_vertices
+    }
+
+    /// Removes duplicates (sorts as a side effect).
+    pub fn uniquify(&mut self) {
+        self.active_vertices.sort_unstable();
+        self.active_vertices.dedup();
+    }
+
+    /// Empties the frontier, keeping capacity (workhorse reuse between
+    /// iterations).
+    pub fn clear(&mut self) {
+        self.active_vertices.clear();
+    }
+
+    /// Iterates the active ids.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.active_vertices.iter().copied()
+    }
+}
+
+impl FromIterator<VertexId> for SparseFrontier {
+    fn from_iter<T: IntoIterator<Item = VertexId>>(iter: T) -> Self {
+        SparseFrontier {
+            active_vertices: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl crate::Frontier for SparseFrontier {
+    fn len(&self) -> usize {
+        self.active_vertices.len()
+    }
+    fn contains(&self, v: VertexId) -> bool {
+        SparseFrontier::contains(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing2_api() {
+        let mut f = SparseFrontier::new();
+        assert_eq!(f.size(), 0);
+        f.add_vertex(7);
+        f.add_vertex(3);
+        assert_eq!(f.size(), 2);
+        assert_eq!(f.get_active_vertex(0), 7);
+        assert_eq!(f.get_active_vertex(1), 3);
+    }
+
+    #[test]
+    fn duplicates_allowed_until_uniquify() {
+        let mut f = SparseFrontier::from_vec(vec![5, 2, 5, 2, 5]);
+        assert_eq!(f.len(), 5);
+        f.uniquify();
+        assert_eq!(f.as_slice(), &[2, 5]);
+    }
+
+    #[test]
+    fn single_and_clear() {
+        let mut f = SparseFrontier::single(4);
+        assert_eq!(f.len(), 1);
+        f.clear();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let f: SparseFrontier = (0..4).collect();
+        assert_eq!(f.as_slice(), &[0, 1, 2, 3]);
+    }
+}

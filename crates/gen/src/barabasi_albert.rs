@@ -1,0 +1,78 @@
+//! Barabási–Albert preferential attachment: power-law degree distribution
+//! grown incrementally (vs. RMAT's recursive sampling) — a second,
+//! structurally different source of skew for the load-balancing experiments.
+
+use essentials_graph::{Coo, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grows a graph to `n` vertices, each new vertex attaching `m` undirected
+/// edges to existing vertices with probability proportional to degree.
+/// Implementation uses the repeated-endpoint-list trick: sampling a uniform
+/// entry of the flat endpoint list *is* degree-proportional sampling.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Coo<()> {
+    assert!(m >= 1, "each new vertex needs at least one edge");
+    assert!(n > m, "need more vertices than edges per step");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n);
+    // Flat list of edge endpoints; each appearance = one unit of degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * m * n);
+    // Seed clique-ish core: connect the first m+1 vertices in a ring so
+    // every early vertex has nonzero degree.
+    let core = m + 1;
+    for v in 0..core {
+        let u = ((v + 1) % core) as VertexId;
+        let v = v as VertexId;
+        coo.push(v, u, ());
+        coo.push(u, v, ());
+        endpoints.push(v);
+        endpoints.push(u);
+    }
+    for v in core..n {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        // Rejection-sample m distinct targets.
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v as VertexId && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            coo.push(v as VertexId, t, ());
+            coo.push(t, v as VertexId, ());
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_graph::Csr;
+
+    #[test]
+    fn edge_count_formula() {
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, 1);
+        // core ring: m+1 undirected edges; growth: (n - m - 1) * m.
+        let undirected = (m + 1) + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), 2 * undirected);
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let csr = Csr::from_coo(&barabasi_albert(2000, 2, 3));
+        let stats = essentials_graph::properties::degree_stats(&csr);
+        assert!(stats.skew > 5.0, "expected hubs, got {stats:?}");
+    }
+
+    #[test]
+    fn deterministic_and_loop_free() {
+        let a = barabasi_albert(100, 2, 7);
+        assert_eq!(a, barabasi_albert(100, 2, 7));
+        assert!(a.iter().all(|(s, d, _)| s != d));
+    }
+}

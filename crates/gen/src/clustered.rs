@@ -1,0 +1,116 @@
+//! Clustered / community-structured generators: inputs where partitioning
+//! heuristics have real structure to find (the regime between a mesh and a
+//! uniform random graph).
+
+use essentials_graph::{Coo, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relaxed caveman graph: `communities` cliques of `size` vertices each,
+/// with every edge rewired to a uniform random endpoint with probability
+/// `rewire` (0 ⇒ disjoint cliques, 1 ⇒ ER-like). Undirected (both
+/// directions emitted).
+pub fn caveman(communities: usize, size: usize, rewire: f64, seed: u64) -> Coo<()> {
+    assert!(size >= 2, "cliques need at least two vertices");
+    assert!((0.0..=1.0).contains(&rewire));
+    let n = communities * size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n);
+    for c in 0..communities {
+        let base = (c * size) as VertexId;
+        for i in 0..size as VertexId {
+            for j in (i + 1)..size as VertexId {
+                let (a, mut b) = (base + i, base + j);
+                if rng.gen::<f64>() < rewire {
+                    // Rewire the far endpoint anywhere (avoiding a self-loop).
+                    let mut t = rng.gen_range(0..n - 1) as VertexId;
+                    if t >= a {
+                        t += 1;
+                    }
+                    b = t;
+                }
+                coo.push(a, b, ());
+                coo.push(b, a, ());
+            }
+        }
+    }
+    coo
+}
+
+/// Random bipartite graph: `left × right` vertices, `m` edges sampled
+/// uniformly from the biclique, each emitted in both directions. Left
+/// vertices are `0..left`, right vertices `left..left+right`. Bipartite
+/// graphs are the 2-colorability edge case for the coloring algorithm and
+/// the triangle-free edge case for TC.
+pub fn bipartite(left: usize, right: usize, m: usize, seed: u64) -> Coo<()> {
+    assert!(left > 0 && right > 0 || m == 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(left + right);
+    for _ in 0..m {
+        let a = rng.gen_range(0..left) as VertexId;
+        let b = (left + rng.gen_range(0..right)) as VertexId;
+        coo.push(a, b, ());
+        coo.push(b, a, ());
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_graph::{Csr, GraphBuilder};
+
+    #[test]
+    fn caveman_zero_rewire_is_disjoint_cliques() {
+        let coo = caveman(4, 5, 0.0, 1);
+        assert_eq!(coo.num_vertices(), 20);
+        // 4 cliques × C(5,2) undirected edges × 2 directions.
+        assert_eq!(coo.num_edges(), 4 * 10 * 2);
+        // No edge crosses a community boundary.
+        assert!(coo.iter().all(|(a, b, _)| a / 5 == b / 5));
+    }
+
+    #[test]
+    fn caveman_rewiring_connects_communities() {
+        let g = GraphBuilder::from_coo(caveman(6, 6, 0.2, 3))
+            .remove_self_loops()
+            .deduplicate()
+            .build();
+        let cross = g
+            .csr()
+            .to_coo()
+            .iter()
+            .filter(|(a, b, _)| a / 6 != b / 6)
+            .count();
+        assert!(cross > 0, "rewiring should create cross-community edges");
+    }
+
+    #[test]
+    fn caveman_is_deterministic() {
+        assert_eq!(caveman(3, 4, 0.3, 9), caveman(3, 4, 0.3, 9));
+    }
+
+    #[test]
+    fn bipartite_edges_always_cross_sides() {
+        let coo = bipartite(10, 15, 100, 2);
+        assert_eq!(coo.num_vertices(), 25);
+        assert_eq!(coo.num_edges(), 200);
+        for (a, b, _) in coo.iter() {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            assert!(lo < 10 && hi >= 10, "edge within one side: {a}-{b}");
+        }
+    }
+
+    #[test]
+    fn bipartite_graphs_are_triangle_free_and_two_colorable() {
+        let csr = Csr::from_coo(&bipartite(8, 8, 60, 5));
+        // Triangle-free: any edge's endpoints share no common neighbor.
+        for u in 0..16 as essentials_graph::VertexId {
+            for &v in csr.neighbors(u) {
+                for &w in csr.neighbors(v) {
+                    assert!(!csr.has_edge(w, u) || w == u);
+                }
+            }
+        }
+    }
+}

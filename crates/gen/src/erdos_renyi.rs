@@ -1,0 +1,56 @@
+//! Erdős–Rényi G(n, m): m edges sampled uniformly from all ordered pairs.
+
+use essentials_graph::{Coo, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `m` directed edges uniformly at random (self-loops excluded,
+/// duplicates possible — normalize with the builder if needed).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Coo<()> {
+    assert!(n >= 2 || m == 0, "need at least two vertices to draw edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n) as VertexId;
+        let mut d = rng.gen_range(0..n - 1) as VertexId;
+        if d >= s {
+            d += 1; // skip the diagonal: uniform over the n-1 non-loop targets
+        }
+        coo.push(s, d, ());
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_without_self_loops() {
+        let g = gnm(100, 1000, 3);
+        assert_eq!(g.num_edges(), 1000);
+        assert!(g.iter().all(|(s, d, _)| s != d));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(50, 200, 9), gnm(50, 200, 9));
+        assert_ne!(gnm(50, 200, 9), gnm(50, 200, 10));
+    }
+
+    #[test]
+    fn zero_edges_ok() {
+        assert_eq!(gnm(1, 0, 0).num_edges(), 0);
+    }
+
+    #[test]
+    fn endpoints_roughly_uniform() {
+        let g = gnm(10, 10_000, 11);
+        let mut counts = [0usize; 10];
+        for (s, _, _) in g.iter() {
+            counts[s as usize] += 1;
+        }
+        // Each vertex expects 1000 sources; allow generous slack.
+        assert!(counts.iter().all(|&c| c > 700 && c < 1300), "{counts:?}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Small regular families used as edge cases and oracles in tests: their
+//! analytics results are known in closed form.
+
+use essentials_graph::{Coo, VertexId};
+
+/// Directed path `0 → 1 → … → n-1`.
+pub fn path(n: usize) -> Coo<()> {
+    let mut coo = Coo::new(n);
+    for v in 1..n {
+        coo.push((v - 1) as VertexId, v as VertexId, ());
+    }
+    coo
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0`.
+pub fn cycle(n: usize) -> Coo<()> {
+    let mut coo = path(n);
+    if n > 1 {
+        coo.push((n - 1) as VertexId, 0, ());
+    }
+    coo
+}
+
+/// Star: hub 0 with undirected spokes to `1..n`.
+pub fn star(n: usize) -> Coo<()> {
+    let mut coo = Coo::new(n);
+    for v in 1..n {
+        coo.push(0, v as VertexId, ());
+        coo.push(v as VertexId, 0, ());
+    }
+    coo
+}
+
+/// Complete directed graph on `n` vertices (no self-loops).
+pub fn complete(n: usize) -> Coo<()> {
+    let mut coo = Coo::new(n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                coo.push(s as VertexId, d as VertexId, ());
+            }
+        }
+    }
+    coo
+}
+
+/// Complete binary tree with `n` vertices, undirected edges
+/// (`v ↔ 2v+1`, `v ↔ 2v+2`).
+pub fn binary_tree(n: usize) -> Coo<()> {
+    let mut coo = Coo::new(n);
+    for v in 0..n {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < n {
+                coo.push(v as VertexId, child as VertexId, ());
+                coo.push(child as VertexId, v as VertexId, ());
+            }
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle_counts() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(cycle(1).num_edges(), 0);
+        assert_eq!(path(0).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_hub_touches_everything() {
+        let s = star(6);
+        assert_eq!(s.num_edges(), 10);
+        assert!(s.iter().all(|(a, b, _)| a == 0 || b == 0));
+    }
+
+    #[test]
+    fn complete_graph_count() {
+        assert_eq!(complete(5).num_edges(), 20);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn binary_tree_has_n_minus_1_undirected_edges() {
+        assert_eq!(binary_tree(15).num_edges(), 2 * 14);
+        assert_eq!(binary_tree(1).num_edges(), 0);
+    }
+}

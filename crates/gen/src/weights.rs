@@ -1,0 +1,82 @@
+//! Deterministic weight assignment for unweighted generator output.
+
+use essentials_graph::{Coo, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gives every edge weight 1.0 (turns hop counts into distances).
+pub fn unit_weights(coo: &Coo<()>) -> Coo<f32> {
+    remap(coo, |_, _, _| 1.0)
+}
+
+/// Uniform random weights in `[lo, hi)`, deterministic in `seed`. Symmetric
+/// edge pairs do **not** automatically receive equal weights; experiments on
+/// undirected weighted graphs should derive the weight from the endpoints
+/// instead ([`hash_weights`]).
+pub fn uniform_weights(coo: &Coo<()>, lo: f32, hi: f32, seed: u64) -> Coo<f32> {
+    assert!(lo < hi && lo >= 0.0, "need 0 <= lo < hi for shortest paths");
+    let mut rng = StdRng::seed_from_u64(seed);
+    remap(coo, move |_, _, rng_weight| {
+        let _ = rng_weight;
+        lo + (hi - lo) * rng.gen::<f32>()
+    })
+}
+
+/// Endpoint-hashed weights in `[lo, hi)`: `w(u,v) = w(v,u)`, deterministic,
+/// no RNG state — safe for symmetrized graphs.
+pub fn hash_weights(coo: &Coo<()>, lo: f32, hi: f32, seed: u64) -> Coo<f32> {
+    assert!(lo < hi && lo >= 0.0, "need 0 <= lo < hi for shortest paths");
+    remap(coo, move |s, d, _| {
+        let (a, b) = if s <= d { (s, d) } else { (d, s) };
+        // SplitMix64-style scramble of the unordered pair + seed.
+        let mut x = (a as u64) << 32 | b as u64;
+        x ^= seed;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        // unit in [0,1) from the top 24 bits (exact in f32).
+        let unit = (x >> 40) as f32 / (1u64 << 24) as f32;
+        lo + (hi - lo) * unit
+    })
+}
+
+fn remap<F: FnMut(VertexId, VertexId, ()) -> f32>(coo: &Coo<()>, mut f: F) -> Coo<f32> {
+    let mut out = Coo::new(coo.num_vertices());
+    for (s, d, w) in coo.iter() {
+        out.push(s, d, f(s, d, w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular::cycle;
+
+    #[test]
+    fn unit_weights_are_all_one() {
+        let w = unit_weights(&cycle(5));
+        assert!(w.vals().iter().all(|&x| x == 1.0));
+        assert_eq!(w.num_edges(), 5);
+    }
+
+    #[test]
+    fn uniform_weights_in_range_and_deterministic() {
+        let g = cycle(100);
+        let a = uniform_weights(&g, 1.0, 5.0, 9);
+        assert!(a.vals().iter().all(|&x| (1.0..5.0).contains(&x)));
+        assert_eq!(a, uniform_weights(&g, 1.0, 5.0, 9));
+        assert_ne!(a, uniform_weights(&g, 1.0, 5.0, 10));
+    }
+
+    #[test]
+    fn hash_weights_symmetric_in_endpoints() {
+        let mut coo = essentials_graph::Coo::<()>::new(4);
+        coo.push(1, 2, ());
+        coo.push(2, 1, ());
+        let w = hash_weights(&coo, 0.5, 2.0, 3);
+        assert_eq!(w.vals()[0], w.vals()[1]);
+        assert!((0.5..2.0).contains(&w.vals()[0]));
+    }
+}

@@ -1,0 +1,192 @@
+//! Edge-list ingestion and normalization.
+//!
+//! Real inputs are messy: duplicate edges, self-loops, asymmetric listings
+//! of undirected graphs. The builder normalizes an edge list according to
+//! explicit options and compiles the representations the caller asked for,
+//! so downstream operators can rely on clean invariants.
+
+use crate::coo::Coo;
+use crate::graph::Graph;
+use crate::types::{EdgeValue, VertexId};
+
+/// Configurable pipeline from raw edges to a [`Graph`].
+///
+/// ```
+/// use essentials_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::<f32>::new(4)
+///     .edge(0, 1, 1.0)
+///     .edge(1, 0, 9.0) // duplicate after symmetrize; dedup keeps one
+///     .edge(2, 2, 1.0) // self-loop, dropped below
+///     .edge(1, 2, 2.0)
+///     .remove_self_loops()
+///     .symmetrize()
+///     .deduplicate()
+///     .with_csc()
+///     .build();
+/// assert_eq!(g.get_num_edges(), 4); // {0<->1, 1<->2}
+/// ```
+pub struct GraphBuilder<W: EdgeValue = f32> {
+    coo: Coo<W>,
+    remove_self_loops: bool,
+    symmetrize: bool,
+    deduplicate: bool,
+    with_csc: bool,
+    with_coo: bool,
+}
+
+impl<W: EdgeValue> GraphBuilder<W> {
+    /// Starts a builder over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            coo: Coo::new(num_vertices),
+            remove_self_loops: false,
+            symmetrize: false,
+            deduplicate: false,
+            with_csc: false,
+            with_coo: false,
+        }
+    }
+
+    /// Wraps an existing edge list.
+    pub fn from_coo(coo: Coo<W>) -> Self {
+        GraphBuilder {
+            coo,
+            remove_self_loops: false,
+            symmetrize: false,
+            deduplicate: false,
+            with_csc: false,
+            with_coo: false,
+        }
+    }
+
+    /// Adds one edge.
+    pub fn edge(mut self, src: VertexId, dst: VertexId, w: W) -> Self {
+        self.coo.push(src, dst, w);
+        self
+    }
+
+    /// Adds many edges.
+    pub fn edges(mut self, it: impl IntoIterator<Item = (VertexId, VertexId, W)>) -> Self {
+        for (s, d, w) in it {
+            self.coo.push(s, d, w);
+        }
+        self
+    }
+
+    /// Drop self-loops during normalization.
+    pub fn remove_self_loops(mut self) -> Self {
+        self.remove_self_loops = true;
+        self
+    }
+
+    /// Add the reverse of every edge (undirected semantics).
+    pub fn symmetrize(mut self) -> Self {
+        self.symmetrize = true;
+        self
+    }
+
+    /// Collapse duplicate `(src, dst)` pairs (first value wins).
+    pub fn deduplicate(mut self) -> Self {
+        self.deduplicate = true;
+        self
+    }
+
+    /// Also materialize the CSC (pull) representation.
+    pub fn with_csc(mut self) -> Self {
+        self.with_csc = true;
+        self
+    }
+
+    /// Also retain the COO (edge-centric) representation.
+    pub fn with_coo(mut self) -> Self {
+        self.with_coo = true;
+        self
+    }
+
+    /// Runs the normalization pipeline (loops → symmetrize → dedup, in that
+    /// order) and compiles the requested representations.
+    pub fn build(self) -> Graph<W> {
+        let mut coo = self.coo;
+        if self.remove_self_loops {
+            coo.remove_self_loops();
+        }
+        if self.symmetrize {
+            coo.symmetrize();
+        }
+        if self.deduplicate {
+            coo.sort_and_dedup();
+        }
+        let mut g = Graph::from_coo(&coo);
+        if self.with_coo {
+            // Retain the normalized edge list, not the raw input.
+            g.ensure_coo();
+        }
+        if self.with_csc {
+            g.ensure_csc();
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{GraphBase, InNeighbors, OutNeighbors};
+
+    #[test]
+    fn pipeline_order_loops_then_symmetrize_then_dedup() {
+        // A self-loop must not survive via symmetrization.
+        let g = GraphBuilder::<()>::new(3)
+            .edge(0, 0, ())
+            .edge(0, 1, ())
+            .edge(1, 0, ())
+            .remove_self_loops()
+            .symmetrize()
+            .deduplicate()
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn symmetrize_without_dedup_keeps_parallel_edges() {
+        let g = GraphBuilder::<()>::new(2)
+            .edge(0, 1, ())
+            .edge(1, 0, ())
+            .symmetrize()
+            .build();
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn requested_views_are_materialized() {
+        let g = GraphBuilder::<f32>::new(2)
+            .edge(0, 1, 5.0)
+            .with_csc()
+            .with_coo()
+            .build();
+        assert!(g.csc().is_some());
+        assert!(g.coo().is_some());
+        assert_eq!(g.in_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn retained_coo_reflects_normalization() {
+        let g = GraphBuilder::<()>::new(2)
+            .edge(0, 1, ())
+            .edge(0, 1, ())
+            .deduplicate()
+            .with_coo()
+            .build();
+        assert_eq!(g.coo().unwrap().num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::<f32>::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

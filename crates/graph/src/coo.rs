@@ -1,0 +1,274 @@
+//! Coordinate (COO) storage: a plain list of `(src, dst, value)` triples.
+//!
+//! COO is the interchange format: generators and file readers produce it,
+//! the builder normalizes it, and CSR/CSC are compiled from it. It is also
+//! one of the representations a [`crate::Graph`] may retain (edge-centric
+//! operators iterate it directly).
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{EdgeValue, VertexId};
+
+/// An edge list with an explicit vertex count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coo<W: EdgeValue> {
+    num_vertices: usize,
+    srcs: Vec<VertexId>,
+    dsts: Vec<VertexId>,
+    vals: Vec<W>,
+}
+
+impl<W: EdgeValue> Coo<W> {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Coo {
+            num_vertices,
+            srcs: Vec::new(),
+            dsts: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Builds from parallel arrays. Panics if lengths differ or an endpoint
+    /// is out of range.
+    pub fn from_arrays(
+        num_vertices: usize,
+        srcs: Vec<VertexId>,
+        dsts: Vec<VertexId>,
+        vals: Vec<W>,
+    ) -> Self {
+        assert_eq!(srcs.len(), dsts.len(), "src/dst arrays differ in length");
+        assert_eq!(srcs.len(), vals.len(), "edge/value arrays differ in length");
+        let coo = Coo {
+            num_vertices,
+            srcs,
+            dsts,
+            vals,
+        };
+        coo.validate();
+        coo
+    }
+
+    /// Builds from `(src, dst, value)` triples.
+    pub fn from_edges(num_vertices: usize, edges: impl IntoIterator<Item = (VertexId, VertexId, W)>) -> Self {
+        let mut coo = Coo::new(num_vertices);
+        for (s, d, w) in edges {
+            coo.push(s, d, w);
+        }
+        coo
+    }
+
+    /// Appends one edge. Panics on out-of-range endpoints or invalid (NaN)
+    /// values.
+    pub fn push(&mut self, src: VertexId, dst: VertexId, val: W) {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src}, {dst}) out of range for {} vertices",
+            self.num_vertices
+        );
+        assert!(!val.is_invalid(), "invalid edge value (NaN)");
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        self.vals.push(val);
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (directed) edges, counting duplicates.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// Source endpoints.
+    #[inline]
+    pub fn srcs(&self) -> &[VertexId] {
+        &self.srcs
+    }
+
+    /// Destination endpoints.
+    #[inline]
+    pub fn dsts(&self) -> &[VertexId] {
+        &self.dsts
+    }
+
+    /// Edge values.
+    #[inline]
+    pub fn vals(&self) -> &[W] {
+        &self.vals
+    }
+
+    /// Iterates `(src, dst, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, W)> + '_ {
+        self.srcs
+            .iter()
+            .zip(&self.dsts)
+            .zip(&self.vals)
+            .map(|((&s, &d), &w)| (s, d, w))
+    }
+
+    /// Returns the transposed edge list (every edge reversed).
+    pub fn transposed(&self) -> Self {
+        Coo {
+            num_vertices: self.num_vertices,
+            srcs: self.dsts.clone(),
+            dsts: self.srcs.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Adds the reverse of every edge, making the graph symmetric (an edge
+    /// that is already its own reverse — a self-loop — is not duplicated).
+    pub fn symmetrize(&mut self) {
+        let m = self.num_edges();
+        for e in 0..m {
+            let (s, d) = (self.srcs[e], self.dsts[e]);
+            if s != d {
+                self.srcs.push(d);
+                self.dsts.push(s);
+                self.vals.push(self.vals[e]);
+            }
+        }
+    }
+
+    /// Removes self-loops in place, preserving relative order.
+    pub fn remove_self_loops(&mut self) {
+        let keep: Vec<bool> = self
+            .srcs
+            .iter()
+            .zip(&self.dsts)
+            .map(|(s, d)| s != d)
+            .collect();
+        retain_by_mask(&mut self.srcs, &keep);
+        retain_by_mask(&mut self.dsts, &keep);
+        retain_by_mask(&mut self.vals, &keep);
+    }
+
+    /// Sorts edges by `(src, dst)` and removes duplicate `(src, dst)` pairs,
+    /// keeping the **first** occurrence's value after the sort is made
+    /// stable over the original order.
+    pub fn sort_and_dedup(&mut self) {
+        let mut order: Vec<usize> = (0..self.num_edges()).collect();
+        order.sort_by_key(|&e| (self.srcs[e], self.dsts[e], e));
+        let mut srcs = Vec::with_capacity(order.len());
+        let mut dsts = Vec::with_capacity(order.len());
+        let mut vals = Vec::with_capacity(order.len());
+        for &e in &order {
+            let (s, d) = (self.srcs[e], self.dsts[e]);
+            if srcs.last() == Some(&s) && dsts.last() == Some(&d) {
+                continue;
+            }
+            srcs.push(s);
+            dsts.push(d);
+            vals.push(self.vals[e]);
+        }
+        self.srcs = srcs;
+        self.dsts = dsts;
+        self.vals = vals;
+    }
+
+    /// Panics if any endpoint is out of range or any value invalid.
+    pub fn validate(&self) {
+        for (s, d, w) in self.iter() {
+            assert!(
+                (s as usize) < self.num_vertices && (d as usize) < self.num_vertices,
+                "edge ({s}, {d}) out of range for {} vertices",
+                self.num_vertices
+            );
+            assert!(!w.is_invalid(), "invalid edge value on ({s}, {d})");
+        }
+    }
+}
+
+fn retain_by_mask<T>(v: &mut Vec<T>, keep: &[bool]) {
+    let mut i = 0;
+    v.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo<f32> {
+        Coo::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (3, 3, 4.0)])
+    }
+
+    #[test]
+    fn push_and_iter_round_trip() {
+        let c = sample();
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 4);
+        let edges: Vec<_> = c.iter().collect();
+        assert_eq!(edges[2], (2, 0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        let mut c = Coo::<f32>::new(2);
+        c.push(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn push_nan_panics() {
+        let mut c = Coo::<f32>::new(2);
+        c.push(0, 1, f32::NAN);
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let t = sample().transposed();
+        let edges: Vec<_> = t.iter().collect();
+        assert_eq!(edges[0], (1, 0, 1.0));
+        assert_eq!(edges[3], (3, 3, 4.0));
+    }
+
+    #[test]
+    fn symmetrize_skips_self_loops() {
+        let mut c = sample();
+        c.symmetrize();
+        // 3 non-loop edges gain a reverse; the loop (3,3) does not.
+        assert_eq!(c.num_edges(), 7);
+    }
+
+    #[test]
+    fn remove_self_loops_drops_only_loops() {
+        let mut c = sample();
+        c.remove_self_loops();
+        assert_eq!(c.num_edges(), 3);
+        assert!(c.iter().all(|(s, d, _)| s != d));
+    }
+
+    #[test]
+    fn sort_and_dedup_keeps_first_value() {
+        let mut c = Coo::from_edges(3, [(1, 2, 9.0f32), (0, 1, 1.0), (1, 2, 5.0), (0, 1, 2.0)]);
+        c.sort_and_dedup();
+        let edges: Vec<_> = c.iter().collect();
+        assert_eq!(edges, vec![(0, 1, 1.0), (1, 2, 9.0)]);
+    }
+
+    #[test]
+    fn empty_coo_is_fine() {
+        let mut c = Coo::<()>::new(0);
+        c.sort_and_dedup();
+        c.remove_self_loops();
+        c.symmetrize();
+        assert_eq!(c.num_edges(), 0);
+        c.validate();
+    }
+
+    #[test]
+    fn unweighted_edges_use_unit_value() {
+        let c = Coo::from_edges(2, [(0, 1, ())]);
+        assert_eq!(c.vals(), &[()]);
+    }
+}

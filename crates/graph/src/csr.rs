@@ -1,0 +1,313 @@
+//! Compressed Sparse Row — the workhorse representation (paper Listing 1).
+//!
+//! `row_offsets[v]..row_offsets[v+1]` indexes the out-edges of `v` inside
+//! `column_indices`/`values`. A CSC is simply the CSR of the transposed
+//! edge list, so pull traversal reuses this type ([`Csr::transposed`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::coo::Coo;
+use crate::types::{EdgeId, EdgeValue, VertexId};
+
+/// Compressed-sparse-row adjacency.
+///
+/// Field names follow the paper's `csr_t` (Listing 1): `row_offsets`,
+/// `column_indices`, `values`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr<W: EdgeValue> {
+    row_offsets: Vec<EdgeId>,
+    column_indices: Vec<VertexId>,
+    values: Vec<W>,
+}
+
+impl<W: EdgeValue> Csr<W> {
+    /// Compiles a CSR from an edge list with a counting sort over sources.
+    /// Duplicate edges are preserved; use the builder to normalize first.
+    /// Within a row, edges keep the relative order they had in the COO and
+    /// are then sorted by destination for cache-friendly traversal and
+    /// binary-searchable adjacency (needed by intersection operators).
+    pub fn from_coo(coo: &Coo<W>) -> Self {
+        let n = coo.num_vertices();
+        let m = coo.num_edges();
+        let mut row_offsets = vec![0usize; n + 1];
+        for &s in coo.srcs() {
+            row_offsets[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            row_offsets[v + 1] += row_offsets[v];
+        }
+        let mut column_indices = vec![0 as VertexId; m];
+        let mut values = vec![W::default_weight(); m];
+        let mut cursor = row_offsets.clone();
+        for (s, d, w) in coo.iter() {
+            let at = cursor[s as usize];
+            column_indices[at] = d;
+            values[at] = w;
+            cursor[s as usize] += 1;
+        }
+        // Sort each row by destination (keeping values aligned).
+        for v in 0..n {
+            let (lo, hi) = (row_offsets[v], row_offsets[v + 1]);
+            if hi - lo > 1 {
+                let mut row: Vec<(VertexId, W)> = column_indices[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(values[lo..hi].iter().copied())
+                    .collect();
+                row.sort_by_key(|&(d, _)| d);
+                for (k, (d, w)) in row.into_iter().enumerate() {
+                    column_indices[lo + k] = d;
+                    values[lo + k] = w;
+                }
+            }
+        }
+        Csr {
+            row_offsets,
+            column_indices,
+            values,
+        }
+    }
+
+    /// An empty graph over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Csr {
+            row_offsets: vec![0; n + 1],
+            column_indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds directly from raw CSR arrays (used by I/O). Panics if the
+    /// arrays are inconsistent.
+    pub fn from_raw(row_offsets: Vec<EdgeId>, column_indices: Vec<VertexId>, values: Vec<W>) -> Self {
+        assert!(!row_offsets.is_empty(), "row_offsets must have n+1 entries");
+        assert_eq!(
+            *row_offsets.last().unwrap(),
+            column_indices.len(),
+            "row_offsets must end at the edge count"
+        );
+        assert_eq!(
+            column_indices.len(),
+            values.len(),
+            "column/value arrays differ in length"
+        );
+        assert!(
+            row_offsets.windows(2).all(|w| w[0] <= w[1]),
+            "row_offsets must be non-decreasing"
+        );
+        let n = row_offsets.len() - 1;
+        assert!(
+            column_indices.iter().all(|&d| (d as usize) < n),
+            "column index out of range"
+        );
+        Csr {
+            row_offsets,
+            column_indices,
+            values,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.column_indices.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.row_offsets[v as usize + 1] - self.row_offsets[v as usize]
+    }
+
+    /// Edge-id range of `v`'s out-edges — the paper's `get_edges(v)`.
+    #[inline]
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<EdgeId> {
+        self.row_offsets[v as usize]..self.row_offsets[v as usize + 1]
+    }
+
+    /// Destination of edge `e` — the paper's `get_dest_vertex(e)`.
+    #[inline]
+    pub fn edge_dest(&self, e: EdgeId) -> VertexId {
+        self.column_indices[e]
+    }
+
+    /// Value of edge `e` — the paper's `get_edge_weight(e)`.
+    #[inline]
+    pub fn edge_value(&self, e: EdgeId) -> W {
+        self.values[e]
+    }
+
+    /// Source of edge `e`, recovered by binary search over `row_offsets`
+    /// (O(log n); edge-centric frontiers that need this hot should carry the
+    /// source alongside the edge id instead).
+    pub fn edge_src(&self, e: EdgeId) -> VertexId {
+        debug_assert!(e < self.num_edges());
+        // partition_point returns the first v with row_offsets[v] > e; the
+        // source row is that minus one.
+        (self.row_offsets.partition_point(|&off| off <= e) - 1) as VertexId
+    }
+
+    /// The neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.column_indices[self.edge_range(v)]
+    }
+
+    /// The value slice aligned with [`Csr::neighbors`].
+    #[inline]
+    pub fn neighbor_values(&self, v: VertexId) -> &[W] {
+        &self.values[self.edge_range(v)]
+    }
+
+    /// True if `u → v` exists (binary search; rows are destination-sorted).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Raw row offsets (n+1 entries).
+    #[inline]
+    pub fn row_offsets(&self) -> &[EdgeId] {
+        &self.row_offsets
+    }
+
+    /// Raw destination array (CSR order defines [`EdgeId`]s).
+    #[inline]
+    pub fn column_indices(&self) -> &[VertexId] {
+        &self.column_indices
+    }
+
+    /// Raw value array aligned with [`Csr::column_indices`].
+    #[inline]
+    pub fn values(&self) -> &[W] {
+        &self.values
+    }
+
+    /// Converts back to an edge list in CSR order.
+    pub fn to_coo(&self) -> Coo<W> {
+        let mut coo = Coo::new(self.num_vertices());
+        for v in 0..self.num_vertices() as VertexId {
+            for e in self.edge_range(v) {
+                coo.push(v, self.edge_dest(e), self.edge_value(e));
+            }
+        }
+        coo
+    }
+
+    /// The CSR of the transposed graph — i.e. this graph's CSC. Pull
+    /// traversals iterate `transposed().neighbors(v)` to read `v`'s
+    /// in-neighbors.
+    pub fn transposed(&self) -> Csr<W> {
+        Csr::from_coo(&self.to_coo().transposed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr<f32> {
+        // 0 -> 1 (1.0), 0 -> 2 (4.0), 1 -> 3 (2.0), 2 -> 3 (1.0)
+        Csr::from_coo(&Coo::from_edges(
+            4,
+            [(0, 1, 1.0), (0, 2, 4.0), (1, 3, 2.0), (2, 3, 1.0)],
+        ))
+    }
+
+    #[test]
+    fn offsets_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.row_offsets(), &[0, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn listing1_api_surface() {
+        let g = diamond();
+        let r = g.edge_range(0);
+        assert_eq!(r, 0..2);
+        assert_eq!(g.edge_dest(0), 1);
+        assert_eq!(g.edge_value(1), 4.0);
+        assert_eq!(g.edge_src(3), 2);
+    }
+
+    #[test]
+    fn rows_are_destination_sorted_even_if_input_is_not() {
+        let g = Csr::from_coo(&Coo::from_edges(3, [(0, 2, ()), (0, 1, ()), (0, 0, ())]));
+        assert_eq!(g.neighbors(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn values_stay_aligned_after_row_sort() {
+        let g = Csr::from_coo(&Coo::from_edges(3, [(0, 2, 20.0f32), (0, 1, 10.0)]));
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbor_values(0), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn edge_src_recovers_sources_across_empty_rows() {
+        let g = Csr::from_coo(&Coo::from_edges(5, [(0, 1, ()), (3, 4, ()), (3, 0, ())]));
+        assert_eq!(g.edge_src(0), 0);
+        assert_eq!(g.edge_src(1), 3);
+        assert_eq!(g.edge_src(2), 3);
+    }
+
+    #[test]
+    fn coo_round_trip_preserves_graph() {
+        let g = diamond();
+        let g2 = Csr::from_coo(&g.to_coo());
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let g = diamond();
+        assert_eq!(g.transposed().transposed(), g);
+    }
+
+    #[test]
+    fn transpose_swaps_in_and_out_degrees() {
+        let g = diamond();
+        let t = g.transposed();
+        assert_eq!(t.degree(3), 2); // 3 had in-degree 2
+        assert_eq!(t.degree(0), 0); // 0 had in-degree 0
+        assert_eq!(t.neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = diamond();
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::<()>::empty(3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.to_coo().num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_raw_rejects_bad_offsets() {
+        Csr::<()>::from_raw(vec![0, 2, 1, 2], vec![0, 1], vec![(), ()]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_preserved_by_csr() {
+        let g = Csr::from_coo(&Coo::from_edges(2, [(0, 1, 1.0f32), (0, 1, 2.0)]));
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Vertex relabeling — degree-ordered renumbering, the classic
+//! cache-locality preprocessing (hubs first ⇒ hot rows share pages; also
+//! what makes rank-ordered triangle counting cheap on power-law graphs).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::types::{EdgeValue, VertexId};
+
+/// A relabeling: a bijection between old and new vertex ids.
+pub struct Relabeling {
+    /// `new_of[old]` = new id.
+    pub new_of: Vec<VertexId>,
+    /// `old_of[new]` = old id.
+    pub old_of: Vec<VertexId>,
+}
+
+impl Relabeling {
+    /// Builds the inverse map from a forward map. Panics if `new_of` is not
+    /// a permutation.
+    pub fn from_forward(new_of: Vec<VertexId>) -> Self {
+        let n = new_of.len();
+        let mut old_of = vec![VertexId::MAX; n];
+        for (old, &new) in new_of.iter().enumerate() {
+            assert!(
+                (new as usize) < n && old_of[new as usize] == VertexId::MAX,
+                "relabeling is not a permutation"
+            );
+            old_of[new as usize] = old as VertexId;
+        }
+        Relabeling { new_of, old_of }
+    }
+
+    /// Translates a property vector from old to new id order.
+    pub fn permute<T: Clone>(&self, old_order: &[T]) -> Vec<T> {
+        assert_eq!(old_order.len(), self.old_of.len());
+        self.old_of
+            .iter()
+            .map(|&old| old_order[old as usize].clone())
+            .collect()
+    }
+}
+
+/// Renumbers vertices by descending out-degree (ties by old id, so the
+/// result is deterministic). Returns the relabeled graph and the mapping.
+pub fn relabel_by_degree<W: EdgeValue>(g: &Csr<W>) -> (Csr<W>, Relabeling) {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    // order[new] = old  ==>  forward map inverts it.
+    let mut new_of = vec![0 as VertexId; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_of[old as usize] = new as VertexId;
+    }
+    let relabeling = Relabeling::from_forward(new_of);
+    let mut coo = Coo::new(n);
+    for old in 0..n as VertexId {
+        let new_src = relabeling.new_of[old as usize];
+        for e in g.edge_range(old) {
+            coo.push(
+                new_src,
+                relabeling.new_of[g.edge_dest(e) as usize],
+                g.edge_value(e),
+            );
+        }
+    }
+    (Csr::from_coo(&coo), relabeling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> Csr<f32> {
+        // 2 is the hub (degree 3), 0 has degree 1, 1 has degree 0.
+        Csr::from_coo(&Coo::from_edges(
+            3,
+            [(2, 0, 1.0), (2, 1, 2.0), (2, 2, 3.0), (0, 1, 4.0)],
+        ))
+    }
+
+    #[test]
+    fn hubs_come_first() {
+        let g = skewed();
+        let (r, map) = relabel_by_degree(&g);
+        // New id 0 must be the old hub (vertex 2).
+        assert_eq!(map.old_of[0], 2);
+        assert_eq!(r.degree(0), 3);
+        // Degrees are non-increasing in new order.
+        let degs: Vec<usize> = (0..3).map(|v| r.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn relabeling_preserves_structure_and_weights() {
+        let g = skewed();
+        let (r, map) = relabel_by_degree(&g);
+        assert_eq!(r.num_edges(), g.num_edges());
+        for old in 0..3 as VertexId {
+            let new = map.new_of[old as usize];
+            assert_eq!(r.degree(new), g.degree(old));
+            // Every old edge exists under new ids, with its weight.
+            for e in g.edge_range(old) {
+                let nd = map.new_of[g.edge_dest(e) as usize];
+                let pos = r.neighbors(new).iter().position(|&x| x == nd).unwrap();
+                assert_eq!(r.neighbor_values(new)[pos], g.edge_value(e));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_translates_property_vectors() {
+        let g = skewed();
+        let (_, map) = relabel_by_degree(&g);
+        let by_old = vec!["a", "b", "c"];
+        let by_new = map.permute(&by_old);
+        // new 0 = old 2 => "c" first.
+        assert_eq!(by_new[0], "c");
+        // Round trip through the inverse.
+        for old in 0..3usize {
+            assert_eq!(by_new[map.new_of[old] as usize], by_old[old]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutations() {
+        Relabeling::from_forward(vec![0, 0]);
+    }
+
+    #[test]
+    fn deterministic_with_degree_ties() {
+        let g = Csr::<()>::from_coo(&Coo::from_edges(4, [(0, 1, ()), (2, 3, ())]));
+        let (_, a) = relabel_by_degree(&g);
+        let (_, b) = relabel_by_degree(&g);
+        assert_eq!(a.new_of, b.new_of);
+        // Ties broken by old id: 0 before 2, 1 before 3.
+        assert_eq!(a.old_of, vec![0, 2, 1, 3]);
+    }
+}

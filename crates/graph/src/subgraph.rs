@@ -1,0 +1,130 @@
+//! Induced subgraph extraction — the building block for per-part local
+//! views, ego networks, and core decompositions' reconstruction checks.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::types::{EdgeValue, VertexId, INVALID_VERTEX};
+
+/// The subgraph induced by a vertex subset, with a compact local id space.
+pub struct Subgraph<W: EdgeValue> {
+    /// The induced graph over local ids `0..members.len()`.
+    pub graph: Csr<W>,
+    /// `members[local]` = global id (ascending).
+    pub members: Vec<VertexId>,
+}
+
+impl<W: EdgeValue> Subgraph<W> {
+    /// Maps a local id back to the global id.
+    #[inline]
+    pub fn to_global(&self, local: VertexId) -> VertexId {
+        self.members[local as usize]
+    }
+}
+
+/// Extracts the subgraph induced by `vertices` (duplicates ignored; order
+/// normalized to ascending). An edge survives iff **both** endpoints are
+/// in the set; weights are preserved.
+pub fn induced_subgraph<W: EdgeValue>(g: &Csr<W>, vertices: &[VertexId]) -> Subgraph<W> {
+    let mut members: Vec<VertexId> = vertices.to_vec();
+    members.sort_unstable();
+    members.dedup();
+    // Global -> local lookup (dense; graphs here are bounded by memory
+    // anyway and this keeps extraction O(n + m_sub)).
+    let mut local = vec![INVALID_VERTEX; g.num_vertices()];
+    for (li, &v) in members.iter().enumerate() {
+        local[v as usize] = li as VertexId;
+    }
+    let mut coo = Coo::new(members.len());
+    for (li, &v) in members.iter().enumerate() {
+        for e in g.edge_range(v) {
+            let d = g.edge_dest(e);
+            let ld = local[d as usize];
+            if ld != INVALID_VERTEX {
+                coo.push(li as VertexId, ld, g.edge_value(e));
+            }
+        }
+    }
+    Subgraph {
+        graph: Csr::from_coo(&coo),
+        members,
+    }
+}
+
+/// The ego network of `center`: the subgraph induced by the center plus
+/// its out-neighbors.
+pub fn ego_network<W: EdgeValue>(g: &Csr<W>, center: VertexId) -> Subgraph<W> {
+    let mut verts = vec![center];
+    verts.extend_from_slice(g.neighbors(center));
+    induced_subgraph(g, &verts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f32> {
+        // 0→1 (1.0), 1→2 (2.0), 2→3 (3.0), 3→0 (4.0), 0→2 (5.0)
+        Csr::from_coo(&Coo::from_edges(
+            4,
+            [
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 0, 4.0),
+                (0, 2, 5.0),
+            ],
+        ))
+    }
+
+    #[test]
+    fn keeps_only_internal_edges_with_weights() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.members, vec![0, 1, 2]);
+        assert_eq!(sub.graph.num_edges(), 3); // 0→1, 1→2, 0→2 survive
+        assert_eq!(sub.graph.neighbor_values(0), &[1.0, 5.0]);
+        assert!(!sub.graph.has_edge(2, 0)); // 2→3 dropped with 3
+    }
+
+    #[test]
+    fn local_ids_are_compact_and_mapped() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[3, 1]); // unsorted input
+        assert_eq!(sub.members, vec![1, 3]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.graph.num_edges(), 0); // 1→2 and 3→0 both leave the set
+        assert_eq!(sub.to_global(1), 3);
+    }
+
+    #[test]
+    fn duplicates_in_selection_are_ignored() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[2, 2, 3, 3]);
+        assert_eq!(sub.members, vec![2, 3]);
+        assert_eq!(sub.graph.num_edges(), 1); // 2→3
+    }
+
+    #[test]
+    fn full_selection_is_identity_up_to_ids() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(&sub.graph, &g);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.num_vertices(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn ego_network_of_a_hub() {
+        let g = sample();
+        let ego = ego_network(&g, 0);
+        // 0's out-neighbors are {1, 2}: members {0,1,2}, edges 0→1, 0→2, 1→2.
+        assert_eq!(ego.members, vec![0, 1, 2]);
+        assert_eq!(ego.graph.num_edges(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Capability traits decoupling operators from concrete representations.
+//!
+//! §III-D of the paper: "since parts of our graph abstraction allow for
+//! multiple underlying representations, partitioned graphs could also simply
+//! be expressed as another such representation … when the top-level graph
+//! data structure is queried, the APIs will need to support the use of the
+//! corresponding partitioned sub-graph to return the result of a query."
+//! These traits are that top-level query surface: [`crate::Graph`],
+//! subgraphs, and `essentials-partition`'s partitioned graphs all implement
+//! them, so operators and algorithms are written once.
+
+use std::ops::Range;
+
+use crate::types::{EdgeId, EdgeValue, VertexId};
+
+/// Minimal shape of any graph-like structure.
+pub trait GraphBase {
+    /// Number of vertices (ids are `0..num_vertices`).
+    fn num_vertices(&self) -> usize;
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+    /// Iterator over all vertex ids.
+    fn vertices(&self) -> Range<VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+}
+
+/// Forward (push-direction) adjacency: who do I point at?
+pub trait OutNeighbors: GraphBase {
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: VertexId) -> usize;
+    /// Edge-id range of `v`'s out-edges (ids in the primary CSR order).
+    fn out_edges(&self, v: VertexId) -> Range<EdgeId>;
+    /// Destination of out-edge `e`.
+    fn edge_dest(&self, e: EdgeId) -> VertexId;
+    /// Neighbor slice of `v` (destinations of `out_edges(v)` in order).
+    fn out_neighbors(&self, v: VertexId) -> &[VertexId];
+}
+
+/// Reverse (pull-direction) adjacency: who points at me?
+///
+/// Backed by a CSC (transposed CSR); queries cost the same as the forward
+/// direction, "at the cost of memory space" (§III-C).
+pub trait InNeighbors: GraphBase {
+    /// In-degree of `v`.
+    fn in_degree(&self, v: VertexId) -> usize;
+    /// In-neighbor slice of `v` (sources of edges into `v`).
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId];
+}
+
+/// Edge values (weights) addressable by edge id and by adjacency position.
+pub trait EdgeWeights<W: EdgeValue>: OutNeighbors {
+    /// Weight of out-edge `e`.
+    fn edge_weight(&self, e: EdgeId) -> W;
+    /// Weight slice aligned with [`OutNeighbors::out_neighbors`].
+    fn out_neighbor_weights(&self, v: VertexId) -> &[W];
+}
+
+/// Weights of incoming edges, aligned with [`InNeighbors::in_neighbors`].
+pub trait InEdgeWeights<W: EdgeValue>: InNeighbors {
+    /// Weight slice aligned with [`InNeighbors::in_neighbors`] — entry `k`
+    /// is the weight of the edge `in_neighbors(v)[k] → v`.
+    fn in_neighbor_weights(&self, v: VertexId) -> &[W];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::graph::Graph;
+
+    // A generic function usable with any representation — the point of the
+    // trait layer.
+    fn count_reachable_in_one_hop<G: OutNeighbors>(g: &G, v: VertexId) -> usize {
+        g.out_neighbors(v).len()
+    }
+
+    #[test]
+    fn operators_can_be_generic_over_representations() {
+        let g = Graph::from_coo(&Coo::from_edges(3, [(0, 1, ()), (0, 2, ())]));
+        assert_eq!(count_reachable_in_one_hop(&g, 0), 2);
+        assert_eq!(g.vertices().count(), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Identifier and edge-value types shared across the workspace.
+
+/// A vertex identifier. 32 bits index 4 billion vertices while halving the
+/// memory traffic of `usize` ids — the dominant cost of traversal operators.
+pub type VertexId = u32;
+
+/// An edge identifier: the position of the edge in its representation's
+/// edge array (CSR order for the primary representation).
+pub type EdgeId = usize;
+
+/// Sentinel for "no vertex" (e.g. unreached predecessors).
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// Values attachable to edges (weights). Implemented for the numeric types
+/// graph analytics actually uses; `()` gives unweighted graphs zero storage
+/// per edge.
+pub trait EdgeValue: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Value used when an input supplies no explicit weight (Matrix Market
+    /// `pattern` files, unweighted generators).
+    fn default_weight() -> Self;
+    /// True if the value is unusable in comparisons (float NaN). Builders
+    /// reject such weights so atomic-min relaxations stay correct.
+    fn is_invalid(&self) -> bool {
+        false
+    }
+}
+
+impl EdgeValue for () {
+    fn default_weight() -> Self {}
+}
+
+impl EdgeValue for f32 {
+    fn default_weight() -> Self {
+        1.0
+    }
+    fn is_invalid(&self) -> bool {
+        self.is_nan()
+    }
+}
+
+impl EdgeValue for f64 {
+    fn default_weight() -> Self {
+        1.0
+    }
+    fn is_invalid(&self) -> bool {
+        self.is_nan()
+    }
+}
+
+impl EdgeValue for u32 {
+    fn default_weight() -> Self {
+        1
+    }
+}
+
+impl EdgeValue for u64 {
+    fn default_weight() -> Self {
+        1
+    }
+}
+
+impl EdgeValue for i32 {
+    fn default_weight() -> Self {
+        1
+    }
+}
+
+impl EdgeValue for i64 {
+    fn default_weight() -> Self {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_edges_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<()>(), 0);
+        assert_eq!(<()>::default_weight(), ());
+    }
+
+    #[test]
+    fn nan_is_invalid_for_floats_only() {
+        assert!(f32::NAN.is_invalid());
+        assert!(f64::NAN.is_invalid());
+        assert!(!1.0f32.is_invalid());
+        assert!(!EdgeValue::is_invalid(&7u32));
+    }
+}

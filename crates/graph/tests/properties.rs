@@ -1,0 +1,94 @@
+//! Property-based tests for representation invariants.
+
+use essentials_graph::{Coo, Csr, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a vertex count and a list of in-range edges with small weights.
+fn arb_edge_list() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId, u32)>)> {
+    (1usize..40).prop_flat_map(|n| {
+        let edge = (0..n as VertexId, 0..n as VertexId, 0u32..100);
+        (Just(n), prop::collection::vec(edge, 0..200))
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_csr_round_trip_preserves_multiset((n, edges) in arb_edge_list()) {
+        let coo = Coo::from_edges(n, edges.clone());
+        let csr = Csr::from_coo(&coo);
+        prop_assert_eq!(csr.num_edges(), edges.len());
+        let mut original: Vec<_> = edges;
+        original.sort_unstable();
+        let mut round_trip: Vec<_> = csr.to_coo().iter().collect();
+        round_trip.sort_unstable();
+        prop_assert_eq!(original, round_trip);
+    }
+
+    #[test]
+    fn transpose_is_an_involution((n, edges) in arb_edge_list()) {
+        let csr = Csr::from_coo(&Coo::from_edges(n, edges));
+        prop_assert_eq!(&csr.transposed().transposed(), &csr);
+    }
+
+    #[test]
+    fn transpose_preserves_edge_count_and_swaps_degrees((n, edges) in arb_edge_list()) {
+        let csr = Csr::from_coo(&Coo::from_edges(n, edges));
+        let t = csr.transposed();
+        prop_assert_eq!(t.num_edges(), csr.num_edges());
+        // In-degree of v in csr == out-degree of v in transpose.
+        for v in 0..n as VertexId {
+            let indeg = csr.column_indices().iter().filter(|&&d| d == v).count();
+            prop_assert_eq!(t.degree(v), indeg);
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_offsets_monotone((n, edges) in arb_edge_list()) {
+        let csr = Csr::from_coo(&Coo::from_edges(n, edges));
+        prop_assert!(csr.row_offsets().windows(2).all(|w| w[0] <= w[1]));
+        for v in 0..n as VertexId {
+            prop_assert!(csr.neighbors(v).windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn edge_src_inverts_edge_range((n, edges) in arb_edge_list()) {
+        let csr = Csr::from_coo(&Coo::from_edges(n, edges));
+        for v in 0..n as VertexId {
+            for e in csr.edge_range(v) {
+                prop_assert_eq!(csr.edge_src(e), v);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_graph_is_symmetric((n, edges) in arb_edge_list()) {
+        let g = GraphBuilder::from_coo(Coo::from_edges(n, edges))
+            .symmetrize()
+            .deduplicate()
+            .build();
+        prop_assert!(essentials_graph::properties::is_symmetric(g.csr()));
+    }
+
+    #[test]
+    fn dedup_removes_all_duplicates_and_nothing_else((n, edges) in arb_edge_list()) {
+        let mut coo = Coo::from_edges(n, edges.clone());
+        coo.sort_and_dedup();
+        let mut unique: Vec<(VertexId, VertexId)> =
+            edges.iter().map(|&(s, d, _)| (s, d)).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        let got: Vec<(VertexId, VertexId)> = coo.iter().map(|(s, d, _)| (s, d)).collect();
+        prop_assert_eq!(got, unique);
+    }
+
+    #[test]
+    fn has_edge_agrees_with_neighbor_scan((n, edges) in arb_edge_list()) {
+        let csr = Csr::from_coo(&Coo::from_edges(n, edges));
+        for u in 0..n.min(10) as VertexId {
+            for v in 0..n as VertexId {
+                prop_assert_eq!(csr.has_edge(u, v), csr.neighbors(u).contains(&v));
+            }
+        }
+    }
+}

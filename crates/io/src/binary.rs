@@ -1,0 +1,151 @@
+//! Compact binary CSR snapshots.
+//!
+//! A small, versioned, explicitly little-endian codec built on `bytes`
+//! (no serialization-format crate is in the approved dependency set, so
+//! the layout is spelled out by hand and checked by round-trip and
+//! corruption tests):
+//!
+//! ```text
+//! magic  "ESNT"    4 bytes
+//! version u32      currently 1
+//! n       u64      vertices
+//! m       u64      edges
+//! offsets (n+1)×u64
+//! cols    m×u32
+//! weights m×f32
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use essentials_graph::Csr;
+
+use crate::IoError;
+
+const MAGIC: &[u8; 4] = b"ESNT";
+const VERSION: u32 = 1;
+
+/// Serializes a CSR to bytes.
+pub fn write_binary(g: &Csr<f32>) -> Bytes {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut buf = BytesMut::with_capacity(16 + (n + 1) * 8 + m * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    for &o in g.row_offsets() {
+        buf.put_u64_le(o as u64);
+    }
+    for &c in g.column_indices() {
+        buf.put_u32_le(c);
+    }
+    for &w in g.values() {
+        buf.put_f32_le(w);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a CSR from bytes, validating structure.
+pub fn read_binary(mut data: &[u8]) -> Result<Csr<f32>, IoError> {
+    let need = |data: &[u8], n: usize, what: &str| -> Result<(), IoError> {
+        if data.remaining() < n {
+            Err(IoError::Parse(format!("truncated snapshot reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(data, 8, "header")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::Parse("bad magic (not an essentials snapshot)".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(IoError::Parse(format!("unsupported snapshot version {version}")));
+    }
+    need(data, 16, "dimensions")?;
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    // Checked sizes: corrupted dimensions must error, not overflow or OOM.
+    let offsets_bytes = n
+        .checked_add(1)
+        .and_then(|x| x.checked_mul(8))
+        .ok_or_else(|| IoError::Parse("vertex count overflows".into()))?;
+    need(data, offsets_bytes, "offsets")?;
+    let offsets: Vec<usize> = (0..=n).map(|_| data.get_u64_le() as usize).collect();
+    let col_bytes = m
+        .checked_mul(4)
+        .ok_or_else(|| IoError::Parse("edge count overflows".into()))?;
+    need(data, col_bytes, "columns")?;
+    let cols: Vec<u32> = (0..m).map(|_| data.get_u32_le()).collect();
+    need(data, col_bytes, "weights")?;
+    let vals: Vec<f32> = (0..m).map(|_| data.get_f32_le()).collect();
+    if offsets.last() != Some(&m) || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(IoError::Parse("inconsistent offsets".into()));
+    }
+    if cols.iter().any(|&c| c as usize >= n) {
+        return Err(IoError::Parse("column index out of range".into()));
+    }
+    if vals.iter().any(|v| v.is_nan()) {
+        return Err(IoError::Parse("NaN weight in snapshot".into()));
+    }
+    Ok(Csr::from_raw(offsets, cols, vals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_graph::Coo;
+
+    fn sample() -> Csr<f32> {
+        Csr::from_coo(&Coo::from_edges(
+            5,
+            [(0, 1, 1.0f32), (0, 4, 2.0), (3, 2, 0.5), (4, 0, 9.0)],
+        ))
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let g = sample();
+        let bytes = write_binary(&g);
+        let back = read_binary(&bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Csr::<f32>::empty(0);
+        assert_eq!(read_binary(&write_binary(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = write_binary(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert!(read_binary(&bytes).is_err());
+        let mut bytes = write_binary(&sample()).to_vec();
+        bytes[4] = 99;
+        assert!(read_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = write_binary(&sample());
+        for cut in [0, 3, 10, 30, bytes.len() - 1] {
+            assert!(
+                read_binary(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_columns() {
+        let g = sample();
+        let mut bytes = write_binary(&g).to_vec();
+        // Column array starts after header(8)+dims(16)+offsets(6*8)=72.
+        bytes[72..76].copy_from_slice(&100u32.to_le_bytes());
+        assert!(read_binary(&bytes).is_err());
+    }
+}

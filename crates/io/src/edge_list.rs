@@ -1,0 +1,100 @@
+//! Plain-text edge lists: `src dst [weight]` per line, `#` comments —
+//! the SNAP dataset convention. Vertex count is `max id + 1` unless a
+//! larger hint is given.
+
+use std::io::{BufRead, Write};
+
+use essentials_graph::{Coo, VertexId};
+
+use crate::IoError;
+
+/// Reads an edge list. `min_vertices` lets callers reserve isolated
+/// trailing vertices that no edge mentions.
+pub fn read_edge_list<R: BufRead>(reader: R, min_vertices: usize) -> Result<Coo<f32>, IoError> {
+    let mut edges: Vec<(VertexId, VertexId, f32)> = Vec::new();
+    let mut max_id: usize = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let src: usize = parse(it.next(), lineno, t)?;
+        let dst: usize = parse(it.next(), lineno, t)?;
+        let w: f32 = match it.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| IoError::Parse(format!("line {}: bad weight: {e}", lineno + 1)))?,
+            None => 1.0,
+        };
+        if w.is_nan() {
+            return Err(IoError::Parse(format!("line {}: NaN weight", lineno + 1)));
+        }
+        max_id = max_id.max(src).max(dst);
+        edges.push((src as VertexId, dst as VertexId, w));
+    }
+    let n = if edges.is_empty() {
+        min_vertices
+    } else {
+        (max_id + 1).max(min_vertices)
+    };
+    Ok(Coo::from_edges(n, edges))
+}
+
+fn parse(tok: Option<&str>, lineno: usize, line: &str) -> Result<usize, IoError> {
+    tok.ok_or_else(|| IoError::Parse(format!("line {}: truncated: {line}", lineno + 1)))?
+        .parse()
+        .map_err(|e| IoError::Parse(format!("line {}: bad id: {e}", lineno + 1)))
+}
+
+/// Writes `src dst weight` lines.
+pub fn write_edge_list<W: Write>(mut w: W, coo: &Coo<f32>) -> std::io::Result<()> {
+    writeln!(w, "# essentials-rs edge list: {} vertices", coo.num_vertices())?;
+    for (s, d, v) in coo.iter() {
+        writeln!(w, "{s} {d} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let coo = Coo::from_edges(3, [(0, 1, 2.0f32), (1, 2, 1.0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &coo).unwrap();
+        let back = read_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn default_weight_is_one_and_comments_skipped() {
+        let input = "# snap style\n0 1\n2 0 3.5\n";
+        let coo = read_edge_list(input.as_bytes(), 0).unwrap();
+        let edges: Vec<_> = coo.iter().collect();
+        assert_eq!(edges, vec![(0, 1, 1.0), (2, 0, 3.5)]);
+        assert_eq!(coo.num_vertices(), 3);
+    }
+
+    #[test]
+    fn min_vertices_hint_reserves_isolated_tail() {
+        let coo = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(coo.num_vertices(), 10);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let coo = read_edge_list("# nothing\n".as_bytes(), 0).unwrap();
+        assert_eq!(coo.num_vertices(), 0);
+        assert_eq!(coo.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_lines_error_with_line_numbers() {
+        let err = read_edge_list("0 1\nx y\n".as_bytes(), 0).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

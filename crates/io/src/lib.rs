@@ -1,0 +1,47 @@
+//! `essentials-io` — graph ingestion and persistence.
+//!
+//! Three formats:
+//! * [`matrix_market`] — the MatrixMarket coordinate format every sparse
+//!   collection (SuiteSparse, Graph500 reference inputs) ships in; the
+//!   sandbox has no network, so the readers are exercised on round-trips
+//!   of generated graphs, and real datasets drop in unchanged;
+//! * [`edge_list`] — whitespace-separated `src dst [weight]` text, the de
+//!   facto SNAP format;
+//! * [`binary`] — a compact CSR snapshot (serde + bytes) for fast reload
+//!   of large generated workloads between bench runs.
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod edge_list;
+pub mod matrix_market;
+
+pub use binary::{read_binary, write_binary};
+pub use edge_list::{read_edge_list, write_edge_list};
+pub use matrix_market::{read_matrix_market, write_matrix_market, MmHeader, MmSymmetry};
+
+/// Errors surfaced by readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input violates the format; the message says where and why.
+    Parse(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}

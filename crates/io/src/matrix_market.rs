@@ -1,0 +1,222 @@
+//! MatrixMarket coordinate format (`%%MatrixMarket matrix coordinate …`).
+//!
+//! Supports `real`/`integer`/`pattern` fields and `general`/`symmetric`
+//! symmetry. Indices are 1-based on disk, 0-based in memory. Symmetric
+//! inputs are expanded to both directions on read (the convention graph
+//! frameworks use).
+
+use std::io::{BufRead, Write};
+
+use essentials_graph::{Coo, VertexId};
+
+use crate::IoError;
+
+/// Symmetry declared in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// Every entry listed explicitly.
+    General,
+    /// Lower triangle listed; the reader mirrors entries.
+    Symmetric,
+}
+
+/// Parsed header of a MatrixMarket file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmHeader {
+    /// Rows (graph vertices; must equal `cols` for adjacency use).
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Entries listed in the file.
+    pub entries: usize,
+    /// Declared symmetry.
+    pub symmetry: MmSymmetry,
+    /// True if the field is `pattern` (no values on data lines).
+    pub pattern: bool,
+}
+
+/// Reads a coordinate MatrixMarket stream into a weighted edge list
+/// (pattern entries get weight 1.0). Returns the header alongside.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<(Coo<f32>, MmHeader), IoError> {
+    let mut lines = reader.lines();
+    let banner = lines
+        .next()
+        .ok_or_else(|| IoError::Parse("empty file".into()))??;
+    let lower = banner.to_ascii_lowercase();
+    let toks: Vec<&str> = lower.split_whitespace().collect();
+    if toks.len() < 5 || !toks[0].starts_with("%%matrixmarket") || toks[1] != "matrix" {
+        return Err(IoError::Parse(format!("bad banner: {banner}")));
+    }
+    if toks[2] != "coordinate" {
+        return Err(IoError::Parse(format!(
+            "only coordinate format is supported, got {}",
+            toks[2]
+        )));
+    }
+    let pattern = match toks[3] {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(IoError::Parse(format!("unsupported field type {other}")));
+        }
+    };
+    let symmetry = match toks[4] {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => {
+            return Err(IoError::Parse(format!("unsupported symmetry {other}")));
+        }
+    };
+
+    // Size line: first non-comment line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| IoError::Parse("missing size line".into()))??;
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            break line;
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| IoError::Parse(format!("bad size line '{size_line}': {e}")))?;
+    if dims.len() != 3 {
+        return Err(IoError::Parse(format!("size line needs 3 numbers: {size_line}")));
+    }
+    let (rows, cols, entries) = (dims[0], dims[1], dims[2]);
+    let n = rows.max(cols);
+    let mut coo = Coo::new(n);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = parse_tok(it.next(), t)?;
+        let c: usize = parse_tok(it.next(), t)?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(IoError::Parse(format!("index out of range: {t}")));
+        }
+        let w: f32 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| IoError::Parse(format!("missing value: {t}")))?
+                .parse()
+                .map_err(|e| IoError::Parse(format!("bad value in '{t}': {e}")))?
+        };
+        if w.is_nan() {
+            return Err(IoError::Parse(format!("NaN value: {t}")));
+        }
+        let (src, dst) = ((r - 1) as VertexId, (c - 1) as VertexId);
+        coo.push(src, dst, w);
+        if symmetry == MmSymmetry::Symmetric && src != dst {
+            coo.push(dst, src, w);
+        }
+        seen += 1;
+    }
+    if seen != entries {
+        return Err(IoError::Parse(format!(
+            "header declared {entries} entries, file had {seen}"
+        )));
+    }
+    Ok((
+        coo,
+        MmHeader {
+            rows,
+            cols,
+            entries,
+            symmetry,
+            pattern,
+        },
+    ))
+}
+
+fn parse_tok(tok: Option<&str>, line: &str) -> Result<usize, IoError> {
+    tok.ok_or_else(|| IoError::Parse(format!("truncated line: {line}")))?
+        .parse()
+        .map_err(|e| IoError::Parse(format!("bad index in '{line}': {e}")))
+}
+
+/// Writes an edge list as a general real coordinate MatrixMarket file.
+pub fn write_matrix_market<W: Write>(mut w: W, coo: &Coo<f32>) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by essentials-rs")?;
+    writeln!(
+        w,
+        "{} {} {}",
+        coo.num_vertices(),
+        coo.num_vertices(),
+        coo.num_edges()
+    )?;
+    for (s, d, v) in coo.iter() {
+        writeln!(w, "{} {} {}", s + 1, d + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let coo = Coo::from_edges(4, [(0, 1, 1.5f32), (2, 3, 2.5), (3, 3, 0.5)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo).unwrap();
+        let (back, header) = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back, coo);
+        assert_eq!(header.entries, 3);
+        assert_eq!(header.symmetry, MmSymmetry::General);
+    }
+
+    #[test]
+    fn pattern_entries_get_unit_weight() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let (coo, header) = read_matrix_market(input.as_bytes()).unwrap();
+        assert!(header.pattern);
+        assert_eq!(coo.iter().next().unwrap(), (0, 1, 1.0));
+    }
+
+    #[test]
+    fn symmetric_entries_are_mirrored_except_diagonal() {
+        let input =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let (coo, _) = read_matrix_market(input.as_bytes()).unwrap();
+        let edges: Vec<_> = coo.iter().collect();
+        assert_eq!(edges, vec![(1, 0, 5.0), (0, 1, 5.0), (2, 2, 1.0)]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let input = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% mid\n1 1 3.0\n";
+        let (coo, _) = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(coo.num_edges(), 1);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let bad_banner = "not a banner\n1 1 0\n";
+        assert!(matches!(
+            read_matrix_market(bad_banner.as_bytes()),
+            Err(IoError::Parse(_))
+        ));
+        let wrong_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let err = read_matrix_market(wrong_count.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 2"));
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rectangular_sizes_use_max_dimension() {
+        let input = "%%MatrixMarket matrix coordinate real general\n2 5 1\n1 5 1.0\n";
+        let (coo, _) = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(coo.num_vertices(), 5);
+    }
+}

@@ -1,0 +1,117 @@
+//! A reusable sense-reversing barrier for bulk-synchronous supersteps.
+//!
+//! Inside a parallel region, workers running a multi-superstep algorithm
+//! (Pregel-style engines, BSP enactors) need a barrier they can hit
+//! repeatedly. The sense-reversing construction makes consecutive waits safe
+//! without re-initialization: each thread flips a local *sense* per phase and
+//! spins (with `yield_now`, since the host may be oversubscribed) until the
+//! shared sense matches.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed number of participants.
+///
+/// ```
+/// use essentials_parallel::{SpinBarrier, ThreadPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let barrier = SpinBarrier::new(4);
+/// let phase_sums = [AtomicUsize::new(0), AtomicUsize::new(0)];
+/// pool.run(|tid| {
+///     phase_sums[0].fetch_add(tid, Ordering::Relaxed);
+///     barrier.wait();
+///     // Every worker sees the completed phase-0 sum.
+///     assert_eq!(phase_sums[0].load(Ordering::Relaxed), 0 + 1 + 2 + 3);
+///     phase_sums[1].fetch_add(1, Ordering::Relaxed);
+/// });
+/// ```
+pub struct SpinBarrier {
+    parties: usize,
+    waiting: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `parties` participants (minimum 1).
+    pub fn new(parties: usize) -> Self {
+        SpinBarrier {
+            parties: parties.max(1),
+            waiting: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participants the barrier synchronizes.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all `parties` threads have called `wait` for the current
+    /// phase. Returns `true` on exactly one thread per phase (the *serial
+    /// leader*, the last to arrive), which BSP engines use to run
+    /// between-superstep bookkeeping.
+    pub fn wait(&self) -> bool {
+        let phase_sense = !self.sense.load(Ordering::Relaxed);
+        let arrived = self.waiting.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.parties {
+            self.waiting.store(0, Ordering::Relaxed);
+            // Release the phase: all prior writes happen-before waiters wake.
+            self.sense.store(phase_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) != phase_sense {
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..5 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn phases_are_totally_ordered() {
+        const PHASES: usize = 50;
+        let pool = ThreadPool::new(4);
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.run(|_| {
+            for phase in 0..PHASES {
+                counter.fetch_add(1, Ordering::Relaxed);
+                barrier.wait();
+                // After the barrier, all 4 increments of this phase are in.
+                let c = counter.load(Ordering::Relaxed);
+                assert!(c >= (phase + 1) * 4, "phase {phase}: saw {c}");
+                barrier.wait();
+            }
+        });
+        assert_eq!(counter.into_inner(), PHASES * 4);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        let pool = ThreadPool::new(3);
+        let barrier = SpinBarrier::new(3);
+        let leaders = AtomicUsize::new(0);
+        pool.run(|_| {
+            for _ in 0..20 {
+                if barrier.wait() {
+                    leaders.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(leaders.into_inner(), 20);
+    }
+}

@@ -1,0 +1,39 @@
+//! `essentials-parallel` — the CPU execution substrate for essentials-rs.
+//!
+//! The paper's abstraction ("Essentials of Parallel Graph Analytics",
+//! §III-A) requires operators whose *semantics stay fixed while the
+//! execution changes*, selected by execution-policy types. GPUs being out of
+//! scope for this reproduction (see DESIGN.md), this crate provides the
+//! CPU-parallel machinery those policies dispatch to:
+//!
+//! * [`pool::ThreadPool`] — persistent workers executing OpenMP-style
+//!   *parallel regions*; the bulk-synchronous substrate.
+//! * [`schedule::Schedule`] — static / dynamic / guided loop scheduling,
+//!   the load-balancing knob of §IV-C.
+//! * [`barrier::SpinBarrier`] — sense-reversing barrier for supersteps.
+//! * [`scope`] — structured fork-join task spawning.
+//! * [`async_engine`] — a work-queue engine with quiescence-based
+//!   termination detection; the asynchronous substrate (the CPU equivalent
+//!   of the Atos-style GPU queue the paper cites).
+//! * [`atomics`] — atomic float min/add and an atomic bitset, the
+//!   shared-memory communication primitives used by frontiers and
+//!   vertex programs (Listing 4's `atomic::min`).
+//! * [`policy`] — the `ExecutionPolicy` marker types (`seq`, `par`,
+//!   `par_nosync`) mirroring the paper's C++ `execution::` namespace.
+
+#![warn(missing_docs)]
+
+pub mod async_engine;
+pub mod atomics;
+pub mod barrier;
+pub mod policy;
+pub mod pool;
+pub mod schedule;
+pub mod scope;
+
+pub use async_engine::{run_async, run_async_seq, AsyncStats, Pusher};
+pub use barrier::SpinBarrier;
+pub use policy::{execution, ExecutionPolicy, Par, ParNosync, Seq};
+pub use pool::ThreadPool;
+pub use schedule::Schedule;
+pub use scope::Scope;

@@ -1,0 +1,101 @@
+//! Execution policies — the paper's central mechanism for the *timing*
+//! pillar (§III-A).
+//!
+//! > "these policies are unique types to allow for overloading of traversal
+//! > and transformation operators to support parallelism and synchronization
+//! > behaviors … allow for the operator's functionality to be identical,
+//! > even as its underlying execution changes."
+//!
+//! In C++ this is overload resolution on `std::execution`-style tag values;
+//! the Rust equivalent is a marker trait with zero-sized implementors,
+//! dispatched statically by generic operators. The [`execution`] module
+//! mirrors the paper's spelling (`execution::par`, `execution::par_nosync`)
+//! so Listing 3/4 translate line-for-line — see
+//! `essentials_core::operators::advance::neighbors_expand`.
+
+/// Marker trait implemented by the execution-policy tag types.
+///
+/// Operators are generic over `P: ExecutionPolicy` and consult the two
+/// associated constants to pick an implementation; their observable results
+/// must be identical across policies (tested as *policy equivalence*
+/// throughout the workspace).
+pub trait ExecutionPolicy: Copy + Clone + Send + Sync + Default + 'static {
+    /// Whether the operator may use the thread pool at all.
+    const IS_PARALLEL: bool;
+    /// Whether the operator must synchronize (join all its parallelism)
+    /// before returning. Bulk-synchronous timing sets this; asynchronous
+    /// timing clears it and relies on the engine's termination detection.
+    const IS_SYNCHRONIZED: bool;
+    /// Human-readable name for reports and benches.
+    const NAME: &'static str;
+}
+
+/// Sequential execution on the calling thread. The reference semantics every
+/// parallel policy must match.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Seq;
+
+/// Bulk-synchronous parallel execution: work is distributed over the pool
+/// and the operator returns only after an implicit barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Par;
+
+/// Asynchronous parallel execution: no barrier per operator; completion is
+/// detected by queue quiescence (see [`crate::async_engine`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParNosync;
+
+impl ExecutionPolicy for Seq {
+    const IS_PARALLEL: bool = false;
+    const IS_SYNCHRONIZED: bool = true;
+    const NAME: &'static str = "seq";
+}
+
+impl ExecutionPolicy for Par {
+    const IS_PARALLEL: bool = true;
+    const IS_SYNCHRONIZED: bool = true;
+    const NAME: &'static str = "par";
+}
+
+impl ExecutionPolicy for ParNosync {
+    const IS_PARALLEL: bool = true;
+    const IS_SYNCHRONIZED: bool = false;
+    const NAME: &'static str = "par_nosync";
+}
+
+/// Policy tag values spelled as in the paper: `execution::seq`,
+/// `execution::par`, `execution::par_nosync`.
+#[allow(non_upper_case_globals)]
+pub mod execution {
+    use super::{Par, ParNosync, Seq};
+
+    /// Sequential policy value.
+    pub const seq: Seq = Seq;
+    /// Bulk-synchronous parallel policy value.
+    pub const par: Par = Par;
+    /// Asynchronous parallel policy value.
+    pub const par_nosync: ParNosync = ParNosync;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn describe<P: ExecutionPolicy>(_p: P) -> (&'static str, bool, bool) {
+        (P::NAME, P::IS_PARALLEL, P::IS_SYNCHRONIZED)
+    }
+
+    #[test]
+    fn policies_dispatch_statically() {
+        assert_eq!(describe(execution::seq), ("seq", false, true));
+        assert_eq!(describe(execution::par), ("par", true, true));
+        assert_eq!(describe(execution::par_nosync), ("par_nosync", true, false));
+    }
+
+    #[test]
+    fn policies_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<Seq>(), 0);
+        assert_eq!(std::mem::size_of::<Par>(), 0);
+        assert_eq!(std::mem::size_of::<ParNosync>(), 0);
+    }
+}

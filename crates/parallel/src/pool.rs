@@ -1,0 +1,461 @@
+//! A thread pool of persistent workers executing *parallel regions*.
+//!
+//! A region is a closure invoked once on every worker (OpenMP's
+//! `#pragma omp parallel`). Data-parallel loops ([`ThreadPool::parallel_for`])
+//! and reductions are built on top by handing each worker a slice of the
+//! iteration space according to a [`Schedule`].
+//!
+//! Workers park on a condition variable between regions, so an idle pool
+//! costs nothing. The caller of [`ThreadPool::run`] blocks until every
+//! worker has finished the region — this is the guarantee that makes the
+//! internal lifetime erasure sound (the region closure may borrow the
+//! caller's stack).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::schedule::Schedule;
+
+/// A region closure as seen by the workers: called with the worker id.
+type RegionFn = dyn Fn(usize) + Sync;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    slot: Mutex<RegionSlot>,
+    /// Workers wait here for a new region (or shutdown).
+    work_cv: Condvar,
+    /// The caller of `run` waits here for region completion.
+    done_cv: Condvar,
+}
+
+struct RegionSlot {
+    /// Bumped once per region; workers use it to detect new work.
+    epoch: u64,
+    /// The current region, lifetime-erased. Only valid while `remaining > 0`
+    /// for the matching epoch; `run` keeps the real closure alive until then.
+    job: Option<&'static RegionFn>,
+    /// Workers that have not yet finished the current region.
+    remaining: usize,
+    shutdown: bool,
+}
+
+/// A pool of persistent worker threads executing parallel regions.
+///
+/// ```
+/// use essentials_parallel::{Schedule, ThreadPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let sum = AtomicUsize::new(0);
+/// pool.parallel_for(0..1000, Schedule::default(), |i| {
+///     sum.fetch_add(i, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 499_500);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    num_threads: usize,
+    /// Serializes regions: one region at a time per pool.
+    region_guard: Mutex<()>,
+}
+
+thread_local! {
+    /// True while the current thread is executing inside a region of some
+    /// pool. Used to reject (unsupported) nested regions early.
+    static IN_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+impl ThreadPool {
+    /// Creates a pool with `num_threads` workers (minimum 1).
+    pub fn new(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(RegionSlot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..num_threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("essentials-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            num_threads,
+            region_guard: Mutex::new(()),
+        }
+    }
+
+    /// A process-wide pool sized to the available hardware parallelism.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            ThreadPool::new(n)
+        })
+    }
+
+    /// Number of workers in the pool.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Executes `f(worker_id)` once on every worker, blocking until all
+    /// workers finish. This is the primitive every parallel operator in the
+    /// framework lowers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a region (nested regions would deadlock
+    /// the fixed-size pool, so they are rejected). Panics in `f` abort the
+    /// process (workers have no unwind recovery) — operator bodies are
+    /// expected not to panic.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        assert!(
+            !IN_REGION.with(|c| c.get()),
+            "nested parallel regions are not supported"
+        );
+        let _serial = self.region_guard.lock();
+
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: we erase the lifetime of `f_ref` to store it in the shared
+        // slot. The reference is only dereferenced by workers between the
+        // epoch bump below and the `remaining == 0` wakeup, and this function
+        // does not return (keeping `f` alive) until `remaining == 0`.
+        let job: &'static RegionFn = unsafe { std::mem::transmute(f_ref) };
+
+        let mut slot = self.shared.slot.lock();
+        slot.epoch += 1;
+        slot.job = Some(job);
+        slot.remaining = self.num_threads;
+        self.shared.work_cv.notify_all();
+        while slot.remaining > 0 {
+            self.shared.done_cv.wait(&mut slot);
+        }
+        slot.job = None;
+    }
+
+    /// Data-parallel loop over `range` with the given [`Schedule`].
+    ///
+    /// Falls back to a plain sequential loop when the pool has one worker or
+    /// the range is too small to be worth distributing.
+    pub fn parallel_for<F>(&self, range: Range<usize>, schedule: Schedule, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_for_with(range, schedule, |_tid, i| f(i));
+    }
+
+    /// Like [`ThreadPool::parallel_for`], but the closure also receives the
+    /// worker id executing the index — the hook for per-thread output
+    /// buffers (frontier collectors) without a shared lock. Sequential
+    /// fallbacks report worker id 0.
+    pub fn parallel_for_with<F>(&self, range: Range<usize>, schedule: Schedule, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        if self.num_threads == 1 || len < schedule.sequential_cutoff() {
+            for i in range {
+                f(0, i);
+            }
+            return;
+        }
+        let n = self.num_threads;
+        match schedule {
+            Schedule::Static => {
+                let chunk = len.div_ceil(n);
+                self.run(|tid| {
+                    let lo = range.start + tid * chunk;
+                    let hi = (lo + chunk).min(range.end);
+                    for i in lo..hi.max(lo) {
+                        f(tid, i);
+                    }
+                });
+            }
+            Schedule::Dynamic(grain) => {
+                let grain = grain.max(1);
+                let next = AtomicUsize::new(range.start);
+                self.run(|tid| loop {
+                    let lo = next.fetch_add(grain, Ordering::Relaxed);
+                    if lo >= range.end {
+                        break;
+                    }
+                    let hi = (lo + grain).min(range.end);
+                    for i in lo..hi {
+                        f(tid, i);
+                    }
+                });
+            }
+            Schedule::Guided(min_grain) => {
+                let min_grain = min_grain.max(1);
+                let next = AtomicUsize::new(range.start);
+                self.run(|tid| loop {
+                    let mut lo = next.load(Ordering::Relaxed);
+                    let hi = loop {
+                        if lo >= range.end {
+                            return;
+                        }
+                        let remaining = range.end - lo;
+                        let chunk = (remaining / (2 * n)).max(min_grain);
+                        let hi = (lo + chunk).min(range.end);
+                        match next.compare_exchange_weak(
+                            lo,
+                            hi,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break hi,
+                            Err(seen) => lo = seen,
+                        }
+                    };
+                    for i in lo..hi {
+                        f(tid, i);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Parallel reduction: maps every index through `map`, combining results
+    /// with `combine` starting from `identity` (which must be a true
+    /// identity for `combine`, and `combine` associative, for deterministic
+    /// totals up to reordering).
+    pub fn parallel_reduce<T, M, C>(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        identity: T,
+        map: M,
+        combine: C,
+    ) -> T
+    where
+        T: Clone + Send + Sync,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return identity;
+        }
+        if self.num_threads == 1 || len < schedule.sequential_cutoff() {
+            let mut acc = identity;
+            for i in range {
+                acc = combine(acc, map(i));
+            }
+            return acc;
+        }
+        let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(self.num_threads));
+        {
+            let identity = &identity;
+            let map = &map;
+            let combine = &combine;
+            let next = AtomicUsize::new(range.start);
+            let grain = schedule.grain_hint(len, self.num_threads);
+            self.run(|_| {
+                let mut local = identity.clone();
+                let mut did_work = false;
+                loop {
+                    let lo = next.fetch_add(grain, Ordering::Relaxed);
+                    if lo >= range.end {
+                        break;
+                    }
+                    did_work = true;
+                    let hi = (lo + grain).min(range.end);
+                    for i in lo..hi {
+                        local = combine(local, map(i));
+                    }
+                }
+                if did_work {
+                    partials.lock().push(local);
+                }
+            });
+        }
+        partials
+            .into_inner()
+            .into_iter()
+            .fold(identity, |a, b| combine(a, b))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    break slot.job.expect("region epoch bumped without a job");
+                }
+                shared.work_cv.wait(&mut slot);
+            }
+        };
+        IN_REGION.with(|c| c.set(true));
+        job(tid);
+        IN_REGION.with(|c| c.set(false));
+        let mut slot = shared.slot.lock();
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_visits_every_worker_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let visits = [0u8; 4].map(|_| AtomicUsize::new(0));
+        pool.run(|tid| {
+            visits[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for v in &visits {
+            assert_eq!(v.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn regions_are_reusable() {
+        let pool = ThreadPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn parallel_for_covers_range_once_for_all_schedules() {
+        let pool = ThreadPool::new(4);
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic(1),
+            Schedule::Dynamic(7),
+            Schedule::Guided(1),
+            Schedule::Guided(16),
+        ] {
+            let n = 10_001;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(0..n, schedule, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "schedule {schedule:?} missed or duplicated indices"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(5..5, Schedule::Static, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_reduce_sums_correctly() {
+        let pool = ThreadPool::new(4);
+        let total = pool.parallel_reduce(
+            0..100_000,
+            Schedule::Dynamic(1024),
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(total, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn parallel_reduce_empty_returns_identity() {
+        let pool = ThreadPool::new(2);
+        let r = pool.parallel_reduce(3..3, Schedule::Static, 42u64, |_| 0, |a, b| a + b);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_results() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(0..100, Schedule::Static, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        // Must not hang.
+        let pool = ThreadPool::new(4);
+        pool.run(|_| {});
+        drop(pool);
+    }
+
+    #[test]
+    fn concurrent_runs_from_many_threads_serialize() {
+        let pool = std::sync::Arc::new(ThreadPool::new(2));
+        let count = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            let count = std::sync::Arc::clone(&count);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    pool.run(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 4 * 25 * 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Structured fork-join task spawning on top of parallel regions.
+//!
+//! A [`Scope`] collects dynamically spawned tasks (which may themselves
+//! spawn); [`ThreadPool::scope`] then drains them with every worker until
+//! quiescence. Tasks may borrow from the caller's stack — the scope cannot
+//! outlive the call, enforced by the `'scope` lifetime exactly as in
+//! `std::thread::scope`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::pool::ThreadPool;
+
+/// A task queue bounded to the `'scope` lifetime.
+pub struct Scope<'scope> {
+    queue: Mutex<VecDeque<Task<'scope>>>,
+    /// Tasks spawned but not yet finished executing.
+    pending: AtomicUsize,
+}
+
+type Task<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+impl<'scope> Scope<'scope> {
+    fn new() -> Self {
+        Scope {
+            queue: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Schedules `f` to run on some pool worker before the scope ends. `f`
+    /// receives the scope and may spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        self.queue.lock().push_back(Box::new(f));
+    }
+
+    /// Number of tasks not yet completed (advisory).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    fn drain(&self) {
+        loop {
+            let task = self.queue.lock().pop_front();
+            match task {
+                Some(t) => {
+                    t(self);
+                    self.pending.fetch_sub(1, Ordering::Release);
+                }
+                None => {
+                    if self.pending.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f`, then executes everything it spawned (transitively) across
+    /// the pool, returning once all tasks finished.
+    ///
+    /// ```
+    /// use essentials_parallel::ThreadPool;
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    ///
+    /// let pool = ThreadPool::new(4);
+    /// let hits = AtomicUsize::new(0);
+    /// pool.scope(|s| {
+    ///     for _ in 0..8 {
+    ///         s.spawn(|s| {
+    ///             hits.fetch_add(1, Ordering::Relaxed);
+    ///             s.spawn(|_| {
+    ///                 hits.fetch_add(1, Ordering::Relaxed);
+    ///             });
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(hits.into_inner(), 16);
+    /// ```
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope::new();
+        let result = f(&scope);
+        if scope.pending.load(Ordering::Acquire) > 0 {
+            self.run(|_| scope.drain());
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        let r = pool.scope(|_| 7);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn recursive_spawning_runs_everything() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicU64::new(0);
+        // Binary fan-out of depth 10 => 2^10 - 1 tasks beneath the root pair.
+        fn go<'s>(s: &Scope<'s>, depth: u32, count: &'s AtomicU64) {
+            count.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                s.spawn(move |s| go(s, depth - 1, count));
+                s.spawn(move |s| go(s, depth - 1, count));
+            }
+        }
+        pool.scope(|s| {
+            let count = &count;
+            s.spawn(move |s| go(s, 9, count));
+        });
+        assert_eq!(count.into_inner(), (1 << 10) - 1);
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_stack() {
+        let pool = ThreadPool::new(3);
+        let data = vec![1u64, 2, 3, 4];
+        let sum = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.into_inner(), 10);
+    }
+}

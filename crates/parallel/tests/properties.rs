@@ -1,0 +1,176 @@
+//! Property-based tests for the threading substrate: exactly-once
+//! iteration, reduction correctness, async-engine conservation, across
+//! arbitrary range lengths, grain sizes, and thread counts.
+
+use essentials_parallel::{run_async, run_async_seq, Schedule, SpinBarrier, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1usize..2000).prop_map(Schedule::Dynamic),
+        (1usize..500).prop_map(Schedule::Guided),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_for_visits_each_index_exactly_once(
+        len in 0usize..20_000,
+        threads in 1usize..6,
+        schedule in arb_schedule(),
+    ) {
+        let pool = ThreadPool::new(threads);
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..len, schedule, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_with_reports_valid_worker_ids(
+        len in 1usize..10_000,
+        threads in 1usize..6,
+        schedule in arb_schedule(),
+    ) {
+        let pool = ThreadPool::new(threads);
+        let bad = AtomicUsize::new(0);
+        pool.parallel_for_with(0..len, schedule, |tid, _i| {
+            if tid >= threads {
+                bad.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        prop_assert_eq!(bad.into_inner(), 0);
+    }
+
+    #[test]
+    fn parallel_reduce_equals_sequential_fold(
+        values in prop::collection::vec(0u64..1000, 0..5000),
+        threads in 1usize..5,
+        schedule in arb_schedule(),
+    ) {
+        let pool = ThreadPool::new(threads);
+        let expected: u64 = values.iter().sum();
+        let got = pool.parallel_reduce(
+            0..values.len(),
+            schedule,
+            0u64,
+            |i| values[i],
+            |a, b| a + b,
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn async_engine_conserves_items(
+        seeds in prop::collection::vec(0usize..64, 0..64),
+        threads in 1usize..5,
+        fanout in 0usize..3,
+    ) {
+        // Every item < 64 pushes `fanout` children in [64, 128); children
+        // push nothing. processed must equal seeds + pushes exactly.
+        let pool = ThreadPool::new(threads);
+        let stats = run_async(&pool, seeds.clone(), |item, pusher| {
+            if item < 64 {
+                for k in 0..fanout {
+                    pusher.push(64 + (item + k) % 64);
+                }
+            }
+        });
+        prop_assert_eq!(stats.processed, seeds.len() + stats.pushes);
+        prop_assert_eq!(stats.pushes, seeds.len() * fanout);
+        // And the sequential engine agrees on the totals.
+        let seq = run_async_seq(seeds.clone(), |item, pusher| {
+            if item < 64 {
+                for k in 0..fanout {
+                    pusher.push(64 + (item + k) % 64);
+                }
+            }
+        });
+        prop_assert_eq!(seq.processed, stats.processed);
+    }
+
+    #[test]
+    fn barrier_keeps_phase_counters_in_lockstep(
+        threads in 2usize..5,
+        phases in 1usize..20,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let barrier = SpinBarrier::new(threads);
+        let counter = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        pool.run(|_| {
+            for p in 0..phases {
+                counter.fetch_add(1, Ordering::Relaxed);
+                barrier.wait();
+                let c = counter.load(Ordering::Relaxed);
+                // After the barrier everyone must see all increments of
+                // phases 0..=p.
+                if c < (p + 1) * threads {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                }
+                barrier.wait();
+            }
+        });
+        prop_assert_eq!(violations.into_inner(), 0);
+        prop_assert_eq!(counter.into_inner(), phases * threads);
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task(
+        tasks in 0usize..200,
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let count = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..tasks {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        prop_assert_eq!(count.into_inner(), tasks);
+    }
+
+    #[test]
+    fn atomic_f32_min_converges_to_global_min(
+        values in prop::collection::vec(0u32..1_000_000, 1..2000),
+        threads in 1usize..5,
+    ) {
+        use essentials_parallel::atomics::AtomicF32;
+        let pool = ThreadPool::new(threads);
+        let a = AtomicF32::new(f32::INFINITY);
+        pool.parallel_for(0..values.len(), Schedule::Dynamic(64), |i| {
+            a.fetch_min(values[i] as f32, Ordering::AcqRel);
+        });
+        let expected = values.iter().copied().min().unwrap() as f32;
+        prop_assert_eq!(a.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn bitset_counts_distinct_sets(
+        indices in prop::collection::vec(0usize..512, 0..2000),
+        threads in 1usize..5,
+    ) {
+        use essentials_parallel::atomics::AtomicBitset;
+        let pool = ThreadPool::new(threads);
+        let bits = AtomicBitset::new(512);
+        let wins = AtomicUsize::new(0);
+        pool.parallel_for(0..indices.len(), Schedule::Dynamic(32), |i| {
+            if bits.set(indices[i]) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let mut distinct = indices.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(wins.into_inner(), distinct.len());
+        prop_assert_eq!(bits.count_ones(), distinct.len());
+        prop_assert_eq!(bits.iter_ones().collect::<Vec<_>>(), distinct);
+    }
+}

@@ -1,0 +1,116 @@
+//! Soak/stress tests for the threading substrate: rapid region churn,
+//! oversubscription, deep async cascades, and cross-thread pool sharing.
+//! These are the failure modes a work-sharing runtime actually exhibits
+//! (lost wakeups, double-dispatch, premature quiescence).
+
+use essentials_parallel::{run_async, Schedule, SpinBarrier, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn thousands_of_tiny_regions_do_not_lose_wakeups() {
+    let pool = ThreadPool::new(4);
+    let count = AtomicUsize::new(0);
+    for _ in 0..5_000 {
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.into_inner(), 5_000 * 4);
+}
+
+#[test]
+fn oversubscribed_pool_still_completes() {
+    // Far more workers than cores: forces heavy time-slicing through every
+    // code path (barrier spins, queue steals).
+    let pool = ThreadPool::new(16);
+    let barrier = SpinBarrier::new(16);
+    let count = AtomicUsize::new(0);
+    pool.run(|_| {
+        for _ in 0..25 {
+            count.fetch_add(1, Ordering::Relaxed);
+            barrier.wait();
+        }
+    });
+    assert_eq!(count.into_inner(), 16 * 25);
+}
+
+#[test]
+fn async_cascade_of_depth_ten_thousand() {
+    // A strictly sequential dependency chain through the async engine: each
+    // item pushes exactly one successor. Tests that quiescence detection
+    // never fires early even when the queue is nearly always empty.
+    let pool = ThreadPool::new(4);
+    let max_seen = AtomicUsize::new(0);
+    let stats = run_async(&pool, vec![0usize], |item, pusher| {
+        max_seen.fetch_max(item, Ordering::Relaxed);
+        if item < 10_000 {
+            pusher.push(item + 1);
+        }
+    });
+    assert_eq!(stats.processed, 10_001);
+    assert_eq!(max_seen.into_inner(), 10_000);
+}
+
+#[test]
+fn wide_async_burst() {
+    // One seed fans out to 50k items in one handler call.
+    let pool = ThreadPool::new(4);
+    let stats = run_async(&pool, vec![usize::MAX], |item, pusher| {
+        if item == usize::MAX {
+            for i in 0..50_000 {
+                pusher.push(i);
+            }
+        }
+    });
+    assert_eq!(stats.processed, 50_001);
+}
+
+#[test]
+fn pool_shared_across_threads_with_interleaved_regions_and_reductions() {
+    let pool = Arc::new(ThreadPool::new(3));
+    let mut handles = Vec::new();
+    for t in 0..6 {
+        let pool = Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || {
+            let mut totals = Vec::new();
+            for round in 0..20 {
+                let n = 1000 + t * 37 + round;
+                let sum = pool.parallel_reduce(
+                    0..n,
+                    Schedule::Dynamic(64),
+                    0u64,
+                    |i| i as u64,
+                    |a, b| a + b,
+                );
+                assert_eq!(sum, (n as u64 * (n as u64 - 1)) / 2);
+                totals.push(sum);
+            }
+            totals.len()
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 20);
+    }
+}
+
+#[test]
+fn parallel_for_with_huge_grain_and_tiny_range() {
+    let pool = ThreadPool::new(4);
+    let count = AtomicUsize::new(0);
+    pool.parallel_for(0..3, Schedule::Dynamic(1_000_000), |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.into_inner(), 3);
+}
+
+#[test]
+fn guided_schedule_on_pathological_range() {
+    // Range boundary exactly at a chunk edge, many threads.
+    let pool = ThreadPool::new(8);
+    let hits: Vec<AtomicUsize> = (0..4096).map(|_| AtomicUsize::new(0)).collect();
+    pool.parallel_for(0..4096, Schedule::Guided(1), |i| {
+        hits[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}

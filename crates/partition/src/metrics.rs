@@ -1,0 +1,83 @@
+//! Partition quality metrics: edge cut and balance.
+
+use essentials_graph::{EdgeValue, OutNeighbors};
+
+use crate::Partitioning;
+
+/// Number of edges whose endpoints land in different parts. (On symmetric
+/// graphs each undirected cut edge is counted twice, consistently across
+/// heuristics.)
+pub fn edge_cut<G: OutNeighbors>(g: &G, p: &Partitioning) -> usize {
+    assert_eq!(p.assignment.len(), g.num_vertices());
+    let mut cut = 0;
+    for u in g.vertices() {
+        let pu = p.assignment[u as usize];
+        for &v in g.out_neighbors(u) {
+            if p.assignment[v as usize] != pu {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Load imbalance: `max part size / ideal part size` (1.0 = perfect).
+pub fn balance(p: &Partitioning) -> f64 {
+    let sizes = p.part_sizes();
+    let max = *sizes.iter().max().unwrap_or(&0) as f64;
+    let ideal = p.assignment.len() as f64 / p.k as f64;
+    if ideal == 0.0 {
+        1.0
+    } else {
+        max / ideal
+    }
+}
+
+/// Edge-weighted cut: the total weight of cut edges — what distributed
+/// communication volume actually tracks.
+pub fn weighted_edge_cut<W, G>(g: &G, p: &Partitioning, weight_of: impl Fn(W) -> f64) -> f64
+where
+    W: EdgeValue,
+    G: essentials_graph::EdgeWeights<W>,
+{
+    let mut cut = 0.0;
+    for u in g.vertices() {
+        let pu = p.assignment[u as usize];
+        for e in g.out_edges(u) {
+            if p.assignment[g.edge_dest(e) as usize] != pu {
+                cut += weight_of(g.edge_weight(e));
+            }
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_graph::{Coo, Graph};
+
+    #[test]
+    fn cut_counts_cross_part_edges() {
+        // 0-1 same part, 1-2 cut.
+        let g = Graph::<()>::from_coo(&Coo::from_edges(3, [(0, 1, ()), (1, 2, ())]));
+        let p = Partitioning::new(vec![0, 0, 1], 2);
+        assert_eq!(edge_cut(&g, &p), 1);
+    }
+
+    #[test]
+    fn perfect_balance_is_one() {
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert_eq!(balance(&p), 1.0);
+        let q = Partitioning::new(vec![0, 0, 0, 1], 2);
+        assert_eq!(balance(&q), 1.5);
+    }
+
+    #[test]
+    fn weighted_cut() {
+        let g = Graph::<f32>::from_coo(&Coo::from_edges(3, [(0, 1, 5.0), (1, 2, 2.0)]));
+        let p = Partitioning::new(vec![0, 1, 1], 2);
+        let c = weighted_edge_cut(&g, &p, |w| w as f64);
+        assert_eq!(c, 5.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Multilevel k-way partitioning — the from-scratch stand-in for METIS \[7\].
+//!
+//! The classic three-phase scheme:
+//!
+//! 1. **Coarsen**: heavy-edge matching (HEM) contracts matched pairs,
+//!    accumulating vertex and edge weights, until the graph is small;
+//! 2. **Initial partition**: greedy region growing assigns the coarsest
+//!    vertices to k parts of near-equal vertex weight;
+//! 3. **Uncoarsen + refine**: the assignment is projected back level by
+//!    level, with greedy boundary refinement (positive-gain moves under a
+//!    balance constraint — the Fiduccia–Mattheyses move rule without the
+//!    bucket structure) at every level.
+//!
+//! Deterministic in `(graph, config)`: all randomness comes from the seeded
+//! RNG.
+
+use essentials_graph::OutNeighbors;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Partitioning;
+
+/// Tuning knobs for the multilevel partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct MultilevelConfig {
+    /// Number of parts.
+    pub k: usize,
+    /// RNG seed (matching order, seed selection, refinement order).
+    pub seed: u64,
+    /// Allowed imbalance: a part may weigh up to `imbalance × ideal`.
+    pub imbalance: f64,
+    /// Stop coarsening when at most this many vertices remain.
+    pub coarsen_until: usize,
+    /// Refinement passes per level.
+    pub refine_passes: usize,
+}
+
+impl MultilevelConfig {
+    /// Defaults for `k` parts.
+    pub fn new(k: usize) -> Self {
+        MultilevelConfig {
+            k,
+            seed: 1,
+            imbalance: 1.10,
+            coarsen_until: (20 * k).max(64),
+            refine_passes: 4,
+        }
+    }
+}
+
+/// Internal undirected weighted graph used across levels.
+struct WGraph {
+    /// Vertex weights (coarse vertices aggregate the fines they contain).
+    vw: Vec<u64>,
+    /// Adjacency: `(neighbor, edge weight)`, deduplicated, loop-free.
+    adj: Vec<Vec<(u32, u64)>>,
+}
+
+impl WGraph {
+    fn n(&self) -> usize {
+        self.vw.len()
+    }
+    fn total_weight(&self) -> u64 {
+        self.vw.iter().sum()
+    }
+}
+
+/// Runs the multilevel partitioner on (the symmetrized structure of) `g`.
+pub fn multilevel_partition<G: OutNeighbors>(g: &G, cfg: MultilevelConfig) -> Partitioning {
+    assert!(cfg.k >= 1);
+    let n = g.num_vertices();
+    if cfg.k == 1 || n == 0 {
+        return Partitioning::new(vec![0; n], cfg.k.max(1));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let base = build_undirected(g);
+
+    // ---- Coarsening ------------------------------------------------------
+    let mut levels: Vec<WGraph> = vec![base];
+    let mut maps: Vec<Vec<u32>> = Vec::new(); // fine vertex -> coarse vertex
+    loop {
+        let cur = levels.last().unwrap();
+        if cur.n() <= cfg.coarsen_until {
+            break;
+        }
+        // Cap coarse-vertex weight so hubs cannot swallow a part's worth of
+        // vertices and make balance unachievable at the coarsest level.
+        let max_vw = (cur.total_weight() / (4 * cfg.k as u64)).max(2);
+        let (coarse, map) = coarsen_hem(cur, max_vw, &mut rng);
+        // Diminishing returns: stop if matching barely shrank the graph.
+        if coarse.n() as f64 > cur.n() as f64 * 0.95 {
+            break;
+        }
+        levels.push(coarse);
+        maps.push(map);
+    }
+
+    // ---- Initial partition on the coarsest level --------------------------
+    let coarsest = levels.last().unwrap();
+    let mut assignment = grow_initial(coarsest, cfg, &mut rng);
+    refine(coarsest, &mut assignment, cfg, &mut rng);
+
+    // ---- Uncoarsen + refine ----------------------------------------------
+    for li in (0..maps.len()).rev() {
+        let fine = &levels[li];
+        let map = &maps[li];
+        let mut fine_assignment = vec![0u32; fine.n()];
+        for v in 0..fine.n() {
+            fine_assignment[v] = assignment[map[v] as usize];
+        }
+        assignment = fine_assignment;
+        refine(fine, &mut assignment, cfg, &mut rng);
+    }
+
+    Partitioning::new(assignment, cfg.k)
+}
+
+/// Builds the undirected, deduplicated weighted structure of any directed
+/// graph: edge weight = number of directed edges between the pair.
+fn build_undirected<G: OutNeighbors>(g: &G) -> WGraph {
+    let n = g.num_vertices();
+    let mut pair_count: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
+    for u in g.vertices() {
+        for &v in g.out_neighbors(u) {
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            *pair_count.entry(key).or_insert(0) += 1;
+        }
+    }
+    let mut adj = vec![Vec::new(); n];
+    for (&(u, v), &w) in &pair_count {
+        adj[u as usize].push((v, w));
+        adj[v as usize].push((u, w));
+    }
+    // Hash-map iteration order is nondeterministic; sort for reproducibility.
+    for row in &mut adj {
+        row.sort_unstable();
+    }
+    WGraph {
+        vw: vec![1; n],
+        adj,
+    }
+}
+
+/// Heavy-edge matching: visit vertices in random order, matching each
+/// unmatched vertex to its heaviest unmatched neighbor; contract pairs.
+fn coarsen_hem(g: &WGraph, max_vw: u64, rng: &mut StdRng) -> (WGraph, Vec<u32>) {
+    let n = g.n();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u64, u32)> = None;
+        for &(u, w) in &g.adj[v as usize] {
+            if mate[u as usize] == UNMATCHED
+                && u != v
+                && g.vw[v as usize] + g.vw[u as usize] <= max_vw
+            {
+                let cand = (w, u);
+                if best.map_or(true, |b| cand > b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v, // matched with itself
+        }
+    }
+    // Assign coarse ids (smaller endpoint of each pair owns the id).
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v && m != UNMATCHED {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    // Contract.
+    let cn = next as usize;
+    let mut vw = vec![0u64; cn];
+    for v in 0..n {
+        vw[map[v] as usize] += g.vw[v];
+    }
+    let mut pair: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+    for v in 0..n {
+        let cv = map[v];
+        for &(u, w) in &g.adj[v] {
+            let cu = map[u as usize];
+            if cu == cv || u < v as u32 {
+                continue; // each undirected edge once (u > v side)
+            }
+            let key = if cv < cu { (cv, cu) } else { (cu, cv) };
+            *pair.entry(key).or_insert(0) += w;
+        }
+    }
+    let mut adj = vec![Vec::new(); cn];
+    for (&(a, b), &w) in &pair {
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+    }
+    for row in &mut adj {
+        row.sort_unstable();
+    }
+    (WGraph { vw, adj }, map)
+}
+
+/// Greedy region growing: grow each part by BFS from a random unassigned
+/// seed until it reaches the ideal weight; leftovers join the lightest part.
+fn grow_initial(g: &WGraph, cfg: MultilevelConfig, rng: &mut StdRng) -> Vec<u32> {
+    let n = g.n();
+    const FREE: u32 = u32::MAX;
+    let mut assignment = vec![FREE; n];
+    let ideal = g.total_weight() as f64 / cfg.k as f64;
+    let mut part_weight = vec![0u64; cfg.k];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut cursor = 0usize;
+    for part in 0..cfg.k as u32 {
+        // Find a free seed.
+        while cursor < n && assignment[order[cursor] as usize] != FREE {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break;
+        }
+        let seed = order[cursor];
+        let mut queue = std::collections::VecDeque::from([seed]);
+        while let Some(v) = queue.pop_front() {
+            if assignment[v as usize] != FREE {
+                continue;
+            }
+            if part_weight[part as usize] as f64 >= ideal && part + 1 < cfg.k as u32 {
+                break; // part is full; remaining queue abandoned
+            }
+            assignment[v as usize] = part;
+            part_weight[part as usize] += g.vw[v as usize];
+            for &(u, _) in &g.adj[v as usize] {
+                if assignment[u as usize] == FREE {
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    // Leftovers (disconnected remainders): lightest part wins.
+    for v in 0..n {
+        if assignment[v] == FREE {
+            let part = (0..cfg.k).min_by_key(|&p| part_weight[p]).unwrap();
+            assignment[v] = part as u32;
+            part_weight[part] += g.vw[v];
+        }
+    }
+    assignment
+}
+
+/// Greedy boundary refinement: positive-gain moves under the balance
+/// constraint, several randomized passes.
+fn refine(g: &WGraph, assignment: &mut [u32], cfg: MultilevelConfig, rng: &mut StdRng) {
+    let n = g.n();
+    let k = cfg.k;
+    let mut part_weight = vec![0u64; k];
+    for v in 0..n {
+        part_weight[assignment[v] as usize] += g.vw[v];
+    }
+    let max_weight = (g.total_weight() as f64 / k as f64 * cfg.imbalance).ceil() as u64;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..cfg.refine_passes {
+        order.shuffle(rng);
+        let mut moved = false;
+        let mut conn = vec![0u64; k];
+        for &v in &order {
+            let vu = v as usize;
+            let home = assignment[vu] as usize;
+            // Connectivity of v to each part.
+            let mut touched: Vec<usize> = Vec::new();
+            for &(u, w) in &g.adj[vu] {
+                let p = assignment[u as usize] as usize;
+                if conn[p] == 0 {
+                    touched.push(p);
+                }
+                conn[p] += w;
+            }
+            let internal = conn[home];
+            #[allow(unused_mut)]
+            let mut best: Option<(u64, usize)> = None;
+            for &p in &touched {
+                if p == home {
+                    continue;
+                }
+                if part_weight[p] + g.vw[vu] > max_weight {
+                    continue;
+                }
+                if conn[p] > internal && best.map_or(true, |(bw, _)| conn[p] > bw) {
+                    best = Some((conn[p], p));
+                }
+            }
+            // Balance repair: an overweight home part evicts even without
+            // positive gain, preferring the best-connected feasible part and
+            // falling back to the globally lightest one.
+            if best.is_none() && part_weight[home] > max_weight {
+                let fallback = (0..k)
+                    .filter(|&p| p != home && part_weight[p] + g.vw[vu] <= max_weight)
+                    .max_by_key(|&p| (conn[p], std::cmp::Reverse(part_weight[p])));
+                if let Some(p) = fallback {
+                    best = Some((conn[p], p));
+                }
+            }
+            if let Some((_, p)) = best {
+                part_weight[home] -= g.vw[vu];
+                part_weight[p] += g.vw[vu];
+                assignment[vu] = p as u32;
+                moved = true;
+            }
+            for &p in &touched {
+                conn[p] = 0;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{balance, edge_cut};
+    use crate::random::random_partition;
+    use essentials_gen as gen;
+    use essentials_graph::{Graph, GraphBuilder};
+
+    fn sym(coo: &essentials_graph::Coo<()>) -> Graph<()> {
+        GraphBuilder::from_coo(coo.clone())
+            .remove_self_loops()
+            .symmetrize()
+            .deduplicate()
+            .build()
+    }
+
+    #[test]
+    fn beats_random_cut_on_a_grid_by_a_wide_margin() {
+        let g = sym(&gen::grid2d(32, 32));
+        let ml = multilevel_partition(&g, MultilevelConfig::new(4));
+        let rnd = random_partition(g.get_num_vertices(), 4, 1);
+        let (c_ml, c_rnd) = (edge_cut(&g, &ml), edge_cut(&g, &rnd));
+        assert!(
+            c_ml * 3 < c_rnd,
+            "multilevel {c_ml} should be well under random {c_rnd}"
+        );
+        assert!(balance(&ml) <= 1.15, "balance {}", balance(&ml));
+    }
+
+    #[test]
+    fn respects_balance_on_power_law_graphs() {
+        let g = sym(&gen::rmat(10, 8, gen::RmatParams::default(), 5));
+        let ml = multilevel_partition(&g, MultilevelConfig::new(8));
+        assert!(balance(&ml) <= 1.35, "balance {}", balance(&ml));
+        let rnd = random_partition(g.get_num_vertices(), 8, 2);
+        assert!(edge_cut(&g, &ml) < edge_cut(&g, &rnd));
+    }
+
+    #[test]
+    fn k_equals_one_is_trivial() {
+        let g = sym(&gen::grid2d(5, 5));
+        let p = multilevel_partition(&g, MultilevelConfig::new(1));
+        assert!(p.assignment.iter().all(|&x| x == 0));
+        assert_eq!(edge_cut(&g, &p), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = sym(&gen::gnm(500, 2000, 3));
+        let a = multilevel_partition(&g, MultilevelConfig::new(4));
+        let b = multilevel_partition(&g, MultilevelConfig::new(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        // Two separate grids.
+        let mut coo = essentials_graph::Coo::<()>::new(50);
+        for (s, d, _) in gen::grid2d(5, 5).iter() {
+            coo.push(s, d, ());
+            coo.push(s + 25, d + 25, ());
+        }
+        let g = sym(&coo);
+        let p = multilevel_partition(&g, MultilevelConfig::new(2));
+        assert_eq!(p.assignment.len(), 50);
+        assert!(balance(&p) <= 1.2);
+    }
+
+    #[test]
+    fn tiny_graph_fewer_vertices_than_parts() {
+        let g = sym(&gen::path(3));
+        let p = multilevel_partition(&g, MultilevelConfig::new(8));
+        assert_eq!(p.assignment.len(), 3);
+        // Every vertex still has a valid part id.
+        assert!(p.assignment.iter().all(|&x| (x as usize) < 8));
+    }
+}

@@ -1,0 +1,56 @@
+//! Baseline assignments: random and contiguous chunking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Partitioning;
+
+/// Uniform random assignment — Table I's "random partitioning" baseline.
+/// Ignores structure entirely; expected edge cut is `(1 - 1/k) · m`.
+pub fn random_partition(n: usize, k: usize, seed: u64) -> Partitioning {
+    assert!(k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Partitioning::new((0..n).map(|_| rng.gen_range(0..k) as u32).collect(), k)
+}
+
+/// Contiguous chunks of vertex ids. On generators that number vertices
+/// coherently (grids, rings) this is a surprisingly strong locality
+/// heuristic; on scrambled ids it degenerates to random.
+pub fn contiguous_partition(n: usize, k: usize) -> Partitioning {
+    assert!(k >= 1);
+    let chunk = n.div_ceil(k).max(1);
+    Partitioning::new((0..n).map(|v| (v / chunk) as u32).collect(), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let a = random_partition(100, 4, 1);
+        let b = random_partition(100, 4, 1);
+        assert_eq!(a, b);
+        assert!(a.assignment.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let p = random_partition(10_000, 4, 7);
+        for s in p.part_sizes() {
+            assert!((2000..3000).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn contiguous_chunks_are_exact() {
+        let p = contiguous_partition(10, 3);
+        assert_eq!(p.assignment, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn more_parts_than_vertices() {
+        let p = contiguous_partition(2, 5);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 2);
+    }
+}

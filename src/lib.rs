@@ -1,0 +1,20 @@
+//! `essentials` — facade crate re-exporting the full essentials-rs workspace.
+//!
+//! A CPU-parallel Rust reproduction of *Essentials of Parallel Graph
+//! Analytics* (Osama, Porumbescu, Owens; 2022). See the README for the
+//! architecture overview and DESIGN.md for the paper-to-code mapping.
+
+pub use essentials_algos as algos;
+pub use essentials_core as core;
+pub use essentials_frontier as frontier;
+pub use essentials_gen as gen;
+pub use essentials_graph as graph;
+pub use essentials_io as io;
+pub use essentials_mp as mp;
+pub use essentials_parallel as parallel;
+pub use essentials_partition as partition;
+
+/// Convenience prelude: the names needed by a typical application.
+pub mod prelude {
+    pub use essentials_core::prelude::*;
+}
