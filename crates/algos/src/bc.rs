@@ -169,8 +169,8 @@ mod tests {
         let ctx = Context::sequential();
         let bc = betweenness(execution::seq, &ctx, &g, &sources);
         assert!((bc[0] - 30.0).abs() < 1e-9);
-        for v in 1..7 {
-            assert!(bc[v].abs() < 1e-9);
+        for b in &bc[1..7] {
+            assert!(b.abs() < 1e-9);
         }
     }
 

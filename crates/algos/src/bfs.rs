@@ -84,12 +84,16 @@ pub fn bfs<P: ExecutionPolicy, W: EdgeValue>(
     let (_, stats) = Enactor::new().run(SparseFrontier::single(source), |iter, f| {
         directions.push(Direction::Push);
         let next_level = iter as u32 + 1;
-        neighbors_expand(policy, ctx, g, &f, |_src, dst, _e, _w| {
+        let out = neighbors_expand(policy, ctx, g, &f, |_src, dst, _e, _w| {
             edges.add(1);
             levels[dst as usize]
                 .compare_exchange(UNVISITED, next_level, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
-        })
+        });
+        // The CAS claim already deduplicates; recycling the spent frontier
+        // keeps the loop allocation-free after warm-up.
+        ctx.recycle_frontier(f);
+        out
     });
     BfsResult {
         level: unwrap_levels(levels),
@@ -221,6 +225,7 @@ pub fn bfs_direction_optimizing<P: ExecutionPolicy, W: EdgeValue>(
                         )
                         .is_ok()
                 });
+                ctx.recycle_frontier(sparse);
                 VertexFrontier::Sparse(out)
             }
             Direction::Pull => {

@@ -41,12 +41,15 @@ pub fn cc_label_propagation<P: ExecutionPolicy, W: EdgeValue>(
     let updates = Counter::new();
     let init: SparseFrontier = g.vertices().collect();
     let (_, stats) = Enactor::new().run(init, |_, f| {
-        let out = neighbors_expand(policy, ctx, g, &f, |src, dst, _e, _w| {
+        // Dedup is fused into the push; spent frontiers recycle their
+        // storage into the next iteration's output.
+        let out = neighbors_expand_unique(policy, ctx, g, &f, |src, dst, _e, _w| {
             updates.add(1);
             let l = labels[src as usize].load(Ordering::Acquire);
             labels[dst as usize].fetch_min(l, Ordering::AcqRel) > l
         });
-        uniquify_with_bitmap(policy, ctx, &out, n)
+        ctx.recycle_frontier(f);
+        out
     });
     CcResult {
         comp: labels.into_iter().map(AtomicU32::into_inner).collect(),

@@ -28,11 +28,7 @@ impl WalkResult {
 
     /// Number of walks.
     pub fn num_walks(&self) -> usize {
-        if self.stride == 0 {
-            0
-        } else {
-            self.steps.len() / self.stride
-        }
+        self.steps.len().checked_div(self.stride).unwrap_or(0)
     }
 }
 
@@ -145,9 +141,9 @@ mod tests {
         let starts: Vec<VertexId> = (0..20).collect();
         let r = random_walks(execution::par, &ctx, &g, &starts, 8, 7);
         assert_eq!(r.num_walks(), 20);
-        for w in 0..20 {
+        for (w, &start) in starts.iter().enumerate() {
             let walk = r.walk(w);
-            assert_eq!(walk[0], starts[w]);
+            assert_eq!(walk[0], start);
             for pair in walk.windows(2) {
                 if pair[1] == INVALID_VERTEX {
                     break;

@@ -57,10 +57,13 @@ fn check_weights(g: &Graph<f32>) {
 /// `neighbors_expand` with the atomic-min relaxation lambda until the
 /// frontier is empty.
 ///
-/// One addition over the listing: each iteration's output frontier is
-/// uniquified (Gunrock's filter stage). Without it, duplicate activations
-/// compound across iterations and the frontier can grow combinatorially;
-/// with it, results are identical and work is bounded.
+/// One addition over the listing: duplicate activations are eliminated as
+/// they are pushed (`neighbors_expand_unique`, Gunrock's filter stage fused
+/// into the advance). Without dedup, duplicate activations compound across
+/// iterations and the frontier can grow combinatorially; with it, results
+/// are identical and work is bounded — and fusing it avoids a second pass
+/// over the output. Spent frontiers are recycled through the context, so
+/// steady-state iterations allocate nothing.
 ///
 /// ```
 /// use essentials_core::prelude::*;
@@ -88,8 +91,8 @@ pub fn sssp<P: ExecutionPolicy>(
     f.add_vertex(source);
     // Main-loop.
     let (_, stats) = Enactor::new().run(f, |_, f| {
-        // Expand the frontier.
-        let out = neighbors_expand(
+        // Expand the frontier; duplicates are filtered during the push.
+        let out = neighbors_expand_unique(
             policy,
             ctx,
             g,
@@ -105,7 +108,8 @@ pub fn sssp<P: ExecutionPolicy>(
                 new_d < curr_d
             },
         );
-        uniquify_with_bitmap(policy, ctx, &out, n)
+        ctx.recycle_frontier(f);
+        out
     });
     SsspResult {
         dist: unwrap_dist(dist),
@@ -182,9 +186,10 @@ pub fn delta_stepping<P: ExecutionPolicy>(
         buckets[b].push(v);
     };
 
-    // Relax only edges on the requested side of the light/heavy split.
-    let relax = |f: &SparseFrontier, light: bool| -> SparseFrontier {
-        let out = neighbors_expand(policy, ctx, g, f, |src, dst, _e, w| {
+    // Relax only edges on the requested side of the light/heavy split;
+    // dedup is fused into the push.
+    let relax = |f: SparseFrontier, light: bool| -> SparseFrontier {
+        let out = neighbors_expand_unique(policy, ctx, g, &f, |src, dst, _e, w| {
             if (w < delta) != light {
                 return false;
             }
@@ -193,7 +198,8 @@ pub fn delta_stepping<P: ExecutionPolicy>(
             let curr_d = dist[dst as usize].fetch_min(new_d, Ordering::AcqRel);
             new_d < curr_d
         });
-        uniquify_with_bitmap(policy, ctx, &out, n)
+        ctx.recycle_frontier(f);
+        out
     };
 
     let mut bi = 0;
@@ -217,7 +223,7 @@ pub fn delta_stepping<P: ExecutionPolicy>(
             iterations += 1;
             trace.push(active.len());
             settled.extend(active.iter().copied());
-            let improved = relax(&SparseFrontier::from_vec(active), true);
+            let improved = relax(SparseFrontier::from_vec(active), true);
             let mut next = Vec::new();
             for v in improved.iter() {
                 if bucket_of(v) == bi {
@@ -226,15 +232,17 @@ pub fn delta_stepping<P: ExecutionPolicy>(
                     stash(&mut buckets, v);
                 }
             }
+            ctx.recycle_frontier(improved);
             active = next;
         }
         // Heavy phase: once over everything settled in this bucket.
         settled.sort_unstable();
         settled.dedup();
-        let heavy_improved = relax(&SparseFrontier::from_vec(settled), false);
+        let heavy_improved = relax(SparseFrontier::from_vec(settled), false);
         for v in heavy_improved.iter() {
             stash(&mut buckets, v);
         }
+        ctx.recycle_frontier(heavy_improved);
         bi += 1;
     }
 
@@ -274,6 +282,7 @@ pub fn sssp_edge_centric<P: ExecutionPolicy>(
             let curr_d = dist[dst as usize].fetch_min(new_d, Ordering::AcqRel);
             new_d < curr_d
         });
+        ctx.recycle_frontier(f);
         uniquify_with_bitmap(policy, ctx, &out, n)
     });
     SsspResult {

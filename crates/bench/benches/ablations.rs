@@ -1,7 +1,8 @@
 //! Ablations of individual design choices inside the abstraction —
 //! the knobs DESIGN.md's inventory calls out, measured in isolation:
-//! uniquify strategies, frontier conversions, loop schedules, adjacency
-//! intersection kernels, and representation build costs.
+//! frontier-pipeline collector and dedup strategies, uniquify strategies,
+//! frontier conversions, loop schedules, adjacency intersection kernels,
+//! degree-scan parallelism, and representation build costs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use essentials_bench::Workload;
@@ -9,6 +10,7 @@ use essentials_core::operators::filter::{uniquify, uniquify_with_bitmap};
 use essentials_core::operators::intersect::{intersect_count, intersect_count_gallop};
 use essentials_core::prelude::*;
 use essentials_frontier::convert;
+use essentials_parallel::{parallel_scan, serial_scan};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
@@ -89,6 +91,66 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("intersect_gallop/skewed", |bch| {
         bch.iter(|| intersect_count_gallop(&tiny, &a))
+    });
+
+    // --- frontier pipeline on a ≥1M-edge R-MAT ---------------------------
+    // Three output-collection strategies for the same expansion, and the
+    // fused-dedup advance against the two-pass expand + uniquify.
+    let big = Workload::Rmat.directed(17);
+    let big_n = big.get_num_vertices();
+    let big_ctx = Context::new(4);
+    let all: SparseFrontier = big.vertices().collect();
+    let admit = |_s: VertexId, d: VertexId, _e: EdgeId, _w: ()| d.is_multiple_of(2);
+    let edges_label = format!("rmat17_{}edges", big.get_num_edges());
+
+    // Paper Listing 3: one global mutex around every push.
+    group.bench_function(format!("collect_global_mutex/{edges_label}"), |b| {
+        b.iter(|| neighbors_expand_mutex(execution::par, &big_ctx, &big, &all, admit))
+    });
+    // Pre-refactor collector: per-worker Mutex<Vec> buffers.
+    group.bench_function(format!("collect_mutex_collector/{edges_label}"), |b| {
+        b.iter(|| {
+            let collector = Collector::new(big_ctx.num_threads());
+            for_each_edge_balanced(&big_ctx, &big, all.as_slice(), |tid, _v, e| {
+                let d = big.edge_dest(e);
+                if d % 2 == 0 {
+                    collector.push(tid, d);
+                }
+            });
+            collector.into_frontier()
+        })
+    });
+    // Current path: lock-free cache-line-padded worker buffers + scratch.
+    group.bench_function(format!("collect_lockfree/{edges_label}"), |b| {
+        b.iter(|| {
+            let out = neighbors_expand(execution::par, &big_ctx, &big, &all, admit);
+            big_ctx.recycle_frontier(out);
+        })
+    });
+
+    group.bench_function(format!("dedup_expand_then_uniquify/{edges_label}"), |b| {
+        b.iter(|| {
+            let out = neighbors_expand(execution::par, &big_ctx, &big, &all, admit);
+            let unique = uniquify_with_bitmap(execution::par, &big_ctx, &out, big_n);
+            big_ctx.recycle_frontier(out);
+            big_ctx.recycle_frontier(unique);
+        })
+    });
+    group.bench_function(format!("dedup_fused_bitmap/{edges_label}"), |b| {
+        b.iter(|| {
+            let out = neighbors_expand_unique(execution::par, &big_ctx, &big, &all, admit);
+            big_ctx.recycle_frontier(out);
+        })
+    });
+
+    // --- degree prefix sum: serial vs parallel ---------------------------
+    let degrees: Vec<usize> = (0..big_n).map(|v| big.out_degree(v as VertexId)).collect();
+    let mut scan_out = Vec::new();
+    group.bench_function(format!("scan_serial/{big_n}"), |b| {
+        b.iter(|| serial_scan(&degrees, &mut scan_out))
+    });
+    group.bench_function(format!("scan_parallel/{big_n}"), |b| {
+        b.iter(|| parallel_scan(big_ctx.pool(), &degrees, &mut scan_out))
     });
 
     // --- representation build costs (Listing 1's "cost of memory space") -

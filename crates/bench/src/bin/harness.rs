@@ -9,6 +9,8 @@
 //! the work columns (relaxations, edges inspected, messages, edge-cut) are
 //! machine-independent.
 
+#![allow(clippy::type_complexity)]
+
 use essentials_algos::{bfs, cc, color, hits, kcore, mst, pagerank, spmv, sssp, sswp, tc};
 use essentials_bench::{median_ms, table_header, time_ms, Workload};
 use essentials_core::prelude::*;

@@ -1,22 +1,26 @@
-//! Execution context: the thread pool an algorithm runs on.
+//! Execution context: the thread pool an algorithm runs on, plus the
+//! reusable scratch memory the frontier pipeline checks in and out.
 
 use std::sync::Arc;
 
+use essentials_frontier::SparseFrontier;
 use essentials_parallel::ThreadPool;
 
-/// Carries the thread pool (and nothing else — policies are types, not
-/// state) through operators and algorithms. Cheap to clone.
+use crate::scratch::{AdvanceScratch, ScratchSlot};
+
+/// Carries the thread pool (policies are types, not state) and the advance
+/// scratch slot through operators and algorithms. Cheap to clone; clones
+/// share both the pool and the scratch.
 #[derive(Clone)]
 pub struct Context {
     pool: Arc<ThreadPool>,
+    scratch: Arc<ScratchSlot>,
 }
 
 impl Context {
     /// A context with its own pool of `threads` workers.
     pub fn new(threads: usize) -> Self {
-        Context {
-            pool: Arc::new(ThreadPool::new(threads)),
-        }
+        Context::with_pool(Arc::new(ThreadPool::new(threads)))
     }
 
     /// A single-threaded context (reference semantics / baselines).
@@ -26,7 +30,10 @@ impl Context {
 
     /// Wraps an existing shared pool.
     pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
-        Context { pool }
+        Context {
+            pool,
+            scratch: Arc::new(ScratchSlot::new()),
+        }
     }
 
     /// The pool.
@@ -39,6 +46,26 @@ impl Context {
     #[inline]
     pub fn num_threads(&self) -> usize {
         self.pool.num_threads()
+    }
+
+    /// Checks the advance scratch out of the context. Steady state this is
+    /// one atomic swap; a fresh scratch is allocated only on first use or
+    /// when another algorithm holds the scratch concurrently.
+    pub fn take_scratch(&self) -> Box<AdvanceScratch> {
+        self.scratch.take(self.num_threads())
+    }
+
+    /// Returns the scratch for the next operator call.
+    pub fn put_scratch(&self, scratch: Box<AdvanceScratch>) {
+        self.scratch.put(scratch);
+    }
+
+    /// Donates a spent frontier's storage to the frontier pool, so the next
+    /// expansion's output reuses its capacity instead of allocating.
+    /// Algorithms call this on the input frontier once an iteration has
+    /// produced its successor.
+    pub fn recycle_frontier(&self, f: SparseFrontier) {
+        self.scratch.recycle(f, self.num_threads());
     }
 }
 
@@ -67,5 +94,24 @@ mod tests {
     #[test]
     fn sequential_context_has_one_worker() {
         assert_eq!(Context::sequential().num_threads(), 1);
+    }
+
+    #[test]
+    fn scratch_round_trips_through_the_context() {
+        let ctx = Context::new(2);
+        let mut s = ctx.take_scratch();
+        s.offsets.reserve(500);
+        let addr = s.offsets.as_ptr();
+        ctx.put_scratch(s);
+        assert_eq!(ctx.take_scratch().offsets.as_ptr(), addr);
+    }
+
+    #[test]
+    fn recycled_frontier_capacity_feeds_the_next_take() {
+        let ctx = Context::new(2);
+        let f = SparseFrontier::from_vec(Vec::with_capacity(256));
+        ctx.recycle_frontier(f);
+        let mut s = ctx.take_scratch();
+        assert!(s.take_vec().capacity() >= 256);
     }
 }

@@ -23,9 +23,11 @@ pub mod context;
 pub mod enactor;
 pub mod load_balance;
 pub mod operators;
+pub mod scratch;
 
 pub use context::Context;
 pub use enactor::{Enactor, LoopStats};
+pub use scratch::AdvanceScratch;
 
 /// Everything a typical algorithm needs, in one import.
 pub mod prelude {
@@ -35,8 +37,9 @@ pub mod prelude {
     pub use crate::operators::advance::{
         advance_edges, expand_pull, expand_pull_counted, expand_push_dense, expand_to_edges,
         neighbors_expand,
-        neighbors_expand_mutex, PullConfig,
+        neighbors_expand_mutex, neighbors_expand_unique, PullConfig,
     };
+    pub use crate::scratch::AdvanceScratch;
     pub use crate::operators::compute::{fill_indexed, foreach_active, foreach_vertex};
     pub use crate::operators::filter::{filter, uniquify, uniquify_with_bitmap};
     pub use crate::operators::intersect::{intersect_count, intersect_count_gallop};

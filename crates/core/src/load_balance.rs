@@ -9,7 +9,7 @@
 //! binary search (the CPU analogue of GPU merge-path load balancing).
 
 use essentials_graph::{EdgeId, OutNeighbors, VertexId};
-use essentials_parallel::Schedule;
+use essentials_parallel::{parallel_scan_with, Schedule};
 
 use crate::context::Context;
 
@@ -28,22 +28,48 @@ where
 /// Edge-balanced iteration: `f(worker, src, edge)` is called once per
 /// out-edge of every frontier vertex, with edge work divided evenly across
 /// workers regardless of degree skew.
+///
+/// The degree prefix sum lives in the context's advance scratch, so
+/// steady-state calls allocate nothing; callers already holding the scratch
+/// (the advance operators) use [`for_each_edge_balanced_with`] directly.
 pub fn for_each_edge_balanced<G, F>(ctx: &Context, g: &G, frontier: &[VertexId], f: F)
 where
     G: OutNeighbors + Sync,
     F: Fn(usize, VertexId, EdgeId) + Sync,
 {
-    // Prefix-sum the degrees: offsets[i] = first global work item of
-    // frontier[i].
-    let mut offsets = Vec::with_capacity(frontier.len() + 1);
-    offsets.push(0usize);
-    for &v in frontier {
-        offsets.push(offsets.last().unwrap() + g.out_degree(v));
-    }
-    let total = *offsets.last().unwrap();
+    let mut scratch = ctx.take_scratch();
+    let crate::scratch::AdvanceScratch {
+        offsets, chunk_sums, ..
+    } = &mut *scratch;
+    for_each_edge_balanced_with(ctx, g, frontier, offsets, chunk_sums, f);
+    ctx.put_scratch(scratch);
+}
+
+/// [`for_each_edge_balanced`] with caller-owned scan buffers.
+pub(crate) fn for_each_edge_balanced_with<G, F>(
+    ctx: &Context,
+    g: &G,
+    frontier: &[VertexId],
+    offsets: &mut Vec<usize>,
+    chunk_sums: &mut Vec<usize>,
+    f: F,
+) where
+    G: OutNeighbors + Sync,
+    F: Fn(usize, VertexId, EdgeId) + Sync,
+{
+    // Prefix-sum the degrees in parallel: offsets[i] = first global work
+    // item of frontier[i].
+    let total = parallel_scan_with(
+        ctx.pool(),
+        frontier.len(),
+        |i| g.out_degree(frontier[i]),
+        offsets,
+        chunk_sums,
+    );
     if total == 0 {
         return;
     }
+    let offsets: &[usize] = offsets;
     let threads = ctx.num_threads();
     let grain = (total / (threads * 8).max(1)).clamp(256, 1 << 16);
     let chunks = total.div_ceil(grain);

@@ -2,9 +2,13 @@
 //!
 //! [`neighbors_expand`] is the Rust port of the paper's Listing 3 — the
 //! push-direction traversal at the heart of Listing 4's SSSP — generic over
-//! execution policies exactly as the C++ version is overloaded on them.
+//! execution policies exactly as the C++ version is overloaded on them. Its
+//! parallel paths push into the context's reusable lock-free per-worker
+//! buffers ([`essentials_frontier::WorkerBuffers`]), so a steady-state
+//! iteration allocates nothing and takes no lock. [`neighbors_expand_unique`]
+//! fuses duplicate elimination into the push via a reusable atomic bitmap.
 //! [`neighbors_expand_mutex`] keeps the listing's literal mutex-guarded
-//! output for fidelity (and as the contention baseline the collector
+//! output for fidelity (and as the contention baseline the lock-free
 //! version is measured against). [`expand_pull`] is the CSC-based pull
 //! direction of §III-C, and [`expand_push_dense`] emits a bitmap frontier so
 //! direction-optimizing algorithms can switch representations mid-run.
@@ -15,7 +19,8 @@ use essentials_parallel::{run_async, ExecutionPolicy, Schedule};
 use parking_lot::Mutex;
 
 use crate::context::Context;
-use crate::load_balance::for_each_edge_balanced;
+use crate::load_balance::{for_each_edge_balanced, for_each_edge_balanced_with};
+use crate::scratch::AdvanceScratch;
 
 /// Push-direction neighbor expansion (paper Listing 3).
 ///
@@ -45,7 +50,7 @@ use crate::load_balance::for_each_edge_balanced;
 /// assert_eq!(out.as_slice(), &[1]);
 /// ```
 pub fn neighbors_expand<P, G, W, F>(
-    _policy: P,
+    policy: P,
     ctx: &Context,
     g: &G,
     f: &SparseFrontier,
@@ -57,45 +62,141 @@ where
     W: EdgeValue,
     F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
 {
+    let _ = policy;
+    expand_impl::<P, _, _, _, false>(ctx, g, f, condition)
+}
+
+/// [`neighbors_expand`] with fused deduplication: each destination enters
+/// the output at most once per call, recorded in a reusable atomic bitmap
+/// that is test-and-set during the push itself. Equivalent to
+/// `neighbors_expand` followed by
+/// [`uniquify`](crate::operators::filter::uniquify) up to output order, but
+/// without the post-hoc sort-or-bitmap pass — the dedup costs one atomic
+/// `fetch_or` per admitted edge, and the bitmap is swept clean afterwards in
+/// O(|output|) by walking the output, so the hot loop of BFS/SSSP/CC never
+/// re-zeroes O(n) memory.
+///
+/// The condition is still evaluated for **every** edge — only output
+/// insertion is gated. Conditions with side effects (SSSP's distance
+/// relaxation, CC's label min) therefore see exactly the edges
+/// `neighbors_expand` shows them.
+pub fn neighbors_expand_unique<P, G, W, F>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let _ = policy;
+    expand_impl::<P, _, _, _, true>(ctx, g, f, condition)
+}
+
+/// Shared body of [`neighbors_expand`] / [`neighbors_expand_unique`].
+///
+/// All transient memory — degree prefix sums, per-worker output buffers,
+/// the dedup bitmap, and the output vector itself — is checked out of the
+/// context's [`AdvanceScratch`], so steady-state calls perform no heap
+/// allocation and acquire no shared lock on the push path.
+fn expand_impl<P, G, W, F, const UNIQUE: bool>(
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let mut scratch = ctx.take_scratch();
+    if UNIQUE {
+        scratch.ensure_seen(g.num_vertices());
+    }
+
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
-        let mut output = SparseFrontier::new();
+        let mut out = scratch.take_vec();
         for v in f.iter() {
             for e in g.out_edges(v) {
                 let n = g.edge_dest(e);
                 let w = g.edge_weight(e);
-                if condition(v, n, e, w) {
-                    output.add_vertex(n);
+                // The condition runs for every edge even when the
+                // destination is already marked; the bitmap only gates
+                // output insertion.
+                if condition(v, n, e, w) && (!UNIQUE || scratch.seen.set(n as usize)) {
+                    out.push(n);
                 }
             }
         }
-        return output;
+        if UNIQUE {
+            for &v in &out {
+                scratch.seen.clear(v as usize);
+            }
+        }
+        ctx.put_scratch(scratch);
+        return SparseFrontier::from_vec(out);
     }
 
-    let collector = Collector::new(ctx.num_threads());
-    if P::IS_SYNCHRONIZED {
-        // Bulk-synchronous: edge-balanced division, barrier at the end of
-        // the parallel-for.
-        for_each_edge_balanced(ctx, g, f.as_slice(), |tid, v, e| {
-            let n = g.edge_dest(e);
-            let w = g.edge_weight(e);
-            if condition(v, n, e, w) {
-                collector.push(tid, n);
-            }
-        });
-    } else {
-        // Asynchronous: vertices drain through the work-queue engine; no
-        // barrier other than final quiescence.
-        run_async(ctx.pool(), f.iter().collect(), |v: VertexId, pusher| {
-            for e in g.out_edges(v) {
+    {
+        let AdvanceScratch {
+            offsets,
+            chunk_sums,
+            buffers,
+            seen,
+            ..
+        } = &mut *scratch;
+        buffers.ensure_workers(ctx.num_threads());
+        let seen = &*seen;
+        let view = buffers.view();
+        if P::IS_SYNCHRONIZED {
+            // Bulk-synchronous: edge-balanced division, barrier at the end
+            // of the parallel-for.
+            for_each_edge_balanced_with(ctx, g, f.as_slice(), offsets, chunk_sums, |tid, v, e| {
                 let n = g.edge_dest(e);
                 let w = g.edge_weight(e);
-                if condition(v, n, e, w) {
-                    collector.push(pusher.worker(), n);
+                if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
+                    // SAFETY: `tid` is this worker's own id; the pool runs
+                    // each worker id on exactly one thread per region.
+                    unsafe { view.push(tid, n) };
                 }
-            }
-        });
+            });
+        } else {
+            // Asynchronous: vertices drain through the work-queue engine;
+            // no barrier other than final quiescence.
+            run_async(ctx.pool(), f.iter().collect(), |v: VertexId, pusher| {
+                for e in g.out_edges(v) {
+                    let n = g.edge_dest(e);
+                    let w = g.edge_weight(e);
+                    if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
+                        // SAFETY: `pusher.worker()` is the engine worker's
+                        // own stable id — one thread per worker id.
+                        unsafe { view.push(pusher.worker(), n) };
+                    }
+                }
+            });
+        }
     }
-    collector.into_frontier()
+
+    let mut out = scratch.take_vec();
+    scratch.buffers.drain_into(&mut out);
+    if UNIQUE {
+        // Restore bitmap clearness by walking the (sparse) output rather
+        // than re-zeroing all n bits.
+        let seen = &scratch.seen;
+        let out_ref: &[VertexId] = &out;
+        ctx.pool()
+            .parallel_for(0..out_ref.len(), Schedule::Static, |i| {
+                seen.clear(out_ref[i] as usize);
+            });
+    }
+    ctx.put_scratch(scratch);
+    SparseFrontier::from_vec(out)
 }
 
 /// Literal port of Listing 3: a single mutex guards `output.add_vertex`.
@@ -178,6 +279,7 @@ where
 }
 
 /// Configuration of a pull-direction expansion.
+#[derive(Default)]
 pub struct PullConfig {
     /// Stop scanning a destination's in-neighbors after the first admitting
     /// edge (correct for reachability-style conditions like BFS; wrong for
@@ -185,11 +287,6 @@ pub struct PullConfig {
     pub early_exit: bool,
 }
 
-impl Default for PullConfig {
-    fn default() -> Self {
-        PullConfig { early_exit: false }
-    }
-}
 
 /// Pull-direction expansion (§III-C): every *candidate* destination scans
 /// its **in**-neighbors for active sources instead of active sources
@@ -396,6 +493,66 @@ mod tests {
         };
         let out = run(f);
         assert_eq!(out.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn unique_expand_matches_expand_plus_uniquify() {
+        let g = weighted_diamond();
+        let ctx = Context::new(4);
+        // 1 and 2 both point at 3 — plain expand emits 3 twice.
+        let f = SparseFrontier::from_vec(vec![0, 1, 2]);
+        let mut plain = neighbors_expand(execution::par, &ctx, &g, &f, |_, _, _, _| true);
+        plain.uniquify();
+        for mut unique in [
+            neighbors_expand_unique(execution::seq, &ctx, &g, &f, |_, _, _, _| true),
+            neighbors_expand_unique(execution::par, &ctx, &g, &f, |_, _, _, _| true),
+            neighbors_expand_unique(execution::par_nosync, &ctx, &g, &f, |_, _, _, _| true),
+        ] {
+            unique.uniquify(); // sorts; already duplicate-free
+            assert_eq!(unique, plain);
+        }
+    }
+
+    #[test]
+    fn unique_expand_still_evaluates_condition_per_edge() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let f = SparseFrontier::from_vec(vec![0, 1, 2]);
+        for policy_calls in [
+            {
+                let calls = AtomicUsize::new(0);
+                neighbors_expand_unique(execution::seq, &ctx, &g, &f, |_, _, _, _| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    true
+                });
+                calls.into_inner()
+            },
+            {
+                let calls = AtomicUsize::new(0);
+                neighbors_expand_unique(execution::par, &ctx, &g, &f, |_, _, _, _| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    true
+                });
+                calls.into_inner()
+            },
+        ] {
+            // Every out-edge of 0, 1, 2 — four edges — despite 3 being
+            // emitted only once.
+            assert_eq!(policy_calls, 4);
+        }
+    }
+
+    #[test]
+    fn unique_expand_bitmap_is_clean_across_calls() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let f = SparseFrontier::from_vec(vec![1, 2]);
+        // If bits leaked between calls, the second call would emit nothing.
+        for _ in 0..3 {
+            let out = neighbors_expand_unique(execution::par, &ctx, &g, &f, |_, _, _, _| true);
+            assert_eq!(out.as_slice(), &[3]);
+        }
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Reusable scratch memory for the frontier pipeline.
+//!
+//! A steady-state BSP iteration (expand → collect → dedup) used to allocate
+//! on every superstep: a degree-offset vector in the load balancer, one
+//! `Vec` per worker in the collector, an O(n) bitmap in `uniquify`, and the
+//! output frontier itself. [`AdvanceScratch`] owns all four, grown on demand
+//! and never shrunk, so after warm-up the advance path touches the allocator
+//! zero times.
+//!
+//! The scratch checks in and out of the [`crate::Context`] through a single
+//! `AtomicPtr` swap slot — no lock, no allocation. If two algorithms on one
+//! context overlap (the slot is empty when the second asks), the loser
+//! simply allocates a fresh scratch and the two instances rotate through the
+//! slot afterwards; correctness never depends on winning the swap.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use essentials_frontier::{SparseFrontier, WorkerBuffers};
+use essentials_graph::VertexId;
+use essentials_parallel::atomics::AtomicBitset;
+
+/// Bound on pooled output vectors; algorithms juggle at most a current and
+/// a next frontier plus a couple of temporaries.
+const MAX_SPARE_FRONTIERS: usize = 4;
+
+/// All reusable memory one advance/filter iteration needs.
+pub struct AdvanceScratch {
+    /// Degree prefix-sum of the input frontier (load balancer).
+    pub(crate) offsets: Vec<usize>,
+    /// Per-worker partial sums for the parallel scan.
+    pub(crate) chunk_sums: Vec<usize>,
+    /// Lock-free per-worker output buffers.
+    pub(crate) buffers: WorkerBuffers,
+    /// Dedup bitmap for fused-unique expansion. Bits are cleared after each
+    /// use by walking the (sparse) output, so the bitmap stays O(n) in
+    /// memory but O(|output|) in per-iteration time.
+    pub(crate) seen: AtomicBitset,
+    /// Recycled output vectors (frontier pool).
+    spare: Vec<Vec<VertexId>>,
+}
+
+impl AdvanceScratch {
+    /// Empty scratch sized for `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        AdvanceScratch {
+            offsets: Vec::new(),
+            chunk_sums: Vec::new(),
+            buffers: WorkerBuffers::new(workers),
+            seen: AtomicBitset::new(0),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Makes the dedup bitmap cover at least `n` vertices. All bits of the
+    /// returned bitmap are clear (the fused-unique path restores clearness
+    /// after every use; growth allocates a fresh zeroed bitmap).
+    pub(crate) fn ensure_seen(&mut self, n: usize) -> &AtomicBitset {
+        if self.seen.len() < n {
+            self.seen = AtomicBitset::new(n);
+        }
+        &self.seen
+    }
+
+    /// A cleared output vector, reusing pooled capacity when available.
+    pub(crate) fn take_vec(&mut self) -> Vec<VertexId> {
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a vector to the pool (dropped if the pool is full).
+    pub(crate) fn put_vec(&mut self, v: Vec<VertexId>) {
+        if self.spare.len() < MAX_SPARE_FRONTIERS && v.capacity() > 0 {
+            self.spare.push(v);
+        }
+    }
+}
+
+/// Lock-free single-slot exchanger for the scratch (see module docs).
+pub(crate) struct ScratchSlot {
+    slot: AtomicPtr<AdvanceScratch>,
+}
+
+impl ScratchSlot {
+    pub(crate) fn new() -> Self {
+        ScratchSlot {
+            slot: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Takes the parked scratch, or builds a fresh one if the slot is empty
+    /// (first use, or another algorithm holds it right now).
+    pub(crate) fn take(&self, workers: usize) -> Box<AdvanceScratch> {
+        let p = self.slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+        if p.is_null() {
+            Box::new(AdvanceScratch::new(workers))
+        } else {
+            // SAFETY: a non-null pointer in the slot is always a leaked Box
+            // from `put`, and the swap transferred exclusive ownership.
+            let mut s = unsafe { Box::from_raw(p) };
+            s.buffers.ensure_workers(workers);
+            s
+        }
+    }
+
+    /// Parks the scratch for the next taker. If another instance got parked
+    /// meanwhile, the incoming (most recently used, cache-warm) one replaces
+    /// it and the older one is freed.
+    pub(crate) fn put(&self, scratch: Box<AdvanceScratch>) {
+        let p = Box::into_raw(scratch);
+        let old = self.slot.swap(p, Ordering::Release);
+        if !old.is_null() {
+            // SAFETY: same ownership argument as in `take`.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    /// Recycles a frontier's storage into the parked scratch's vector pool.
+    /// A no-op (the vector is dropped) when the slot is empty.
+    pub(crate) fn recycle(&self, f: SparseFrontier, workers: usize) {
+        let mut s = self.take(workers);
+        s.put_vec(f.into_vec());
+        self.put(s);
+    }
+}
+
+impl Drop for ScratchSlot {
+    fn drop(&mut self) {
+        let p = self.slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+        if !p.is_null() {
+            // SAFETY: exclusive ownership as in `take`.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_round_trips_the_same_allocation() {
+        let slot = ScratchSlot::new();
+        let mut s = slot.take(4);
+        s.offsets.reserve(1000);
+        let cap = s.offsets.capacity();
+        let addr = s.offsets.as_ptr();
+        slot.put(s);
+        let s2 = slot.take(4);
+        assert_eq!(s2.offsets.capacity(), cap);
+        assert_eq!(s2.offsets.as_ptr(), addr);
+    }
+
+    #[test]
+    fn empty_slot_allocates_fresh() {
+        let slot = ScratchSlot::new();
+        let a = slot.take(2);
+        let b = slot.take(2); // slot empty while `a` is out
+        assert_eq!(b.buffers.workers(), 2);
+        slot.put(a);
+        slot.put(b); // replaces, freeing the older one — must not leak/crash
+    }
+
+    #[test]
+    fn seen_bitmap_grows_monotonically() {
+        let mut s = AdvanceScratch::new(2);
+        assert_eq!(s.ensure_seen(100).len(), 100);
+        assert_eq!(s.ensure_seen(50).len(), 100);
+        assert_eq!(s.ensure_seen(200).len(), 200);
+    }
+
+    #[test]
+    fn vec_pool_bounds_and_reuses() {
+        let mut s = AdvanceScratch::new(1);
+        let mut v = Vec::with_capacity(64);
+        v.push(1);
+        let addr = v.as_ptr();
+        s.put_vec(v);
+        let got = s.take_vec();
+        assert!(got.is_empty());
+        assert_eq!(got.as_ptr(), addr);
+        for _ in 0..10 {
+            s.put_vec(Vec::with_capacity(8));
+        }
+        assert!(s.spare.len() <= MAX_SPARE_FRONTIERS);
+    }
+}

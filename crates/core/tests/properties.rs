@@ -37,7 +37,7 @@ proptest! {
     fn neighbors_expand_policy_equivalence((g, frontier) in arb_graph_and_frontier()) {
         let ctx = Context::new(3);
         let f = SparseFrontier::from_vec(frontier);
-        let cond = |_s: VertexId, d: VertexId, _e: EdgeId, w: f32| w > 1.0 && d % 3 != 0;
+        let cond = |_s: VertexId, d: VertexId, _e: EdgeId, w: f32| w > 1.0 && !d.is_multiple_of(3);
         let mut outs = [
             neighbors_expand(execution::seq, &ctx, &g, &f, cond),
             neighbors_expand(execution::par, &ctx, &g, &f, cond),
@@ -104,7 +104,7 @@ proptest! {
         let ctx = Context::new(3);
         let n = g.get_num_vertices();
         let f = SparseFrontier::from_vec(frontier);
-        let pred = |v: VertexId| v % 2 == 0;
+        let pred = |v: VertexId| v.is_multiple_of(2);
         let mut a = filter(execution::seq, &ctx, &f, pred);
         let mut b = filter(execution::par, &ctx, &f, pred);
         a.uniquify();

@@ -54,18 +54,26 @@ impl Collector {
     /// threads follows worker id, so the result is deterministic given a
     /// deterministic work division.
     pub fn into_frontier(self) -> SparseFrontier {
-        let mut out = Vec::with_capacity(self.len());
-        for b in self.buffers {
-            out.extend(b.into_inner());
+        // Unwrap the mutexes first so the length sum and the concatenation
+        // share one pass over lock-free owned vectors (the old version
+        // locked every buffer twice: once inside `len()`, once to drain).
+        let bufs: Vec<Vec<VertexId>> = self.buffers.into_iter().map(Mutex::into_inner).collect();
+        let mut out = Vec::with_capacity(bufs.iter().map(Vec::len).sum());
+        for b in bufs {
+            out.extend(b);
         }
         SparseFrontier::from_vec(out)
     }
 
-    /// Drains into a sparse frontier without consuming the collector.
+    /// Drains into a sparse frontier without consuming the collector. Each
+    /// buffer is locked exactly once; the output grows as buffer lengths
+    /// become known under their own locks.
     pub fn flush(&self) -> SparseFrontier {
-        let mut out = Vec::with_capacity(self.len());
+        let mut out = Vec::new();
         for b in &self.buffers {
-            out.append(&mut b.lock());
+            let mut buf = b.lock();
+            out.reserve(buf.len());
+            out.append(&mut buf);
         }
         SparseFrontier::from_vec(out)
     }

@@ -90,7 +90,7 @@ mod tests {
         // Walk a path graph 0→1→2→3 using only the buffer.
         let adj = [vec![1], vec![2], vec![3], vec![]];
         let mut db = DoubleBuffer::seeded(SparseFrontier::single(0));
-        let mut visited = vec![false, false, false, false];
+        let mut visited = [false, false, false, false];
         visited[0] = true;
         let mut iterations = 0;
         while !db.is_converged() {

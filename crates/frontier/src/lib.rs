@@ -20,6 +20,9 @@
 //! * [`edge::EdgeFrontier`] — active *edges*, for edge-centric programs.
 //! * [`collector::Collector`] — per-thread output buffers for building the
 //!   next frontier from a parallel expansion without a global lock.
+//! * [`worker_buffers::WorkerBuffers`] — the lock-free, cache-line-padded,
+//!   capacity-retaining successor to the collector; the advance operators'
+//!   zero-allocation fast path.
 //! * [`double_buffer::DoubleBuffer`] — ping-pong current/next frontier pair
 //!   for allocation-free BSP loops.
 //! * [`Frontier`] — the representation-independent query interface.
@@ -33,6 +36,7 @@ pub mod double_buffer;
 pub mod edge;
 pub mod queue;
 pub mod sparse;
+pub mod worker_buffers;
 
 use essentials_graph::VertexId;
 
@@ -42,6 +46,7 @@ pub use double_buffer::DoubleBuffer;
 pub use edge::EdgeFrontier;
 pub use queue::QueueFrontier;
 pub use sparse::SparseFrontier;
+pub use worker_buffers::{WorkerBuffers, WorkerView};
 
 /// The top-level query interface every representation answers identically.
 pub trait Frontier {

@@ -16,10 +16,7 @@ pub fn unit_weights(coo: &Coo<()>) -> Coo<f32> {
 pub fn uniform_weights(coo: &Coo<()>, lo: f32, hi: f32, seed: u64) -> Coo<f32> {
     assert!(lo < hi && lo >= 0.0, "need 0 <= lo < hi for shortest paths");
     let mut rng = StdRng::seed_from_u64(seed);
-    remap(coo, move |_, _, rng_weight| {
-        let _ = rng_weight;
-        lo + (hi - lo) * rng.gen::<f32>()
-    })
+    remap(coo, move |_, _, _| lo + (hi - lo) * rng.gen::<f32>())
 }
 
 /// Endpoint-hashed weights in `[lo, hi)`: `w(u,v) = w(v,u)`, deterministic,

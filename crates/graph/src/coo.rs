@@ -5,12 +5,10 @@
 //! one of the representations a [`crate::Graph`] may retain (edge-centric
 //! operators iterate it directly).
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{EdgeValue, VertexId};
 
 /// An edge list with an explicit vertex count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Coo<W: EdgeValue> {
     num_vertices: usize,
     srcs: Vec<VertexId>,

@@ -4,8 +4,6 @@
 //! `column_indices`/`values`. A CSC is simply the CSR of the transposed
 //! edge list, so pull traversal reuses this type ([`Csr::transposed`]).
 
-use serde::{Deserialize, Serialize};
-
 use crate::coo::Coo;
 use crate::types::{EdgeId, EdgeValue, VertexId};
 
@@ -13,7 +11,7 @@ use crate::types::{EdgeId, EdgeValue, VertexId};
 ///
 /// Field names follow the paper's `csr_t` (Listing 1): `row_offsets`,
 /// `column_indices`, `values`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Csr<W: EdgeValue> {
     row_offsets: Vec<EdgeId>,
     column_indices: Vec<VertexId>,

@@ -7,7 +7,7 @@
 //!   of generated graphs, and real datasets drop in unchanged;
 //! * [`edge_list`] — whitespace-separated `src dst [weight]` text, the de
 //!   facto SNAP format;
-//! * [`binary`] — a compact CSR snapshot (serde + bytes) for fast reload
+//! * [`binary`] — a compact CSR snapshot (little-endian binary) for fast reload
 //!   of large generated workloads between bench runs.
 
 #![warn(missing_docs)]

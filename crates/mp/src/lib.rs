@@ -28,4 +28,4 @@ pub mod pregel;
 
 pub use async_mp::{async_mp_bfs, async_mp_sssp, run_async_mp, AsyncMpStats, AsyncSender};
 pub use mailbox::Mailbox;
-pub use pregel::{run_pregel, ComputeCtx, MpStats, NeighborView, VertexProgram};
+pub use pregel::{run_pregel, CombinerFn, ComputeCtx, MpStats, NeighborView, VertexProgram};

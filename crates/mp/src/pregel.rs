@@ -15,6 +15,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::mailbox::Mailbox;
 
+/// A sender-side message combiner: an associative, commutative merge of two
+/// messages addressed to the same vertex (see [`VertexProgram::combiner`]).
+pub type CombinerFn<M> = fn(M, M) -> M;
+
 /// Read-only view of a vertex's out-edges handed to `compute`.
 pub struct NeighborView<'a, W> {
     /// Destinations (global ids).
@@ -96,7 +100,7 @@ pub trait VertexProgram<W: EdgeValue>: Sync {
     /// two messages addressed to the same vertex (min for BFS/SSSP, sum
     /// for PageRank). Returning `Some` cuts message volume — each rank
     /// transmits at most one message per destination per superstep.
-    fn combiner(&self) -> Option<fn(Self::Msg, Self::Msg) -> Self::Msg> {
+    fn combiner(&self) -> Option<CombinerFn<Self::Msg>> {
         None
     }
 
@@ -209,7 +213,6 @@ where
                     for (v, msgs) in &groups {
                         run_vertex(*v, msgs);
                     }
-                    drop(run_vertex);
                     ctx.flush();
                     // Barrier (b): all sends of this step complete.
                     if barrier.wait() {

@@ -154,7 +154,7 @@ where
 /// `Seq` execution policy and as the test oracle.
 pub fn run_async_seq<T, F>(seeds: Vec<T>, handler: F) -> AsyncStats
 where
-    F: Fn(T, &Pusher<'_, T>) -> (),
+    F: Fn(T, &Pusher<'_, T>),
 {
     let shards = [Mutex::new(VecDeque::from(seeds))];
     let in_flight = AtomicUsize::new(shards[0].lock().len());

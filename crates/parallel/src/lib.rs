@@ -10,6 +10,8 @@
 //!   *parallel regions*; the bulk-synchronous substrate.
 //! * [`schedule::Schedule`] — static / dynamic / guided loop scheduling,
 //!   the load-balancing knob of §IV-C.
+//! * [`scan`] — parallel exclusive prefix sum; degree offsets for the
+//!   edge-balanced work division.
 //! * [`barrier::SpinBarrier`] — sense-reversing barrier for supersteps.
 //! * [`scope`] — structured fork-join task spawning.
 //! * [`async_engine`] — a work-queue engine with quiescence-based
@@ -28,6 +30,7 @@ pub mod atomics;
 pub mod barrier;
 pub mod policy;
 pub mod pool;
+pub mod scan;
 pub mod schedule;
 pub mod scope;
 
@@ -35,5 +38,6 @@ pub use async_engine::{run_async, run_async_seq, AsyncStats, Pusher};
 pub use barrier::SpinBarrier;
 pub use policy::{execution, ExecutionPolicy, Par, ParNosync, Seq};
 pub use pool::ThreadPool;
+pub use scan::{parallel_scan, parallel_scan_with, serial_scan};
 pub use schedule::Schedule;
 pub use scope::Scope;

@@ -298,7 +298,7 @@ impl ThreadPool {
         partials
             .into_inner()
             .into_iter()
-            .fold(identity, |a, b| combine(a, b))
+            .fold(identity, combine)
     }
 }
 

@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn tasks_can_borrow_caller_stack() {
         let pool = ThreadPool::new(3);
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sum = AtomicU64::new(0);
         pool.scope(|s| {
             for chunk in data.chunks(2) {

@@ -165,7 +165,7 @@ fn coarsen_hem(g: &WGraph, max_vw: u64, rng: &mut StdRng) -> (WGraph, Vec<u32>) 
                 && g.vw[v as usize] + g.vw[u as usize] <= max_vw
             {
                 let cand = (w, u);
-                if best.map_or(true, |b| cand > b) {
+                if best.is_none_or(|b| cand > b) {
                     best = Some(cand);
                 }
             }
@@ -259,10 +259,10 @@ fn grow_initial(g: &WGraph, cfg: MultilevelConfig, rng: &mut StdRng) -> Vec<u32>
         }
     }
     // Leftovers (disconnected remainders): lightest part wins.
-    for v in 0..n {
-        if assignment[v] == FREE {
+    for (v, a) in assignment.iter_mut().enumerate() {
+        if *a == FREE {
             let part = (0..cfg.k).min_by_key(|&p| part_weight[p]).unwrap();
-            assignment[v] = part as u32;
+            *a = part as u32;
             part_weight[part] += g.vw[v];
         }
     }
@@ -306,7 +306,7 @@ fn refine(g: &WGraph, assignment: &mut [u32], cfg: MultilevelConfig, rng: &mut S
                 if part_weight[p] + g.vw[vu] > max_weight {
                     continue;
                 }
-                if conn[p] > internal && best.map_or(true, |(bw, _)| conn[p] > bw) {
+                if conn[p] > internal && best.is_none_or(|(bw, _)| conn[p] > bw) {
                     best = Some((conn[p], p));
                 }
             }

@@ -1,0 +1,102 @@
+//! Property test for the fused-dedup advance: `neighbors_expand_unique`
+//! must equal `neighbors_expand` followed by `uniquify()` — as a set, on
+//! every graph, under every execution policy and thread count. Exercised on
+//! random R-MAT (power-law, the stress case for edge balancing) and
+//! Erdős–Rényi graphs.
+
+use essentials::prelude::*;
+use essentials_gen as gen;
+use proptest::prelude::*;
+
+/// Pseudo-random frontier: roughly a third of all vertices, seed-derived.
+fn random_frontier(n: usize, seed: u64) -> SparseFrontier {
+    let mut x = seed | 1;
+    let mut v = Vec::new();
+    for i in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if x.is_multiple_of(3) {
+            v.push(i as VertexId);
+        }
+    }
+    if v.is_empty() {
+        v.push(0);
+    }
+    SparseFrontier::from_vec(v)
+}
+
+/// Sorted contents of a frontier (set comparison).
+fn sorted(f: &SparseFrontier) -> Vec<VertexId> {
+    let mut v = f.as_slice().to_vec();
+    v.sort_unstable();
+    v
+}
+
+/// Runs both operators under one policy and compares. The condition must be
+/// pure for this identity to hold exactly (a stateful condition sees the
+/// same edges but may admit different ones per interleaving).
+fn check<P: ExecutionPolicy + Copy>(policy: P, ctx: &Context, g: &Graph<()>, f: &SparseFrontier) {
+    for parity in [None, Some(0), Some(1)] {
+        let cond = move |_s: VertexId, d: VertexId, _e: EdgeId, _w: ()| match parity {
+            None => true,
+            Some(p) => d % 2 == p,
+        };
+        let mut reference = neighbors_expand(policy, ctx, g, f, cond);
+        reference.uniquify();
+        let unique = neighbors_expand_unique(policy, ctx, g, f, cond);
+        let unique_sorted = sorted(&unique);
+        // Duplicate-free …
+        let mut deduped = unique_sorted.clone();
+        deduped.dedup();
+        assert_eq!(unique_sorted, deduped, "unique output contains duplicates");
+        // … and the same set as expand + uniquify.
+        assert_eq!(
+            unique_sorted,
+            reference.as_slice().to_vec(),
+            "unique output diverges from expand + uniquify"
+        );
+    }
+}
+
+fn check_all_policies_and_threads(g: &Graph<()>, fseed: u64) {
+    let f = random_frontier(g.num_vertices(), fseed);
+    for threads in [1, 2, 8] {
+        let ctx = Context::new(threads);
+        // Repeat under one context so scratch reuse (dirty bitmap, retained
+        // buffers) is also exercised, not just the cold path.
+        for _ in 0..2 {
+            check(execution::seq, &ctx, g, &f);
+            check(execution::par, &ctx, g, &f);
+            check(execution::par_nosync, &ctx, g, &f);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn unique_equals_expand_then_uniquify_on_rmat(
+        scale in 5u32..9,
+        edge_factor in 4usize..10,
+        seed in 0u64..10_000,
+        fseed in 0u64..10_000,
+    ) {
+        let coo = gen::rmat(scale, edge_factor, gen::RmatParams::default(), seed);
+        let g = Graph::from_coo(&coo);
+        check_all_policies_and_threads(&g, fseed);
+    }
+
+    #[test]
+    fn unique_equals_expand_then_uniquify_on_erdos_renyi(
+        n in 2usize..300,
+        edge_factor in 0usize..6,
+        seed in 0u64..10_000,
+        fseed in 0u64..10_000,
+    ) {
+        let coo = gen::gnm(n, n * edge_factor, seed);
+        let g = Graph::from_coo(&coo);
+        check_all_policies_and_threads(&g, fseed);
+    }
+}

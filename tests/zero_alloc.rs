@@ -1,0 +1,110 @@
+//! Steady-state allocation audit for the frontier pipeline.
+//!
+//! After warm-up (scratch buffers grown, frontier pool primed), one full
+//! BFS-style advance iteration — degree scan, edge-balanced expansion,
+//! lock-free collection, output assembly, frontier recycling — must touch
+//! the allocator **zero** times. Same for the fused-dedup SSSP-style
+//! iteration. Verified with a counting `#[global_allocator]`; this file is
+//! its own test binary so no other test's allocations pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+
+use essentials::prelude::*;
+use essentials_gen as gen;
+use essentials_parallel::atomics::AtomicF32;
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(l) }
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(p, l, new_size) }
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `iteration` once with allocation counting on; returns the count.
+fn count_allocs(iteration: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    iteration();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_advance_iterations_do_not_allocate() {
+    // Power-law graph big enough that every parallel path (scan, chunked
+    // edge balancing, per-worker buffers) actually engages.
+    let g: Graph<()> = Graph::from_coo(&gen::rmat(12, 8, gen::RmatParams::default(), 7));
+    let n = g.num_vertices();
+    let ctx = Context::new(4);
+    let frontier: SparseFrontier = (0..n as VertexId).step_by(2).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let dist: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(f32::INFINITY)).collect();
+
+    // One BFS-style advance: claim-by-CAS condition, expand, recycle the
+    // output. Levels are reset (plain stores, no allocation) so every run
+    // does identical work.
+    let bfs_iteration = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+        let out = neighbors_expand(execution::par, &ctx, &g, &frontier, |_s, d, _e, _w| {
+            levels[d as usize]
+                .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        });
+        ctx.recycle_frontier(out);
+    };
+
+    // One SSSP-style advance: atomic-min relaxation with fused dedup.
+    let sssp_iteration = || {
+        for d in &dist {
+            d.store(f32::INFINITY, Ordering::Relaxed);
+        }
+        let out = neighbors_expand_unique(execution::par, &ctx, &g, &frontier, |s, d, _e, _w| {
+            let nd = s as f32;
+            dist[d as usize].fetch_min(nd, Ordering::AcqRel) > nd
+        });
+        ctx.recycle_frontier(out);
+    };
+
+    // Warm-up: grows the scan buffers, the per-worker buffers, the dedup
+    // bitmap, and primes the frontier pool with a large-enough vector.
+    for _ in 0..3 {
+        bfs_iteration();
+        sssp_iteration();
+    }
+
+    let bfs_allocs = count_allocs(bfs_iteration);
+    assert_eq!(
+        bfs_allocs, 0,
+        "steady-state BFS advance iteration hit the allocator {bfs_allocs} times"
+    );
+
+    let sssp_allocs = count_allocs(sssp_iteration);
+    assert_eq!(
+        sssp_allocs, 0,
+        "steady-state fused-dedup advance iteration hit the allocator {sssp_allocs} times"
+    );
+}

@@ -1,0 +1,197 @@
+//! Minimal in-tree stand-in for the `bytes` crate.
+//!
+//! Provides `Bytes`/`BytesMut` as thin `Vec<u8>` wrappers plus the
+//! little-endian `Buf`/`BufMut` accessors the binary graph codec uses. No
+//! refcounted zero-copy slicing — the codec reads from plain `&[u8]` and
+//! writes linearly, so none is needed.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer (Vec-backed; no sharing).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Empty buffer.
+    pub const fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Copies a slice into an owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// Growable byte buffer for linear writes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Empty buffer.
+    pub const fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Linear little-endian write access.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32`, little-endian.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Linear little-endian read access with an advancing cursor.
+///
+/// Reads past the end panic (as in the real crate); callers bounds-check
+/// with [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a `u32`, little-endian, advancing.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a `u64`, little-endian, advancing.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads an `f32`, little-endian, advancing.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_slice(b"hdr!");
+        w.put_u32_le(7);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_f32_le(1.5);
+        let frozen = w.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 20);
+        let mut hdr = [0u8; 4];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"hdr!");
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+}
