@@ -16,6 +16,7 @@
 //!   arrive; the fixpoint equals BFS levels);
 //! * [`bfs_sequential`] — the textbook queue baseline (oracle).
 
+use essentials_core::obs::DirectionEvent;
 use essentials_core::prelude::*;
 use essentials_parallel::atomics::Counter;
 use essentials_parallel::run_async;
@@ -81,7 +82,7 @@ pub fn bfs<P: ExecutionPolicy, W: EdgeValue>(
     let levels = init_levels(n, source);
     let edges = Counter::new();
     let mut directions = Vec::new();
-    let (_, stats) = Enactor::new().run(SparseFrontier::single(source), |iter, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).run(SparseFrontier::single(source), |iter, f| {
         directions.push(Direction::Push);
         let next_level = iter as u32 + 1;
         let out = neighbors_expand(policy, ctx, g, &f, |_src, dst, _e, _w| {
@@ -118,7 +119,7 @@ pub fn bfs_pull<P: ExecutionPolicy, W: EdgeValue>(
     let mut directions = Vec::new();
     let init = DenseFrontier::new(n);
     init.insert(source);
-    let (_, stats) = Enactor::new().run(init, |iter, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).run(init, |iter, f| {
         directions.push(Direction::Pull);
         let next_level = iter as u32 + 1;
         let (out, scanned) = expand_pull_counted(
@@ -190,24 +191,38 @@ pub fn bfs_direction_optimizing<P: ExecutionPolicy, W: EdgeValue>(
         // Decide the direction from the current frontier's shape. Beamer's
         // heuristic: go pull only while the frontier is still growing —
         // shrinking frontiers (the long tail on meshes) stay push.
-        let dir = match &frontier {
+        let (dir, frontier_edges) = match &frontier {
             VertexFrontier::Sparse(s) => {
                 let frontier_edges: usize = s.iter().map(|v| g.out_degree(v)).sum();
-                if growing && frontier_edges > unexplored_edges / params.alpha.max(1) {
+                let dir = if growing && frontier_edges > unexplored_edges / params.alpha.max(1) {
                     Direction::Pull
                 } else {
                     Direction::Push
-                }
+                };
+                (dir, frontier_edges)
             }
             VertexFrontier::Dense(d) => {
-                if d.len() < n / params.beta.max(1) {
+                // The β rule decides from the frontier's cardinality alone;
+                // no edge count is computed on the dense side.
+                let dir = if d.len() < n / params.beta.max(1) {
                     Direction::Push
                 } else {
                     Direction::Pull
-                }
+                };
+                (dir, 0)
             }
         };
         directions.push(dir);
+        if let Some(sink) = ctx.obs() {
+            sink.on_direction(&DirectionEvent {
+                iteration: iter as usize,
+                frontier_len: frontier.len(),
+                frontier_edges,
+                unexplored_edges,
+                growing,
+                pull: dir == Direction::Pull,
+            });
+        }
 
         frontier = match dir {
             Direction::Push => {
@@ -287,7 +302,7 @@ pub fn bfs_dense<P: ExecutionPolicy, W: EdgeValue>(
     let edges = Counter::new();
     let init = DenseFrontier::new(n);
     init.insert(source);
-    let (_, stats) = Enactor::new().run(init, |iter, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).run(init, |iter, f| {
         let next_level = iter as u32 + 1;
         // Walk the bitmap; expand push-style into the next bitmap.
         let active: SparseFrontier = f.iter().collect();

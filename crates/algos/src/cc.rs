@@ -40,7 +40,7 @@ pub fn cc_label_propagation<P: ExecutionPolicy, W: EdgeValue>(
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let updates = Counter::new();
     let init: SparseFrontier = g.vertices().collect();
-    let (_, stats) = Enactor::new().run(init, |_, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).run(init, |_, f| {
         // Dedup is fused into the push; spent frontiers recycle their
         // storage into the next iteration's output.
         let out = neighbors_expand_unique(policy, ctx, g, &f, |src, dst, _e, _w| {
@@ -82,7 +82,7 @@ pub fn cc_hooking<P: ExecutionPolicy, W: EdgeValue>(
         }
     };
 
-    let (_, stats) = Enactor::new().max_iterations(64).run_until((), |_, ()| {
+    let (_, stats) = Enactor::for_ctx(ctx).max_iterations(64).run_until((), |_, (), progress| {
         let changed = Counter::new();
         // Hook phase: for every edge, point the larger root at the smaller.
         foreach_vertex(policy, ctx, m, |e| {
@@ -109,6 +109,8 @@ pub fn cc_hooking<P: ExecutionPolicy, W: EdgeValue>(
             let root = find(v);
             parent[v as usize].store(root, Ordering::Release);
         });
+        // Hooks that fired this round are the loop's work measure.
+        progress.report_work(changed.get());
         changed.get() == 0
     });
     CcResult {

@@ -50,9 +50,11 @@ pub fn hits<P: ExecutionPolicy, W: EdgeValue>(
         };
     }
     let init = (vec![1.0f64; n], vec![1.0f64; n]);
-    let ((hub, authority), stats) = Enactor::new()
+    let ((hub, authority), stats) = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
-        .run_until(init, |_, (hub, auth)| {
+        .run_until(init, |_, (hub, auth), progress| {
+            // Both score vectors are recomputed in full each iteration.
+            progress.report_work(n);
             // auth'[v] = Σ hub[u] over in-edges (u → v)
             let new_auth: Vec<f64> = fill_indexed(policy, ctx, n, |v| {
                 g.in_neighbors(v as VertexId)
@@ -148,5 +150,15 @@ mod tests {
         let ctx = Context::sequential();
         let r = hits(execution::seq, &ctx, &g, HitsConfig::default());
         assert!(r.hub.is_empty());
+    }
+
+    #[test]
+    fn frontier_trace_has_one_entry_per_iteration() {
+        let g = Graph::from_coo(&gen::gnm(150, 800, 4)).with_csc();
+        let ctx = Context::new(2);
+        let r = hits(execution::par, &ctx, &g, HitsConfig::default());
+        assert!(r.stats.iterations > 0);
+        assert_eq!(r.stats.frontier_trace.len(), r.stats.iterations);
+        assert!(r.stats.frontier_trace.iter().all(|&w| w == 150));
     }
 }

@@ -60,9 +60,12 @@ pub fn pagerank_pull<P: ExecutionPolicy, W: EdgeValue>(
     }
     let rank = vec![1.0 / n as f64; n];
     let mut final_error = f64::INFINITY;
-    let (rank, stats) = Enactor::new()
+    let (rank, stats) = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
-        .run_until(rank, |_, r| {
+        .run_until(rank, |_, r, progress| {
+            // Every vertex is updated each iteration — the fixpoint loop's
+            // natural work unit for the bench trace.
+            progress.report_work(n);
             // Mass of dangling vertices, redistributed uniformly.
             let dangling: f64 = sum_dangling(policy, ctx, g, r);
             let base = (1.0 - cfg.damping) / n as f64 + cfg.damping * dangling / n as f64;
@@ -105,9 +108,10 @@ pub fn pagerank_push<P: ExecutionPolicy, W: EdgeValue>(
     }
     let rank = vec![1.0 / n as f64; n];
     let mut final_error = f64::INFINITY;
-    let (rank, stats) = Enactor::new()
+    let (rank, stats) = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
-        .run_until(rank, |_, r| {
+        .run_until(rank, |_, r, progress| {
+            progress.report_work(n);
             let dangling: f64 = sum_dangling(policy, ctx, g, r);
             let base = (1.0 - cfg.damping) / n as f64 + cfg.damping * dangling / n as f64;
             let acc: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
@@ -193,9 +197,10 @@ pub fn personalized_pagerank<P: ExecutionPolicy, W: EdgeValue>(
     let teleport = &teleport;
     let rank = teleport.clone();
     let mut final_error = f64::INFINITY;
-    let (rank, stats) = Enactor::new()
+    let (rank, stats) = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
-        .run_until(rank, |_, r| {
+        .run_until(rank, |_, r, progress| {
+            progress.report_work(n);
             let dangling: f64 = sum_dangling(policy, ctx, g, r);
             let next: Vec<f64> = fill_indexed(policy, ctx, n, |v| {
                 let vid = v as VertexId;
@@ -373,6 +378,23 @@ mod tests {
         let a = personalized_pagerank(execution::seq, &ctx, &g, &[3, 7], PrConfig::default());
         let b = personalized_pagerank(execution::par, &ctx, &g, &[3, 7], PrConfig::default());
         assert_eq!(a.rank, b.rank);
+    }
+
+    #[test]
+    fn frontier_trace_has_one_entry_per_iteration() {
+        // run_until used to leave frontier_trace empty; benches that plot
+        // work-per-iteration rely on it being populated.
+        let g = Graph::from_coo(&gen::gnm(200, 1500, 7)).with_csc();
+        let ctx = Context::new(2);
+        for r in [
+            pagerank_pull(execution::par, &ctx, &g, PrConfig::default()),
+            pagerank_push(execution::par, &ctx, &g, PrConfig::default()),
+            personalized_pagerank(execution::par, &ctx, &g, &[0], PrConfig::default()),
+        ] {
+            assert!(r.stats.iterations > 0);
+            assert_eq!(r.stats.frontier_trace.len(), r.stats.iterations);
+            assert!(r.stats.frontier_trace.iter().all(|&w| w == 200));
+        }
     }
 
     #[test]

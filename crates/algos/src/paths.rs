@@ -43,7 +43,7 @@ pub fn sssp_with_parents<P: ExecutionPolicy>(
         .collect();
     let dist_of = |s: u64| f32::from_bits((s >> 32) as u32);
 
-    let (_, _stats) = Enactor::new().run(SparseFrontier::single(source), |_, f| {
+    let (_, _stats) = Enactor::for_ctx(ctx).run(SparseFrontier::single(source), |_, f| {
         let out = neighbors_expand(policy, ctx, g, &f, |src, dst, _e, w| {
             let new_d = dist_of(state[src as usize].load(Ordering::Acquire)) + w;
             let candidate = pack(new_d, src);
@@ -85,7 +85,7 @@ pub fn bfs_with_parents<P: ExecutionPolicy, W: EdgeValue>(
         .map(|i| AtomicU32::new(if i == source as usize { 0 } else { crate::bfs::UNVISITED }))
         .collect();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
-    let (_, _stats) = Enactor::new().run(SparseFrontier::single(source), |iter, f| {
+    let (_, _stats) = Enactor::for_ctx(ctx).run(SparseFrontier::single(source), |iter, f| {
         let next = iter as u32 + 1;
         neighbors_expand(policy, ctx, g, &f, |src, dst, _e, _w| {
             if level[dst as usize]

@@ -90,7 +90,7 @@ pub fn sssp<P: ExecutionPolicy>(
     let mut f = SparseFrontier::new();
     f.add_vertex(source);
     // Main-loop.
-    let (_, stats) = Enactor::new().run(f, |_, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).run(f, |_, f| {
         // Expand the frontier; duplicates are filtered during the push.
         let out = neighbors_expand_unique(
             policy,
@@ -273,7 +273,7 @@ pub fn sssp_edge_centric<P: ExecutionPolicy>(
     let n = g.get_num_vertices();
     let dist = init_dist(n, source);
     let relaxations = Counter::new();
-    let (_, stats) = Enactor::new().run(SparseFrontier::single(source), |_, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).run(SparseFrontier::single(source), |_, f| {
         // Vertex frontier -> edge frontier -> relax -> vertex frontier.
         let active_edges = expand_to_edges(policy, ctx, g, &f);
         let out = advance_edges(policy, ctx, g, &active_edges, |src, dst, _e, w| {

@@ -29,7 +29,7 @@ pub fn sswp<P: ExecutionPolicy>(
     let width: Vec<AtomicF32> = (0..n)
         .map(|i| AtomicF32::new(if i == source as usize { f32::INFINITY } else { 0.0 }))
         .collect();
-    let (_, stats) = Enactor::new().run(SparseFrontier::single(source), |_, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).run(SparseFrontier::single(source), |_, f| {
         let out = neighbors_expand(policy, ctx, g, &f, |src, dst, _e, w| {
             let cand = width[src as usize].load(Ordering::Acquire).min(w);
             width[dst as usize].fetch_max(cand, Ordering::AcqRel) < cand

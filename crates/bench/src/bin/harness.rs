@@ -3,6 +3,11 @@
 //! Usage: `cargo run --release -p essentials-bench --bin harness [scale]`
 //! (default scale 12 ⇒ ~4k-vertex graphs; scale 14–16 for longer runs).
 //!
+//! With `--obs FILE` the harness instead runs an *observed* session: the
+//! flagship traversals execute with a `TeeSink(CountersSink, TraceSink)`
+//! attached to the context, every event is exported to FILE as JSON lines,
+//! and a summary digest (MTEPS, load-balance skew, iterations) is printed.
+//!
 //! Each experiment E1–E8 instantiates one coverage claim of the paper's
 //! Table I as a measurable comparison; see DESIGN.md §4 for the mapping.
 //! Wall times on this host are indicative only (single-core container);
@@ -11,8 +16,11 @@
 
 #![allow(clippy::type_complexity)]
 
+use std::sync::Arc;
+
 use essentials_algos::{bfs, cc, color, hits, kcore, mst, pagerank, spmv, sssp, sswp, tc};
 use essentials_bench::{median_ms, table_header, time_ms, Workload};
+use essentials_core::obs::write_jsonl;
 use essentials_core::prelude::*;
 use essentials_mp::algorithms::{mp_bfs, mp_pagerank, mp_sssp, mp_sssp_combined};
 use essentials_mp::async_mp::{async_mp_bfs, async_mp_sssp};
@@ -22,10 +30,26 @@ use essentials_partition::{
 };
 
 fn main() {
-    let scale: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let mut scale: u32 = 12;
+    let mut obs_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--obs" {
+            obs_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--obs requires an output path (e.g. --obs out.jsonl)");
+                std::process::exit(2);
+            }));
+        } else if let Ok(s) = arg.parse() {
+            scale = s;
+        } else {
+            eprintln!("unrecognized argument {arg:?}; usage: harness [scale] [--obs FILE]");
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = obs_path {
+        obs_session(scale, &path);
+        return;
+    }
     let threads = [1usize, 2, 4];
     println!("essentials-rs experiment harness — scale {scale}, host threads sweep {threads:?}");
     println!("(single-core host: wall-times are indicative; work columns are exact)\n");
@@ -38,6 +62,49 @@ fn main() {
     e6_sssp(scale);
     e7_suite(scale);
     e8_message_passing(scale);
+}
+
+/// `--obs` mode: run the flagship traversals with the full observability
+/// stack attached, export every event as JSON lines, and print the digest.
+fn obs_session(scale: u32, path: &str) {
+    let ctx = Context::new(4);
+    let workers = ctx.pool().num_threads();
+    let counters = Arc::new(CountersSink::new(workers));
+    let trace = Arc::new(TraceSink::new());
+    let tee = TeeSink::new()
+        .with(counters.clone() as Arc<dyn ObsSink>)
+        .with(trace.clone() as Arc<dyn ObsSink>);
+    let ctx = ctx.with_obs(Arc::new(tee));
+
+    println!("observed session — scale {scale}, {workers} workers, trace → {path}");
+    let g = Workload::Rmat.symmetric(scale);
+    let wg = Workload::Rmat.weighted(scale);
+
+    trace.mark("bfs-direction-optimizing");
+    bfs::bfs_direction_optimizing(execution::par, &ctx, &g, 0, bfs::DoParams::default());
+    trace.mark("sssp-bsp");
+    sssp::sssp(execution::par, &ctx, &wg, 0);
+    trace.mark("pagerank-pull");
+    pagerank::pagerank_pull(execution::par, &ctx, &g, pagerank::PrConfig::default());
+
+    let records = trace.records();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    }));
+    write_jsonl(&records, &mut file).expect("trace export failed");
+
+    let summary = Summary::from_records(&records);
+    println!("{}", summary.render());
+    let totals = counters.snapshot();
+    println!(
+        "counters: {} advance calls, {} edges admitted, {} filter drops, skew {:.3}",
+        totals.advance_calls,
+        totals.edges_admitted,
+        totals.filter_drops,
+        totals.skew_ratio()
+    );
+    println!("{} records written to {path}", records.len());
 }
 
 /// E1 — Timing models: BSP vs asynchronous (Table I row 1).
@@ -56,13 +123,33 @@ fn e1_timing(scale: u32) {
         let g = w.weighted(scale);
         for &t in &[1usize, 2, 4] {
             let ctx = Context::new(t);
-            let runs: Vec<(&str, &str, Box<dyn Fn() -> (usize, usize)>)> = vec![
+            // BSP work columns come from the observability layer: one
+            // observed run with a CountersSink attached reports the edges
+            // the advance operator actually inspected (for SSSP that count
+            // *is* the relaxations attempted — see tests/obs_counters.rs).
+            // The timed runs use the bare context, so the wall-time column
+            // never pays for the detail counting. The async variants bypass
+            // the operator layer entirely and keep their algo-level
+            // counters.
+            let observed_edges = |run: &dyn Fn(&Context)| {
+                let sink = Arc::new(CountersSink::new(ctx.pool().num_threads()));
+                let octx = ctx.clone().with_obs(sink.clone() as Arc<dyn ObsSink>);
+                run(&octx);
+                sink.snapshot().edges_inspected as usize
+            };
+            let runs: Vec<(&str, &str, Box<dyn Fn() -> (usize, usize)>, Box<dyn Fn()>)> = vec![
                 (
                     "sssp",
                     "bsp/par",
                     Box::new(|| {
                         let r = sssp::sssp(execution::par, &ctx, &g, 0);
-                        (r.stats.iterations, r.relaxations)
+                        let work = observed_edges(&|octx: &Context| {
+                            sssp::sssp(execution::par, octx, &g, 0);
+                        });
+                        (r.stats.iterations, work)
+                    }),
+                    Box::new(|| {
+                        sssp::sssp(execution::par, &ctx, &g, 0);
                     }),
                 ),
                 (
@@ -72,13 +159,22 @@ fn e1_timing(scale: u32) {
                         let r = sssp::sssp_async(&ctx, &g, 0);
                         (r.stats.iterations, r.relaxations)
                     }),
+                    Box::new(|| {
+                        sssp::sssp_async(&ctx, &g, 0);
+                    }),
                 ),
                 (
                     "bfs",
                     "bsp/par",
                     Box::new(|| {
                         let r = bfs::bfs(execution::par, &ctx, &g, 0);
-                        (r.stats.iterations, r.edges_inspected)
+                        let work = observed_edges(&|octx: &Context| {
+                            bfs::bfs(execution::par, octx, &g, 0);
+                        });
+                        (r.stats.iterations, work)
+                    }),
+                    Box::new(|| {
+                        bfs::bfs(execution::par, &ctx, &g, 0);
                     }),
                 ),
                 (
@@ -88,13 +184,14 @@ fn e1_timing(scale: u32) {
                         let r = bfs::bfs_async(&ctx, &g, 0);
                         (r.stats.iterations, r.edges_inspected)
                     }),
+                    Box::new(|| {
+                        bfs::bfs_async(&ctx, &g, 0);
+                    }),
                 ),
             ];
-            for (algo, mode, f) in runs {
-                let (iters, work) = f();
-                let ms = median_ms(3, || {
-                    f();
-                });
+            for (algo, mode, measure, timed) in runs {
+                let (iters, work) = measure();
+                let ms = median_ms(3, &*timed);
                 println!(
                     "{:>11}  {algo:>6}  {mode:>12}  {t:>7}  {ms:>9.2}  {iters:>10}  {work:>10}",
                     w.name()

@@ -1,31 +1,52 @@
-//! Execution context: the thread pool an algorithm runs on, plus the
-//! reusable scratch memory the frontier pipeline checks in and out.
+//! Execution context: the thread pool an algorithm runs on, the reusable
+//! scratch memory the frontier pipeline checks in and out, and the optional
+//! observability sink events flow into.
 
 use std::sync::Arc;
 
 use essentials_frontier::SparseFrontier;
+use essentials_obs::ObsSink;
 use essentials_parallel::ThreadPool;
 
 use crate::scratch::{AdvanceScratch, ScratchSlot};
 
-/// Carries the thread pool (policies are types, not state) and the advance
-/// scratch slot through operators and algorithms. Cheap to clone; clones
-/// share both the pool and the scratch.
+/// Resolves a requested worker count against the `ESSENTIALS_THREADS`
+/// environment variable: a positive integer there overrides the request.
+/// This is how CI pins the whole suite to 1 and 8 workers without touching
+/// any call site; [`Context::sequential`] is exempt so sequential baselines
+/// stay sequential.
+pub fn resolve_threads(requested: usize) -> usize {
+    match std::env::var("ESSENTIALS_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => requested,
+        },
+        Err(_) => requested,
+    }
+}
+
+/// Carries the thread pool (policies are types, not state), the advance
+/// scratch slot, and the optional observability sink through operators and
+/// algorithms. Cheap to clone; clones share the pool, the scratch, and the
+/// sink.
 #[derive(Clone)]
 pub struct Context {
     pool: Arc<ThreadPool>,
     scratch: Arc<ScratchSlot>,
+    obs: Option<Arc<dyn ObsSink>>,
 }
 
 impl Context {
-    /// A context with its own pool of `threads` workers.
+    /// A context with its own pool of `threads` workers (subject to the
+    /// [`resolve_threads`] environment override).
     pub fn new(threads: usize) -> Self {
-        Context::with_pool(Arc::new(ThreadPool::new(threads)))
+        Context::with_pool(Arc::new(ThreadPool::new(resolve_threads(threads))))
     }
 
-    /// A single-threaded context (reference semantics / baselines).
+    /// A single-threaded context (reference semantics / baselines). Not
+    /// subject to the environment override.
     pub fn sequential() -> Self {
-        Context::new(1)
+        Context::with_pool(Arc::new(ThreadPool::new(1)))
     }
 
     /// Wraps an existing shared pool.
@@ -33,6 +54,40 @@ impl Context {
         Context {
             pool,
             scratch: Arc::new(ScratchSlot::new()),
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability sink; subsequent operator and enactor
+    /// calls through this context (and its clones) emit events into it.
+    /// With no sink attached — the default — instrumentation costs one
+    /// `None` check per operator call.
+    pub fn with_obs(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.obs = Some(sink);
+        self
+    }
+
+    /// Detaches the observability sink.
+    pub fn without_obs(mut self) -> Self {
+        self.obs = None;
+        self
+    }
+
+    /// The attached observability sink, if any.
+    #[inline]
+    pub fn obs(&self) -> Option<&Arc<dyn ObsSink>> {
+        self.obs.as_ref()
+    }
+
+    /// Whether some attached sink wants per-edge operator detail
+    /// (admission counts, per-worker push tallies). Producers gate the
+    /// per-edge bookkeeping on this so a [`essentials_obs::NullSink`] keeps
+    /// hot paths at their uninstrumented cost.
+    #[inline]
+    pub fn obs_wants_detail(&self) -> bool {
+        match &self.obs {
+            Some(s) => s.wants_op_detail(),
+            None => false,
         }
     }
 
@@ -70,7 +125,8 @@ impl Context {
 }
 
 impl Default for Context {
-    /// Sized to available hardware parallelism.
+    /// Sized to available hardware parallelism (subject to the
+    /// [`resolve_threads`] environment override).
     fn default() -> Self {
         let n = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -82,17 +138,19 @@ impl Default for Context {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use essentials_obs::{CountersSink, NullSink};
 
     #[test]
     fn contexts_share_pools_on_clone() {
         let ctx = Context::new(2);
         let ctx2 = ctx.clone();
-        assert_eq!(ctx2.num_threads(), 2);
+        assert_eq!(ctx2.num_threads(), resolve_threads(2));
         assert!(std::ptr::eq(ctx.pool(), ctx2.pool()));
     }
 
     #[test]
     fn sequential_context_has_one_worker() {
+        // Exempt from the environment override by contract.
         assert_eq!(Context::sequential().num_threads(), 1);
     }
 
@@ -113,5 +171,26 @@ mod tests {
         ctx.recycle_frontier(f);
         let mut s = ctx.take_scratch();
         assert!(s.take_vec().capacity() >= 256);
+    }
+
+    #[test]
+    fn obs_defaults_off_and_clones_share_the_sink() {
+        let ctx = Context::new(2);
+        assert!(ctx.obs().is_none());
+        assert!(!ctx.obs_wants_detail());
+
+        let sink: Arc<dyn ObsSink> = Arc::new(CountersSink::new(2));
+        let ctx = ctx.with_obs(sink.clone());
+        let clone = ctx.clone();
+        assert!(Arc::ptr_eq(&sink, clone.obs().unwrap()));
+        assert!(ctx.obs_wants_detail());
+        assert!(ctx.without_obs().obs().is_none());
+    }
+
+    #[test]
+    fn null_sink_declines_detail_through_the_context() {
+        let ctx = Context::new(2).with_obs(Arc::new(NullSink));
+        assert!(ctx.obs().is_some());
+        assert!(!ctx.obs_wants_detail());
     }
 }

@@ -10,47 +10,125 @@
 //!   empties (traversal algorithms: BFS, SSSP, …);
 //! * [`Enactor::run_until`] — state-driven: converge when a caller
 //!   predicate holds (fixed-point algorithms: PageRank, HITS, coloring).
+//!
+//! An enactor built with [`Enactor::for_ctx`] emits one
+//! [`IterSpan`](essentials_obs::IterSpan) per iteration — wall time and
+//! frontier in/out sizes — into the context's observability sink.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use essentials_frontier::Frontier;
+use essentials_obs::{IterSpan, LoopKind, ObsSink};
+
+use crate::context::Context;
 
 /// Statistics recorded by an enacted loop.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LoopStats {
     /// Number of iterations (supersteps) executed.
     pub iterations: usize,
-    /// Frontier size after each iteration (empty for `run_until` unless the
-    /// step reports sizes itself). Benches use this as the workload trace.
+    /// Per-iteration work trace: the frontier size after each [`Enactor::run`]
+    /// iteration, or the size the step reported via
+    /// [`IterProgress::report_work`] for each [`Enactor::run_until`]
+    /// iteration (0 for steps that report nothing). Always
+    /// `iterations` entries long. Benches use this as the workload trace.
     pub frontier_trace: Vec<usize>,
     /// True if the loop stopped because it hit the iteration cap rather
     /// than converging.
     pub hit_iteration_cap: bool,
 }
 
-/// The iterative loop with a convergence condition.
-#[derive(Debug, Clone)]
-pub struct Enactor {
-    max_iterations: usize,
+/// Per-iteration progress reporter handed to [`Enactor::run_until`] steps.
+///
+/// Fixpoint loops have no frontier for the enactor to measure, so the step
+/// closure reports its own work size (vertices touched, messages exchanged,
+/// residual count — whatever the algorithm's natural unit is); the enactor
+/// records it in [`LoopStats::frontier_trace`] and the iteration span.
+#[derive(Debug, Default)]
+pub struct IterProgress {
+    work: usize,
 }
 
-impl Default for Enactor {
-    fn default() -> Self {
-        Enactor::new()
+impl IterProgress {
+    /// Reports this iteration's work size. Last call wins.
+    #[inline]
+    pub fn report_work(&mut self, work: usize) {
+        self.work = work;
+    }
+
+    /// The reported work size (0 if never reported).
+    #[inline]
+    pub fn work(&self) -> usize {
+        self.work
+    }
+}
+
+/// The iterative loop with a convergence condition.
+#[derive(Clone, Default)]
+pub struct Enactor {
+    max_iterations: Option<usize>,
+    obs: Option<Arc<dyn ObsSink>>,
+}
+
+impl std::fmt::Debug for Enactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enactor")
+            .field("max_iterations", &self.max_iterations)
+            .field("obs", &self.obs.as_ref().map(|_| "Arc<dyn ObsSink>"))
+            .finish()
     }
 }
 
 impl Enactor {
-    /// An enactor with no iteration cap.
+    /// An enactor with no iteration cap and no observability.
     pub fn new() -> Self {
+        Enactor::default()
+    }
+
+    /// An enactor wired to `ctx`'s observability sink (if any): every
+    /// iteration emits an [`IterSpan`]. Algorithms construct their enactor
+    /// this way so `Context::with_obs` reaches loop-level telemetry.
+    pub fn for_ctx(ctx: &Context) -> Self {
         Enactor {
-            max_iterations: usize::MAX,
+            max_iterations: None,
+            obs: ctx.obs().cloned(),
         }
     }
 
     /// Caps the number of iterations (a safety net for non-monotone
     /// conditions; a cap hit is reported in [`LoopStats`]).
     pub fn max_iterations(mut self, k: usize) -> Self {
-        self.max_iterations = k;
+        self.max_iterations = Some(k);
         self
+    }
+
+    #[inline]
+    fn cap(&self) -> usize {
+        self.max_iterations.unwrap_or(usize::MAX)
+    }
+
+    /// Emits an iteration span when a sink is attached. Timing is only
+    /// taken when the sink exists, so uninstrumented loops skip the clock
+    /// reads entirely.
+    #[inline]
+    fn emit_span(
+        &self,
+        iteration: usize,
+        started: Option<Instant>,
+        frontier_in: usize,
+        frontier_out: usize,
+        loop_kind: LoopKind,
+    ) {
+        if let (Some(sink), Some(t0)) = (&self.obs, started) {
+            sink.on_iteration(&IterSpan {
+                iteration,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                frontier_in,
+                frontier_out,
+                loop_kind,
+            });
+        }
     }
 
     /// Frontier-driven loop: runs `step(iteration, frontier)` until the
@@ -63,31 +141,52 @@ impl Enactor {
         let mut frontier = init;
         let mut stats = LoopStats::default();
         while !frontier.is_empty() {
-            if stats.iterations >= self.max_iterations {
+            if stats.iterations >= self.cap() {
                 stats.hit_iteration_cap = true;
                 break;
             }
+            let frontier_in = frontier.len();
+            let started = self.obs.as_ref().map(|_| Instant::now());
             frontier = step(stats.iterations, frontier);
+            self.emit_span(
+                stats.iterations,
+                started,
+                frontier_in,
+                frontier.len(),
+                LoopKind::Frontier,
+            );
             stats.iterations += 1;
             stats.frontier_trace.push(frontier.len());
         }
         (frontier, stats)
     }
 
-    /// State-driven loop: runs `step(iteration, &mut state)` until it
-    /// returns `true` (converged). Returns the state and stats.
+    /// State-driven loop: runs `step(iteration, &mut state, &mut progress)`
+    /// until it returns `true` (converged). Returns the state and stats;
+    /// each iteration's [`IterProgress`] report lands in
+    /// [`LoopStats::frontier_trace`].
     pub fn run_until<T, F>(&self, mut state: T, mut step: F) -> (T, LoopStats)
     where
-        F: FnMut(usize, &mut T) -> bool,
+        F: FnMut(usize, &mut T, &mut IterProgress) -> bool,
     {
         let mut stats = LoopStats::default();
         loop {
-            if stats.iterations >= self.max_iterations {
+            if stats.iterations >= self.cap() {
                 stats.hit_iteration_cap = true;
                 break;
             }
-            let converged = step(stats.iterations, &mut state);
+            let mut progress = IterProgress::default();
+            let started = self.obs.as_ref().map(|_| Instant::now());
+            let converged = step(stats.iterations, &mut state, &mut progress);
+            self.emit_span(
+                stats.iterations,
+                started,
+                progress.work(),
+                progress.work(),
+                LoopKind::Fixpoint,
+            );
             stats.iterations += 1;
+            stats.frontier_trace.push(progress.work());
             if converged {
                 break;
             }
@@ -100,6 +199,7 @@ impl Enactor {
 mod tests {
     use super::*;
     use essentials_frontier::SparseFrontier;
+    use essentials_obs::{Record, TraceSink};
 
     #[test]
     fn frontier_loop_runs_until_empty() {
@@ -134,11 +234,72 @@ mod tests {
 
     #[test]
     fn state_loop_converges_on_predicate() {
-        let (x, stats) = Enactor::new().run_until(1.0f64, |_, x| {
+        let (x, stats) = Enactor::new().run_until(1.0f64, |_, x, _| {
             *x /= 2.0;
             *x < 0.01
         });
         assert!(x < 0.01);
         assert_eq!(stats.iterations, 7);
+    }
+
+    #[test]
+    fn state_loop_trace_records_reported_work() {
+        let (_, stats) = Enactor::new().run_until(0usize, |i, x, progress| {
+            *x += 1;
+            progress.report_work(10 * (i + 1));
+            *x == 3
+        });
+        assert_eq!(stats.iterations, 3);
+        assert_eq!(stats.frontier_trace, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn state_loop_trace_defaults_to_zero_without_reports() {
+        let (_, stats) = Enactor::new().run_until(0usize, |_, x, _| {
+            *x += 1;
+            *x == 2
+        });
+        // One entry per iteration even when the step reports nothing.
+        assert_eq!(stats.frontier_trace, vec![0, 0]);
+    }
+
+    #[test]
+    fn obs_enactor_emits_one_span_per_iteration() {
+        let trace = Arc::new(TraceSink::new());
+        let ctx = Context::sequential().with_obs(trace.clone());
+        let init = SparseFrontier::from_vec(vec![0, 1]);
+        let (_, stats) = Enactor::for_ctx(&ctx).run(init, |_, f| {
+            let mut v = f.into_vec();
+            v.pop();
+            SparseFrontier::from_vec(v)
+        });
+        let spans: Vec<_> = trace
+            .records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Iteration(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), stats.iterations);
+        assert_eq!(spans[0].frontier_in, 2);
+        assert_eq!(spans[0].frontier_out, 1);
+        assert_eq!(spans[0].loop_kind, LoopKind::Frontier);
+
+        let (_, stats) = Enactor::for_ctx(&ctx).run_until(0usize, |_, x, p| {
+            *x += 1;
+            p.report_work(7);
+            *x == 2
+        });
+        let fixpoint_spans: Vec<_> = trace
+            .records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Iteration(s) if s.loop_kind == LoopKind::Fixpoint => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fixpoint_spans.len(), stats.iterations);
+        assert_eq!(fixpoint_spans[0].frontier_in, 7);
     }
 }

@@ -25,14 +25,18 @@ pub mod load_balance;
 pub mod operators;
 pub mod scratch;
 
-pub use context::Context;
-pub use enactor::{Enactor, LoopStats};
+pub use context::{resolve_threads, Context};
+pub use enactor::{Enactor, IterProgress, LoopStats};
 pub use scratch::AdvanceScratch;
+
+/// The observability layer the operators emit into (re-exported so
+/// algorithm crates need no separate dependency).
+pub use essentials_obs as obs;
 
 /// Everything a typical algorithm needs, in one import.
 pub mod prelude {
-    pub use crate::context::Context;
-    pub use crate::enactor::{Enactor, LoopStats};
+    pub use crate::context::{resolve_threads, Context};
+    pub use crate::enactor::{Enactor, IterProgress, LoopStats};
     pub use crate::load_balance::{for_each_edge_balanced, for_each_vertex_balanced};
     pub use crate::operators::advance::{
         advance_edges, expand_pull, expand_pull_counted, expand_push_dense, expand_to_edges,
@@ -51,6 +55,9 @@ pub mod prelude {
     pub use essentials_graph::{
         Coo, Csr, EdgeId, EdgeValue, EdgeWeights, Graph, GraphBase, GraphBuilder, InNeighbors,
         OutNeighbors, VertexId, INVALID_VERTEX,
+    };
+    pub use essentials_obs::{
+        CounterTotals, CountersSink, NullSink, ObsSink, Summary, TeeSink, TraceSink,
     };
     pub use essentials_parallel::{
         execution, ExecutionPolicy, Par, ParNosync, Schedule, Seq, ThreadPool,

@@ -15,12 +15,20 @@
 
 use essentials_frontier::{Collector, DenseFrontier, EdgeFrontier, SparseFrontier};
 use essentials_graph::{EdgeId, EdgeValue, EdgeWeights, InEdgeWeights, OutNeighbors, VertexId};
+use essentials_obs::{AdvanceEvent, OpKind};
+use essentials_parallel::atomics::Counter;
 use essentials_parallel::{run_async, ExecutionPolicy, Schedule};
 use parking_lot::Mutex;
 
 use crate::context::Context;
 use crate::load_balance::{for_each_edge_balanced, for_each_edge_balanced_with};
 use crate::scratch::AdvanceScratch;
+
+/// Sum of out-degrees over a frontier — the edges a push expansion
+/// inspects. Only evaluated when a sink wants operator detail.
+fn frontier_out_edges<G: OutNeighbors>(g: &G, f: &SparseFrontier) -> u64 {
+    f.iter().map(|v| g.out_degree(v) as u64).sum()
+}
 
 /// Push-direction neighbor expansion (paper Listing 3).
 ///
@@ -120,6 +128,38 @@ where
         scratch.ensure_seen(g.num_vertices());
     }
 
+    // Per-edge admission counting is gated on a sink actually wanting it
+    // (`NullSink` declines), so the residual cost of the instrumentation on
+    // an uninstrumented or null-sink context is one predicted branch.
+    let detail = ctx.obs_wants_detail();
+    let admitted = Counter::new();
+    let condition = |v: VertexId, n: VertexId, e: EdgeId, w: W| {
+        let ok = condition(v, n, e, w);
+        if detail && ok {
+            admitted.add(1);
+        }
+        ok
+    };
+    let emit = |ctx: &Context, frontier_in: usize, output_len: usize, per_worker: &[usize]| {
+        if let Some(sink) = ctx.obs() {
+            let adm = admitted.get() as u64;
+            sink.on_advance(&AdvanceEvent {
+                kind: if UNIQUE { OpKind::AdvanceUnique } else { OpKind::Advance },
+                policy: P::NAME,
+                frontier_in,
+                edges_inspected: if detail { frontier_out_edges(g, f) } else { 0 },
+                admitted: adm,
+                output_len,
+                dedup_hits: if UNIQUE && detail {
+                    adm.saturating_sub(output_len as u64)
+                } else {
+                    0
+                },
+                per_worker,
+            });
+        }
+    };
+
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
         let mut out = scratch.take_vec();
         for v in f.iter() {
@@ -139,6 +179,7 @@ where
                 scratch.seen.clear(v as usize);
             }
         }
+        emit(ctx, f.len(), out.len(), &[]);
         ctx.put_scratch(scratch);
         return SparseFrontier::from_vec(out);
     }
@@ -183,6 +224,14 @@ where
         }
     }
 
+    // Per-worker push distribution, read between the parallel region and
+    // the drain (which empties the slots). Allocates only when a sink asked
+    // for detail.
+    let per_worker = if detail && ctx.obs().is_some() {
+        scratch.buffers.slot_lens()
+    } else {
+        Vec::new()
+    };
     let mut out = scratch.take_vec();
     scratch.buffers.drain_into(&mut out);
     if UNIQUE {
@@ -195,6 +244,7 @@ where
                 seen.clear(out_ref[i] as usize);
             });
     }
+    emit(ctx, f.len(), out.len(), &per_worker);
     ctx.put_scratch(scratch);
     SparseFrontier::from_vec(out)
 }
@@ -259,10 +309,15 @@ where
     F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
 {
     let output = DenseFrontier::new(g.num_vertices());
+    let detail = ctx.obs_wants_detail();
+    let admitted = Counter::new();
     let body = |v: VertexId, e: EdgeId| {
         let n = g.edge_dest(e);
         let w = g.edge_weight(e);
         if condition(v, n, e, w) {
+            if detail {
+                admitted.add(1);
+            }
             output.insert(n);
         }
     };
@@ -274,6 +329,18 @@ where
         }
     } else {
         for_each_edge_balanced(ctx, g, f.as_slice(), |_tid, v, e| body(v, e));
+    }
+    if let Some(sink) = ctx.obs() {
+        sink.on_advance(&AdvanceEvent {
+            kind: OpKind::AdvanceDense,
+            policy: P::NAME,
+            frontier_in: f.len(),
+            edges_inspected: if detail { frontier_out_edges(g, f) } else { 0 },
+            admitted: admitted.get() as u64,
+            output_len: output.len(),
+            dedup_hits: 0,
+            per_worker: &[],
+        });
     }
     output
 }
@@ -350,6 +417,22 @@ where
         ctx.pool()
             .parallel_for(0..n, Schedule::Dynamic(256), |i| scan(i as VertexId));
     }
+    if let Some(sink) = ctx.obs() {
+        let out_len = output.len();
+        sink.on_advance(&AdvanceEvent {
+            kind: OpKind::Pull,
+            policy: P::NAME,
+            frontier_in: input.len(),
+            edges_inspected: scanned.get() as u64,
+            // Each output vertex was admitted by at least one scanned edge;
+            // the scan is the honest work measure, so per-edge admission is
+            // not separately counted here.
+            admitted: out_len as u64,
+            output_len: out_len,
+            dedup_hits: 0,
+            per_worker: &[],
+        });
+    }
     (output, scanned.get())
 }
 
@@ -395,8 +478,25 @@ where
         let w = g.edge_weight(ae.edge);
         condition(ae.src, dst, ae.edge, w).then_some(dst)
     };
+    let emit = |ctx: &Context, output_len: usize| {
+        if let Some(sink) = ctx.obs() {
+            sink.on_advance(&AdvanceEvent {
+                kind: OpKind::AdvanceEdges,
+                policy: P::NAME,
+                frontier_in: f.len(),
+                // Every active edge is inspected exactly once.
+                edges_inspected: f.len() as u64,
+                admitted: output_len as u64,
+                output_len,
+                dedup_hits: 0,
+                per_worker: &[],
+            });
+        }
+    };
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
-        return f.as_slice().iter().filter_map(apply).collect();
+        let out: SparseFrontier = f.as_slice().iter().filter_map(apply).collect();
+        emit(ctx, out.len());
+        return out;
     }
     let collector = Collector::new(ctx.num_threads());
     ctx.pool()
@@ -405,7 +505,9 @@ where
                 collector.push(tid, dst);
             }
         });
-    collector.into_frontier()
+    let out = collector.into_frontier();
+    emit(ctx, out.len());
+    out
 }
 
 /// Vertex-to-edge advance: the active *edges* of a vertex frontier

@@ -7,9 +7,18 @@
 
 use essentials_frontier::SparseFrontier;
 use essentials_graph::VertexId;
+use essentials_obs::{ComputeEvent, OpKind};
 use essentials_parallel::{ExecutionPolicy, Schedule};
 
 use crate::context::Context;
+
+/// Emits a [`ComputeEvent`] if the context carries a sink. One call per
+/// operator call — the instrumentation never enters the per-item loop.
+fn emit(ctx: &Context, kind: OpKind, policy: &'static str, items: usize) {
+    if let Some(sink) = ctx.obs() {
+        sink.on_compute(&ComputeEvent { kind, policy, items });
+    }
+}
 
 /// Applies `f` to every vertex id in `0..n`.
 pub fn foreach_vertex<P, F>(_policy: P, ctx: &Context, n: usize, f: F)
@@ -25,6 +34,7 @@ where
         ctx.pool()
             .parallel_for(0..n, Schedule::Dynamic(512), |i| f(i as VertexId));
     }
+    emit(ctx, OpKind::ForeachVertex, P::NAME, n);
 }
 
 /// Applies `f` to every active vertex of a sparse frontier (duplicates
@@ -45,6 +55,7 @@ where
                 f(frontier.get_active_vertex(i))
             });
     }
+    emit(ctx, OpKind::ForeachActive, P::NAME, frontier.len());
 }
 
 /// Builds a `Vec<T>` of length `n` where slot `i` holds `f(i)`, computed in
@@ -56,7 +67,9 @@ where
     F: Fn(usize) -> T + Sync,
 {
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
-        return (0..n).map(f).collect();
+        let out = (0..n).map(f).collect();
+        emit(ctx, OpKind::FillIndexed, P::NAME, n);
+        return out;
     }
     let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(n);
     // SAFETY: MaybeUninit requires no initialization; length is set to the
@@ -84,6 +97,7 @@ where
             (*ptr.get().add(i)).write(f(i));
         }
     });
+    emit(ctx, OpKind::FillIndexed, P::NAME, n);
     // SAFETY: all n slots are initialized; MaybeUninit<T> and T have the
     // same layout.
     unsafe { std::mem::transmute::<Vec<std::mem::MaybeUninit<T>>, Vec<T>>(out) }

@@ -6,9 +6,23 @@
 
 use essentials_frontier::{Collector, DenseFrontier, SparseFrontier};
 use essentials_graph::VertexId;
+use essentials_obs::{FilterEvent, OpKind};
 use essentials_parallel::{ExecutionPolicy, Schedule};
 
 use crate::context::Context;
+
+/// Emits a [`FilterEvent`] if the context carries a sink. One call per
+/// operator call — the instrumentation never enters the per-vertex loop.
+fn emit(ctx: &Context, kind: OpKind, policy: &'static str, input_len: usize, output_len: usize) {
+    if let Some(sink) = ctx.obs() {
+        sink.on_filter(&FilterEvent {
+            kind,
+            policy,
+            input_len,
+            output_len,
+        });
+    }
+}
 
 /// Keeps the active vertices for which `pred` returns `true`. Input order
 /// is preserved in the `Seq` path; parallel paths preserve per-worker order
@@ -19,7 +33,9 @@ where
     F: Fn(VertexId) -> bool + Sync,
 {
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
-        return f.iter().filter(|&v| pred(v)).collect();
+        let out: SparseFrontier = f.iter().filter(|&v| pred(v)).collect();
+        emit(ctx, OpKind::Filter, P::NAME, f.len(), out.len());
+        return out;
     }
     let collector = Collector::new(ctx.num_threads());
     ctx.pool()
@@ -29,17 +45,20 @@ where
                 collector.push(tid, v);
             }
         });
-    collector.into_frontier()
+    let out = collector.into_frontier();
+    emit(ctx, OpKind::Filter, P::NAME, f.len(), out.len());
+    out
 }
 
 /// Sort-based uniquify: returns the frontier as a sorted duplicate-free
 /// set. O(k log k) in frontier size, no auxiliary O(n) storage.
-pub fn uniquify<P>(_policy: P, _ctx: &Context, f: &SparseFrontier) -> SparseFrontier
+pub fn uniquify<P>(_policy: P, ctx: &Context, f: &SparseFrontier) -> SparseFrontier
 where
     P: ExecutionPolicy,
 {
     let mut out = f.clone();
     out.uniquify();
+    emit(ctx, OpKind::Uniquify, P::NAME, f.len(), out.len());
     out
 }
 
@@ -63,6 +82,7 @@ where
                 out.add_vertex(v);
             }
         }
+        emit(ctx, OpKind::Uniquify, P::NAME, f.len(), out.len());
         return out;
     }
     let collector = Collector::new(ctx.num_threads());
@@ -73,7 +93,9 @@ where
                 collector.push(tid, v);
             }
         });
-    collector.into_frontier()
+    let out = collector.into_frontier();
+    emit(ctx, OpKind::Uniquify, P::NAME, f.len(), out.len());
+    out
 }
 
 #[cfg(test)]

@@ -95,6 +95,15 @@ impl WorkerBuffers {
         }
     }
 
+    /// Per-worker buffered entry counts, in worker-id order. Read between a
+    /// parallel region and [`WorkerBuffers::drain_into`], this is the
+    /// per-worker push distribution of the region (observability's
+    /// load-balance skew input). Allocates; callers gate on whether anyone
+    /// wants the detail.
+    pub fn slot_lens(&mut self) -> Vec<usize> {
+        self.slots.iter_mut().map(|s| s.buf.get_mut().len()).collect()
+    }
+
     /// Direct access to one worker's buffer (sequential paths).
     pub fn slot_mut(&mut self, tid: usize) -> &mut Vec<VertexId> {
         let n = self.slots.len();
@@ -196,6 +205,18 @@ mod tests {
         let mut out = Vec::new();
         buffers.drain_into(&mut out);
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn slot_lens_reports_per_worker_counts() {
+        let mut buffers = WorkerBuffers::new(3);
+        buffers.slot_mut(0).push(1);
+        buffers.slot_mut(0).push(2);
+        buffers.slot_mut(2).push(3);
+        assert_eq!(buffers.slot_lens(), vec![2, 0, 1]);
+        let mut out = Vec::new();
+        buffers.drain_into(&mut out);
+        assert_eq!(buffers.slot_lens(), vec![0, 0, 0]);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! JSON-lines export of trace records.
+//!
+//! Hand-rolled serialization: every value we emit is a number, a `bool`, a
+//! static identifier, or a user label, so a full JSON library would be dead
+//! weight (and the build is offline — no new dependencies). Labels are
+//! escaped per RFC 8259.
+
+use std::io::{self, Write};
+
+use crate::trace::Record;
+
+/// Appends a JSON-escaped string literal (with quotes) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders one record as a single JSON object (no trailing newline).
+///
+/// Every object carries a `"type"` discriminator:
+/// `"iteration" | "advance" | "filter" | "compute" | "direction" | "mark"`.
+pub fn record_to_json(rec: &Record) -> String {
+    let mut s = String::with_capacity(128);
+    match rec {
+        Record::Iteration(span) => {
+            s.push_str(&format!(
+                "{{\"type\":\"iteration\",\"iteration\":{},\"wall_ns\":{},\"frontier_in\":{},\"frontier_out\":{},\"loop\":\"{}\"}}",
+                span.iteration, span.wall_ns, span.frontier_in, span.frontier_out,
+                span.loop_kind.name(),
+            ));
+        }
+        Record::Advance {
+            kind,
+            policy,
+            frontier_in,
+            edges_inspected,
+            admitted,
+            output_len,
+            dedup_hits,
+            per_worker,
+        } => {
+            s.push_str(&format!(
+                "{{\"type\":\"advance\",\"op\":\"{}\",\"policy\":\"{}\",\"frontier_in\":{},\"edges_inspected\":{},\"admitted\":{},\"output_len\":{},\"dedup_hits\":{},\"per_worker\":[",
+                kind.name(), policy, frontier_in, edges_inspected, admitted, output_len,
+                dedup_hits,
+            ));
+            for (i, n) in per_worker.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&n.to_string());
+            }
+            s.push_str("]}");
+        }
+        Record::Filter(ev) => {
+            s.push_str(&format!(
+                "{{\"type\":\"filter\",\"op\":\"{}\",\"policy\":\"{}\",\"input_len\":{},\"output_len\":{}}}",
+                ev.kind.name(), ev.policy, ev.input_len, ev.output_len,
+            ));
+        }
+        Record::Compute(ev) => {
+            s.push_str(&format!(
+                "{{\"type\":\"compute\",\"op\":\"{}\",\"policy\":\"{}\",\"items\":{}}}",
+                ev.kind.name(), ev.policy, ev.items,
+            ));
+        }
+        Record::Direction(ev) => {
+            s.push_str(&format!(
+                "{{\"type\":\"direction\",\"iteration\":{},\"frontier_len\":{},\"frontier_edges\":{},\"unexplored_edges\":{},\"growing\":{},\"pull\":{}}}",
+                ev.iteration, ev.frontier_len, ev.frontier_edges, ev.unexplored_edges,
+                ev.growing, ev.pull,
+            ));
+        }
+        Record::Mark(label) => {
+            s.push_str("{\"type\":\"mark\",\"label\":");
+            push_json_str(&mut s, label);
+            s.push('}');
+        }
+    }
+    s
+}
+
+/// Writes the records as JSON lines — one object per record, newline
+/// terminated — to `writer`.
+pub fn write_jsonl<W: Write>(records: &[Record], writer: &mut W) -> io::Result<()> {
+    for rec in records {
+        writer.write_all(record_to_json(rec).as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ComputeEvent, DirectionEvent, FilterEvent, IterSpan, LoopKind, OpKind};
+
+    #[test]
+    fn jsonl_one_object_per_line_with_type_tags() {
+        let records = vec![
+            Record::Mark("trial \"0\"\n".into()),
+            Record::Iteration(IterSpan {
+                iteration: 2,
+                wall_ns: 12345,
+                frontier_in: 10,
+                frontier_out: 20,
+                loop_kind: LoopKind::Frontier,
+            }),
+            Record::Advance {
+                kind: OpKind::AdvanceUnique,
+                policy: "par",
+                frontier_in: 10,
+                edges_inspected: 55,
+                admitted: 21,
+                output_len: 20,
+                dedup_hits: 1,
+                per_worker: vec![12, 8],
+            },
+            Record::Filter(FilterEvent {
+                kind: OpKind::Filter,
+                policy: "seq",
+                input_len: 20,
+                output_len: 15,
+            }),
+            Record::Compute(ComputeEvent {
+                kind: OpKind::ForeachVertex,
+                policy: "par",
+                items: 100,
+            }),
+            Record::Direction(DirectionEvent {
+                iteration: 3,
+                frontier_len: 40,
+                frontier_edges: 900,
+                unexplored_edges: 1000,
+                growing: true,
+                pull: true,
+            }),
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&records, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), records.len());
+        assert_eq!(lines[0], "{\"type\":\"mark\",\"label\":\"trial \\\"0\\\"\\n\"}");
+        assert!(lines[1].contains("\"type\":\"iteration\"") && lines[1].contains("\"wall_ns\":12345"));
+        assert!(lines[2].contains("\"op\":\"advance_unique\"") && lines[2].contains("\"per_worker\":[12,8]"));
+        assert!(lines[3].contains("\"type\":\"filter\"") && lines[3].contains("\"output_len\":15"));
+        assert!(lines[4].contains("\"items\":100"));
+        assert!(lines[5].contains("\"pull\":true") && lines[5].contains("\"growing\":true"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Differential tests: the shared-memory algorithms and their
+//! message-passing (`essentials-mp`) counterparts must compute the same
+//! answers on the same seeded graphs, across thread counts (shared memory)
+//! and partition counts (message passing).
+//!
+//! Shared memory sweeps 1/2/8 worker threads; message passing sweeps
+//! 1/2/8 partitions (its unit of parallelism). Every configuration is
+//! checked against one thread-count-independent oracle per algorithm.
+
+use essentials::prelude::*;
+use essentials_algos::{bfs, pagerank, sssp};
+use essentials_gen as gen;
+use essentials_mp::algorithms::{mp_bfs, mp_pagerank, mp_sssp};
+use essentials_partition::{random_partition, PartitionedGraph};
+
+const SHM_THREADS: [usize; 3] = [1, 2, 8];
+const MP_PARTITIONS: [usize; 3] = [1, 2, 8];
+
+fn sym(coo: Coo<()>) -> Graph<()> {
+    GraphBuilder::from_coo(coo)
+        .remove_self_loops()
+        .symmetrize()
+        .deduplicate()
+        .with_csc()
+        .build()
+}
+
+fn weighted(mut coo: Coo<()>) -> Graph<f32> {
+    coo.remove_self_loops();
+    coo.symmetrize();
+    coo.sort_and_dedup();
+    let mut g = Graph::from_coo(&gen::hash_weights(&coo, 0.1, 2.0, 42));
+    g.ensure_csc();
+    g
+}
+
+/// R-MAT (power law) and Erdős–Rényi G(n, m) topologies, seeded.
+fn topologies() -> Vec<(&'static str, Coo<()>)> {
+    vec![
+        ("rmat", gen::rmat(8, 8, gen::RmatParams::default(), 11)),
+        ("gnm", gen::gnm(400, 2400, 7)),
+    ]
+}
+
+fn close_f32(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-3)
+}
+
+#[test]
+fn bfs_levels_agree_across_backends() {
+    for (name, coo) in topologies() {
+        let g = sym(coo);
+        let oracle = bfs::bfs_sequential(&g, 0).level;
+        for &t in &SHM_THREADS {
+            let ctx = Context::new(t);
+            let r = bfs::bfs(execution::par, &ctx, &g, 0);
+            assert_eq!(r.level, oracle, "shm bfs diverged on {name} at {t} threads");
+        }
+        for &k in &MP_PARTITIONS {
+            let p = random_partition(g.get_num_vertices(), k, 13);
+            let pg = PartitionedGraph::build(&g, &p);
+            let (levels, stats) = mp_bfs(&pg, 0);
+            assert_eq!(levels, oracle, "mp bfs diverged on {name} at {k} partitions");
+            assert!(stats.supersteps > 0);
+        }
+    }
+}
+
+#[test]
+fn sssp_distances_agree_across_backends() {
+    for (name, coo) in topologies() {
+        let g = weighted(coo);
+        let oracle = sssp::dijkstra(&g, 0).dist;
+        for &t in &SHM_THREADS {
+            let ctx = Context::new(t);
+            let r = sssp::sssp(execution::par, &ctx, &g, 0);
+            assert!(
+                close_f32(&r.dist, &oracle),
+                "shm sssp diverged on {name} at {t} threads"
+            );
+        }
+        for &k in &MP_PARTITIONS {
+            let p = random_partition(g.get_num_vertices(), k, 13);
+            let pg = PartitionedGraph::build(&g, &p);
+            let (dist, _) = mp_sssp(&pg, 0);
+            assert!(
+                close_f32(&dist, &oracle),
+                "mp sssp diverged on {name} at {k} partitions"
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_agrees_across_backends_at_fixed_iterations() {
+    // mp_pagerank has no dangling-mass redistribution, so compare on
+    // dangling-free graphs only (symmetric and dense enough that every
+    // vertex keeps an edge). Both sides run the same fixed iteration count
+    // so tolerance-stopping differences cannot creep in.
+    let iterations = 30;
+    let cfg = pagerank::PrConfig {
+        damping: 0.85,
+        tolerance: 0.0,
+        max_iterations: iterations,
+    };
+    let graphs = vec![
+        ("gnm", sym(gen::gnm(400, 2400, 7))),
+        ("grid", sym(gen::grid2d(20, 20))),
+    ];
+    for (name, g) in graphs {
+        assert!(
+            g.vertices().all(|v| g.out_degree(v) > 0),
+            "{name} has dangling vertices; the comparison would be invalid"
+        );
+        let oracle = pagerank::pagerank_pull(execution::seq, &Context::sequential(), &g, cfg).rank;
+        for &t in &SHM_THREADS {
+            let ctx = Context::new(t);
+            let r = pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
+            for (a, b) in r.rank.iter().zip(&oracle) {
+                assert!((a - b).abs() < 1e-9, "shm pr diverged on {name} at {t} threads");
+            }
+        }
+        for &k in &MP_PARTITIONS {
+            let p = random_partition(g.get_num_vertices(), k, 13);
+            let pg = PartitionedGraph::build(&g, &p);
+            let (rank, stats) = mp_pagerank(&pg, 0.85, iterations);
+            for (a, b) in rank.iter().zip(&oracle) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "mp pr diverged on {name} at {k} partitions: {a} vs {b}"
+                );
+            }
+            assert!(stats.supersteps >= iterations);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use essentials::prelude::*;
 use essentials_gen as gen;
@@ -106,5 +107,57 @@ fn steady_state_advance_iterations_do_not_allocate() {
     assert_eq!(
         sssp_allocs, 0,
         "steady-state fused-dedup advance iteration hit the allocator {sssp_allocs} times"
+    );
+}
+
+#[test]
+fn null_sink_preserves_the_zero_allocation_guarantee() {
+    // The observability layer's overhead contract: with a NullSink attached
+    // (wants_op_detail == false) the operators must skip every piece of
+    // detail bookkeeping — admission counters, per-worker tallies, degree
+    // sums, event buffers — and the steady state stays allocation-free.
+    let g: Graph<()> = Graph::from_coo(&gen::rmat(12, 8, gen::RmatParams::default(), 7));
+    let n = g.num_vertices();
+    let ctx = Context::new(4).with_obs(Arc::new(NullSink) as Arc<dyn ObsSink>);
+    let frontier: SparseFrontier = (0..n as VertexId).step_by(2).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let dist: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(f32::INFINITY)).collect();
+
+    let bfs_iteration = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+        let out = neighbors_expand(execution::par, &ctx, &g, &frontier, |_s, d, _e, _w| {
+            levels[d as usize]
+                .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        });
+        ctx.recycle_frontier(out);
+    };
+    let sssp_iteration = || {
+        for d in &dist {
+            d.store(f32::INFINITY, Ordering::Relaxed);
+        }
+        let out = neighbors_expand_unique(execution::par, &ctx, &g, &frontier, |s, d, _e, _w| {
+            let nd = s as f32;
+            dist[d as usize].fetch_min(nd, Ordering::AcqRel) > nd
+        });
+        ctx.recycle_frontier(out);
+    };
+
+    for _ in 0..3 {
+        bfs_iteration();
+        sssp_iteration();
+    }
+
+    let bfs_allocs = count_allocs(bfs_iteration);
+    assert_eq!(
+        bfs_allocs, 0,
+        "NullSink-observed BFS advance iteration hit the allocator {bfs_allocs} times"
+    );
+    let sssp_allocs = count_allocs(sssp_iteration);
+    assert_eq!(
+        sssp_allocs, 0,
+        "NullSink-observed fused-dedup iteration hit the allocator {sssp_allocs} times"
     );
 }
