@@ -42,8 +42,10 @@ pub fn betweenness<P: ExecutionPolicy, W: EdgeValue>(
                     .is_ok();
                 if level[dst as usize].load(Ordering::Acquire) == next_level {
                     // σ[src] is final: src settled in the previous level.
-                    sigma[dst as usize]
-                        .fetch_add(sigma[src as usize].load(Ordering::Acquire), Ordering::AcqRel);
+                    sigma[dst as usize].fetch_add(
+                        sigma[src as usize].load(Ordering::Acquire),
+                        Ordering::AcqRel,
+                    );
                 }
                 claimed
             });

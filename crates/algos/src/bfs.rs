@@ -16,7 +16,7 @@
 //!   arrive; the fixpoint equals BFS levels);
 //! * [`bfs_sequential`] — the textbook queue baseline (oracle).
 
-use essentials_core::obs::DirectionEvent;
+pub use essentials_core::prelude::Direction;
 use essentials_core::prelude::*;
 use essentials_parallel::atomics::Counter;
 use essentials_parallel::run_async;
@@ -40,14 +40,9 @@ pub struct BfsResult {
     pub directions: Vec<Direction>,
 }
 
-/// Traversal direction of one iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Direction {
-    /// Frontier scatters over out-edges.
-    Push,
-    /// Candidates gather over in-edges.
-    Pull,
-}
+// `Direction` now lives in the core operator layer (the adaptive engine
+// decides it); re-exported here so existing `bfs::Direction` users keep
+// compiling. The glob prelude import above already brings it into scope.
 
 fn init_levels(n: usize, source: VertexId) -> Vec<AtomicU32> {
     (0..n)
@@ -157,14 +152,31 @@ pub struct DoParams {
 
 impl Default for DoParams {
     fn default() -> Self {
-        DoParams { alpha: 14, beta: 24 }
+        DoParams {
+            alpha: 14,
+            beta: 24,
+        }
     }
 }
 
-/// Direction-optimizing BFS: picks push or pull per iteration and switches
-/// the frontier representation with the direction (sparse for push, dense
-/// for pull) — the abstraction's frontier-representation flexibility doing
-/// real work.
+impl DoParams {
+    /// The equivalent engine policy (BFS keeps the classic α/β knobs; the
+    /// γ/dwell knobs take their defaults).
+    pub fn to_policy(self) -> DirectionPolicy {
+        DirectionPolicy {
+            alpha: self.alpha,
+            beta: self.beta,
+            ..DirectionPolicy::default()
+        }
+    }
+}
+
+/// Direction-optimizing BFS: delegates the per-iteration push/pull decision
+/// (and the sparse↔dense representation switch that rides along) to the
+/// core adaptive advance engine. BFS supplies only its two views of the
+/// claim-by-CAS visit update; [`advance_adaptive`] owns the heuristic,
+/// the unvisited-candidates mask (masked word-parallel pull), the frontier
+/// recycling, and the `DirectionEvent` emission.
 pub fn bfs_direction_optimizing<P: ExecutionPolicy, W: EdgeValue>(
     policy: P,
     ctx: &Context,
@@ -172,117 +184,79 @@ pub fn bfs_direction_optimizing<P: ExecutionPolicy, W: EdgeValue>(
     source: VertexId,
     params: DoParams,
 ) -> BfsResult {
+    bfs_with_policy(policy, ctx, g, source, params.to_policy())
+}
+
+/// BFS through the adaptive engine with a fully-specified
+/// [`DirectionPolicy`] (all four knobs, where [`DoParams`] exposes only the
+/// classic α/β pair).
+pub fn bfs_with_policy<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+    source: VertexId,
+    dir_policy: DirectionPolicy,
+) -> BfsResult {
     let n = g.get_num_vertices();
-    let m = g.get_num_edges();
     let levels = init_levels(n, source);
-    let edges = Counter::new();
-    let mut directions = Vec::new();
+    let mut engine = AdaptiveAdvance::new(
+        g,
+        AdaptiveConfig {
+            policy: dir_policy,
+            // A visited vertex never re-candidates, and one admitting
+            // in-edge settles a pull destination.
+            early_exit: true,
+            settle: true,
+        },
+    );
     let mut trace = Vec::new();
 
     let mut frontier = VertexFrontier::Sparse(SparseFrontier::single(source));
-    let mut iter = 0u32;
-    let mut unexplored_edges = m;
-    let mut prev_len = 0usize;
-
     while frontier.len() > 0 {
-        let next_level = iter + 1;
-        let growing = frontier.len() > prev_len;
-        prev_len = frontier.len();
-        // Decide the direction from the current frontier's shape. Beamer's
-        // heuristic: go pull only while the frontier is still growing —
-        // shrinking frontiers (the long tail on meshes) stay push.
-        let (dir, frontier_edges) = match &frontier {
-            VertexFrontier::Sparse(s) => {
-                let frontier_edges: usize = s.iter().map(|v| g.out_degree(v)).sum();
-                let dir = if growing && frontier_edges > unexplored_edges / params.alpha.max(1) {
-                    Direction::Pull
-                } else {
-                    Direction::Push
-                };
-                (dir, frontier_edges)
-            }
-            VertexFrontier::Dense(d) => {
-                // The β rule decides from the frontier's cardinality alone;
-                // no edge count is computed on the dense side.
-                let dir = if d.len() < n / params.beta.max(1) {
-                    Direction::Push
-                } else {
-                    Direction::Pull
-                };
-                (dir, 0)
-            }
-        };
-        directions.push(dir);
-        if let Some(sink) = ctx.obs() {
-            sink.on_direction(&DirectionEvent {
-                iteration: iter as usize,
-                frontier_len: frontier.len(),
-                frontier_edges,
-                unexplored_edges,
-                growing,
-                pull: dir == Direction::Pull,
-            });
-        }
-
-        frontier = match dir {
-            Direction::Push => {
-                let sparse = frontier.into_sparse();
-                unexplored_edges =
-                    unexplored_edges.saturating_sub(sparse.iter().map(|v| g.out_degree(v)).sum());
-                let out = neighbors_expand(policy, ctx, g, &sparse, |_src, dst, _e, _w| {
-                    edges.add(1);
-                    levels[dst as usize]
-                        .compare_exchange(
-                            UNVISITED,
-                            next_level,
-                            Ordering::AcqRel,
-                            Ordering::Relaxed,
-                        )
-                        .is_ok()
-                });
-                ctx.recycle_frontier(sparse);
-                VertexFrontier::Sparse(out)
-            }
-            Direction::Pull => {
-                let dense = frontier.into_dense(n);
-                unexplored_edges =
-                    unexplored_edges.saturating_sub(dense.iter().map(|v| g.out_degree(v)).sum());
-                let (out, scanned) = expand_pull_counted(
-                    policy,
-                    ctx,
-                    g,
-                    &dense,
-                    PullConfig { early_exit: true },
-                    |dst| levels[dst as usize].load(Ordering::Acquire) == UNVISITED,
-                    |_src, dst, _w| {
-                        levels[dst as usize]
-                            .compare_exchange(
-                                UNVISITED,
-                                next_level,
-                                Ordering::AcqRel,
-                                Ordering::Relaxed,
-                            )
-                            .is_ok()
-                    },
-                );
-                edges.add(scanned);
-                VertexFrontier::Dense(out)
-            }
-        };
+        let next_level = engine.iterations() as u32 + 1;
+        frontier = advance_adaptive(
+            policy,
+            ctx,
+            g,
+            &mut engine,
+            frontier,
+            |_src, dst, _e, _w| {
+                levels[dst as usize]
+                    .compare_exchange(UNVISITED, next_level, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            },
+            |dst| levels[dst as usize].load(Ordering::Acquire) == UNVISITED,
+            |_src, dst, _w| {
+                levels[dst as usize]
+                    .compare_exchange(UNVISITED, next_level, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            },
+        );
         trace.push(frontier.len());
-        iter += 1;
     }
+    engine.finish(ctx);
 
     BfsResult {
         level: unwrap_levels(levels),
         stats: LoopStats {
-            iterations: iter as usize,
+            iterations: engine.iterations(),
             frontier_trace: trace,
             hit_iteration_cap: false,
         },
-        edges_inspected: edges.get(),
-        directions,
+        edges_inspected: engine.edges_inspected(),
+        directions: engine.directions().to_vec(),
     }
+}
+
+/// [`bfs_direction_optimizing`] with the default policy — the "just give me
+/// the adaptive traversal" entry point matching `sssp_adaptive`/`cc_adaptive`.
+pub fn bfs_adaptive<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+    source: VertexId,
+) -> BfsResult {
+    bfs_direction_optimizing(policy, ctx, g, source, DoParams::default())
 }
 
 /// BFS with a **dense bitmap** frontier throughout, still traversing in the
@@ -485,8 +459,7 @@ mod tests {
                 ("pull", bfs_pull(execution::par, &ctx, g, 0).level),
                 (
                     "do",
-                    bfs_direction_optimizing(execution::par, &ctx, g, 0, DoParams::default())
-                        .level,
+                    bfs_direction_optimizing(execution::par, &ctx, g, 0, DoParams::default()).level,
                 ),
                 ("dense", bfs_dense(execution::par, &ctx, g, 0).level),
                 ("queue", bfs_queue(&ctx, g, 0).level),
@@ -508,7 +481,10 @@ mod tests {
             &ctx,
             &g,
             0,
-            DoParams { alpha: 14, beta: 24 },
+            DoParams {
+                alpha: 14,
+                beta: 24,
+            },
         );
         assert!(
             r.directions.contains(&Direction::Pull),

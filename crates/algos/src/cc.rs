@@ -58,6 +58,68 @@ pub fn cc_label_propagation<P: ExecutionPolicy, W: EdgeValue>(
     }
 }
 
+/// Min-label propagation routed through the core adaptive advance engine:
+/// the same `fetch_min` label update as [`cc_label_propagation`], in both
+/// its push view (active vertices scatter labels over out-edges) and its
+/// pull view (vertices gather labels over in-edges from active neighbors),
+/// with [`advance_adaptive`] picking direction and representation per
+/// iteration. The initial frontier is *every* vertex — density 1 — so the
+/// policy typically opens dense and shifts to sparse push as labels settle.
+/// Requires a symmetric graph (as all CC variants do) built `with_csc`.
+///
+/// `fetch_min` is monotone and order-independent: the labels reach the same
+/// component-minimum fixpoint whatever direction mix the policy chooses.
+pub fn cc_adaptive<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+) -> CcResult {
+    let n = g.get_num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let updates = Counter::new();
+    let mut engine = AdaptiveAdvance::new(
+        g,
+        AdaptiveConfig {
+            policy: DirectionPolicy::default(),
+            early_exit: false,
+            settle: false,
+        },
+    );
+    let mut trace = Vec::new();
+    let mut frontier = VertexFrontier::Sparse(g.vertices().collect());
+    while frontier.len() > 0 {
+        frontier = advance_adaptive(
+            policy,
+            ctx,
+            g,
+            &mut engine,
+            frontier,
+            |src, dst, _e, _w| {
+                updates.add(1);
+                let l = labels[src as usize].load(Ordering::Acquire);
+                labels[dst as usize].fetch_min(l, Ordering::AcqRel) > l
+            },
+            |_dst| true,
+            |src, dst, _w| {
+                updates.add(1);
+                let l = labels[src as usize].load(Ordering::Acquire);
+                labels[dst as usize].fetch_min(l, Ordering::AcqRel) > l
+            },
+        );
+        trace.push(frontier.len());
+    }
+    engine.finish(ctx);
+    CcResult {
+        comp: labels.into_iter().map(AtomicU32::into_inner).collect(),
+        stats: LoopStats {
+            iterations: engine.iterations(),
+            frontier_trace: trace,
+            hit_iteration_cap: false,
+        },
+        updates: updates.get(),
+    }
+}
+
 /// Hooking + pointer jumping: repeatedly hook the larger root onto the
 /// smaller across every edge, then compress all parent chains, until no
 /// hook fires. O(m log n) total work, a constant number of supersteps on
@@ -82,37 +144,39 @@ pub fn cc_hooking<P: ExecutionPolicy, W: EdgeValue>(
         }
     };
 
-    let (_, stats) = Enactor::for_ctx(ctx).max_iterations(64).run_until((), |_, (), progress| {
-        let changed = Counter::new();
-        // Hook phase: for every edge, point the larger root at the smaller.
-        foreach_vertex(policy, ctx, m, |e| {
-            let e = e as usize;
-            let u = g.get_source_vertex(e);
-            let v = g.get_dest_vertex(e);
-            let (ru, rv) = (find(u), find(v));
-            if ru == rv {
-                return;
-            }
-            updates.add(1);
-            let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
-            // CAS so only roots are re-pointed; a failed CAS means someone
-            // else hooked hi first — the next round will see it.
-            if parent[hi as usize]
-                .compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                changed.add(1);
-            }
+    let (_, stats) = Enactor::for_ctx(ctx)
+        .max_iterations(64)
+        .run_until((), |_, (), progress| {
+            let changed = Counter::new();
+            // Hook phase: for every edge, point the larger root at the smaller.
+            foreach_vertex(policy, ctx, m, |e| {
+                let e = e as usize;
+                let u = g.get_source_vertex(e);
+                let v = g.get_dest_vertex(e);
+                let (ru, rv) = (find(u), find(v));
+                if ru == rv {
+                    return;
+                }
+                updates.add(1);
+                let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+                // CAS so only roots are re-pointed; a failed CAS means someone
+                // else hooked hi first — the next round will see it.
+                if parent[hi as usize]
+                    .compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    changed.add(1);
+                }
+            });
+            // Jump phase: full path compression.
+            foreach_vertex(policy, ctx, n, |v| {
+                let root = find(v);
+                parent[v as usize].store(root, Ordering::Release);
+            });
+            // Hooks that fired this round are the loop's work measure.
+            progress.report_work(changed.get());
+            changed.get() == 0
         });
-        // Jump phase: full path compression.
-        foreach_vertex(policy, ctx, n, |v| {
-            let root = find(v);
-            parent[v as usize].store(root, Ordering::Release);
-        });
-        // Hooks that fired this round are the loop's work measure.
-        progress.report_work(changed.get());
-        changed.get() == 0
-    });
     CcResult {
         comp: parent.into_iter().map(AtomicU32::into_inner).collect(),
         stats,
@@ -195,7 +259,10 @@ mod tests {
     use essentials_gen as gen;
 
     fn sym(coo: &Coo<()>) -> Graph<()> {
-        GraphBuilder::from_coo(coo.clone()).symmetrize().deduplicate().build()
+        GraphBuilder::from_coo(coo.clone())
+            .symmetrize()
+            .deduplicate()
+            .build()
     }
 
     #[test]
@@ -209,6 +276,23 @@ mod tests {
             let hook = cc_hooking(execution::par, &ctx, &g);
             assert_eq!(lp.comp, oracle.comp, "label propagation diverged");
             assert_eq!(hook.comp, oracle.comp, "hooking diverged");
+        }
+    }
+
+    #[test]
+    fn adaptive_cc_matches_union_find() {
+        let ctx = Context::new(4);
+        for seed in [1, 2, 3] {
+            let g = GraphBuilder::from_coo(gen::gnm(300, 350, seed))
+                .symmetrize()
+                .deduplicate()
+                .with_csc()
+                .build();
+            let oracle = cc_union_find(&g);
+            // The density-1 initial frontier drives the engine through its
+            // dense kernels; fetch_min still lands on the component minima.
+            let adaptive = cc_adaptive(execution::par, &ctx, &g);
+            assert_eq!(adaptive.comp, oracle.comp);
         }
     }
 
@@ -250,7 +334,9 @@ mod tests {
     fn empty_and_edgeless_graphs() {
         let ctx = Context::sequential();
         let g0 = Graph::<()>::from_coo(&Coo::new(0));
-        assert!(cc_label_propagation(execution::seq, &ctx, &g0).comp.is_empty());
+        assert!(cc_label_propagation(execution::seq, &ctx, &g0)
+            .comp
+            .is_empty());
         let g5 = Graph::<()>::from_coo(&Coo::new(5));
         let r = cc_union_find(&g5);
         assert_eq!(num_components(&r.comp), 5);

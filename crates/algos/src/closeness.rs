@@ -48,9 +48,11 @@ pub fn closeness<P: ExecutionPolicy, W: EdgeValue>(
             sum += l as u64;
             inv_sum += 1.0 / l as f64;
         }
-        result
-            .closeness
-            .push(if sum == 0 { 0.0 } else { reachable as f64 / sum as f64 });
+        result.closeness.push(if sum == 0 {
+            0.0
+        } else {
+            reachable as f64 / sum as f64
+        });
         result.harmonic.push(inv_sum);
     }
     result

@@ -68,7 +68,7 @@ pub fn color_greedy<P: ExecutionPolicy, W: EdgeValue>(
                 }
         });
         let _ = conflicted; // destinations never activate (condition false)
-        // Re-collect the vertices that lost their color.
+                            // Re-collect the vertices that lost their color.
         frontier = filter(policy, ctx, &frontier, |v| {
             color[v as usize].load(Ordering::Acquire) == UNCOLORED
         });
@@ -150,7 +150,10 @@ mod tests {
         for seed in [3, 8] {
             let g = sym(&gen::gnm(200, 1200, seed));
             let r = color_greedy(execution::par, &ctx, &g);
-            assert!(verify_coloring(&g, &r.color), "improper coloring, seed {seed}");
+            assert!(
+                verify_coloring(&g, &r.color),
+                "improper coloring, seed {seed}"
+            );
             assert!(r.num_colors <= greedy_bound(&g));
         }
     }

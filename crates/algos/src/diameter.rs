@@ -107,7 +107,10 @@ mod tests {
     use essentials_gen as gen;
 
     fn und(coo: essentials_graph::Coo<()>) -> Graph<()> {
-        GraphBuilder::from_coo(coo).symmetrize().deduplicate().build()
+        GraphBuilder::from_coo(coo)
+            .symmetrize()
+            .deduplicate()
+            .build()
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub mod bc;
 pub mod bfs;
 pub mod cc;
 pub mod closeness;
-pub mod diameter;
 pub mod color;
+pub mod diameter;
 pub mod hits;
 pub mod kcore;
 pub mod mst;

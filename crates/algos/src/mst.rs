@@ -69,7 +69,9 @@ pub fn boruvka<P: ExecutionPolicy>(_policy: P, ctx: &Context, g: &Graph<f32>) ->
         // Per-thread best outgoing edge per component, merged at the end.
         // (A component-indexed atomic min over (weight, u, v) keys.)
         type Best = std::collections::HashMap<u32, (f32, VertexId, VertexId)>;
-        let locals: Vec<Mutex<Best>> = (0..ctx.num_threads()).map(|_| Mutex::new(Best::new())).collect();
+        let locals: Vec<Mutex<Best>> = (0..ctx.num_threads())
+            .map(|_| Mutex::new(Best::new()))
+            .collect();
         let better = |a: (f32, VertexId, VertexId), b: (f32, VertexId, VertexId)| -> bool {
             // true if a is strictly better than b
             (a.0, a.1, a.2) < (b.0, b.1, b.2)

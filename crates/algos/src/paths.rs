@@ -82,14 +82,25 @@ pub fn bfs_with_parents<P: ExecutionPolicy, W: EdgeValue>(
 ) -> (Vec<u32>, Vec<VertexId>) {
     let n = g.get_num_vertices();
     let level: Vec<AtomicU32> = (0..n)
-        .map(|i| AtomicU32::new(if i == source as usize { 0 } else { crate::bfs::UNVISITED }))
+        .map(|i| {
+            AtomicU32::new(if i == source as usize {
+                0
+            } else {
+                crate::bfs::UNVISITED
+            })
+        })
         .collect();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
     let (_, _stats) = Enactor::for_ctx(ctx).run(SparseFrontier::single(source), |iter, f| {
         let next = iter as u32 + 1;
         neighbors_expand(policy, ctx, g, &f, |src, dst, _e, _w| {
             if level[dst as usize]
-                .compare_exchange(crate::bfs::UNVISITED, next, Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange(
+                    crate::bfs::UNVISITED,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 parent[dst as usize].store(src, Ordering::Release);
@@ -107,7 +118,11 @@ pub fn bfs_with_parents<P: ExecutionPolicy, W: EdgeValue>(
 
 /// Walks parents from `target` back to the root. Returns the path
 /// root→target, or `None` if `target` has no recorded path.
-pub fn extract_path(parent: &[VertexId], source: VertexId, target: VertexId) -> Option<Vec<VertexId>> {
+pub fn extract_path(
+    parent: &[VertexId],
+    source: VertexId,
+    target: VertexId,
+) -> Option<Vec<VertexId>> {
     if target == source {
         return Some(vec![source]);
     }

@@ -136,7 +136,9 @@ mod tests {
 
     #[test]
     fn walks_follow_edges() {
-        let g = GraphBuilder::from_coo(gen::gnm(50, 400, 1)).deduplicate().build();
+        let g = GraphBuilder::from_coo(gen::gnm(50, 400, 1))
+            .deduplicate()
+            .build();
         let ctx = Context::new(2);
         let starts: Vec<VertexId> = (0..20).collect();
         let r = random_walks(execution::par, &ctx, &g, &starts, 8, 7);
@@ -168,7 +170,9 @@ mod tests {
 
         // On a branching graph the seed changes the trajectories (and the
         // same seed reproduces them).
-        let g = GraphBuilder::from_coo(gen::gnm(40, 400, 9)).deduplicate().build();
+        let g = GraphBuilder::from_coo(gen::gnm(40, 400, 9))
+            .deduplicate()
+            .build();
         let x = random_walks(execution::par, &ctx, &g, &starts, 12, 3);
         let y = random_walks(execution::par, &ctx, &g, &starts, 12, 3);
         let z = random_walks(execution::par, &ctx, &g, &starts, 12, 4);

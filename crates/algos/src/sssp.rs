@@ -118,6 +118,72 @@ pub fn sssp<P: ExecutionPolicy>(
     }
 }
 
+/// SSSP routed through the core adaptive advance engine: the same
+/// `atomic::min` relaxation as [`sssp`], expressed in both its push view
+/// (frontier scatters over out-edges) and its pull view (candidates gather
+/// over in-edges), with [`advance_adaptive`] choosing the direction and
+/// frontier representation per iteration. Requires the CSC (`with_csc`).
+///
+/// Relaxation is monotone and order-independent, so whatever mix of
+/// directions the policy picks, the distances converge to the same least
+/// fixpoint as the fixed-direction variants. No early exit (every in-edge
+/// must be seen), and no settle mask (a vertex re-activates whenever a
+/// shorter path arrives).
+pub fn sssp_adaptive<P: ExecutionPolicy>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<f32>,
+    source: VertexId,
+) -> SsspResult {
+    check_weights(g);
+    let n = g.get_num_vertices();
+    let dist = init_dist(n, source);
+    let relaxations = Counter::new();
+    let mut engine = AdaptiveAdvance::new(
+        g,
+        AdaptiveConfig {
+            policy: DirectionPolicy::default(),
+            early_exit: false,
+            settle: false,
+        },
+    );
+    let mut trace = Vec::new();
+    let mut frontier = VertexFrontier::Sparse(SparseFrontier::single(source));
+    while frontier.len() > 0 {
+        frontier = advance_adaptive(
+            policy,
+            ctx,
+            g,
+            &mut engine,
+            frontier,
+            |src, dst, _e, w: f32| {
+                relaxations.add(1);
+                let new_d = dist[src as usize].load(Ordering::Acquire) + w;
+                let curr_d = dist[dst as usize].fetch_min(new_d, Ordering::AcqRel);
+                new_d < curr_d
+            },
+            |_dst| true,
+            |src, dst, w: f32| {
+                relaxations.add(1);
+                let new_d = dist[src as usize].load(Ordering::Acquire) + w;
+                let curr_d = dist[dst as usize].fetch_min(new_d, Ordering::AcqRel);
+                new_d < curr_d
+            },
+        );
+        trace.push(frontier.len());
+    }
+    engine.finish(ctx);
+    SsspResult {
+        dist: unwrap_dist(dist),
+        stats: LoopStats {
+            iterations: engine.iterations(),
+            frontier_trace: trace,
+            hit_iteration_cap: false,
+        },
+        relaxations: relaxations.get(),
+    }
+}
+
 /// Asynchronous SSSP (§III-A's `par_nosync` timing model applied to the
 /// whole algorithm): active vertices drain through the work-queue engine; a
 /// successful relaxation pushes the destination; the run ends at queue
@@ -449,6 +515,28 @@ mod tests {
         // Weighted RMAT with a grid mixed in via distinct tests.
         let coo = gen::rmat(9, 8, gen::RmatParams::default(), 11);
         Graph::from_coo(&gen::uniform_weights(&coo, 0.1, 2.0, 5))
+    }
+
+    #[test]
+    fn adaptive_sssp_matches_fixed_push_exactly() {
+        let ctx = Context::new(4);
+        // R-MAT (skewed, where pull may fire) and a grid (stays push).
+        let rmat = Graph::from_coo(&gen::uniform_weights(
+            &gen::rmat(9, 8, gen::RmatParams::default(), 11),
+            0.1,
+            2.0,
+            5,
+        ))
+        .with_csc();
+        let grid =
+            Graph::from_coo(&gen::uniform_weights(&gen::grid2d(20, 20), 0.1, 2.0, 9)).with_csc();
+        for g in [&rmat, &grid] {
+            let fixed = sssp(execution::par, &ctx, g, 0);
+            let adaptive = sssp_adaptive(execution::par, &ctx, g, 0);
+            // Monotone fetch_min: bit-identical least fixpoint, any mix of
+            // directions.
+            assert_eq!(adaptive.dist, fixed.dist);
+        }
     }
 
     #[test]

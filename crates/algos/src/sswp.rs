@@ -27,7 +27,13 @@ pub fn sswp<P: ExecutionPolicy>(
 ) -> SswpResult {
     let n = g.get_num_vertices();
     let width: Vec<AtomicF32> = (0..n)
-        .map(|i| AtomicF32::new(if i == source as usize { f32::INFINITY } else { 0.0 }))
+        .map(|i| {
+            AtomicF32::new(if i == source as usize {
+                f32::INFINITY
+            } else {
+                0.0
+            })
+        })
         .collect();
     let (_, stats) = Enactor::for_ctx(ctx).run(SparseFrontier::single(source), |_, f| {
         let out = neighbors_expand(policy, ctx, g, &f, |src, dst, _e, w| {

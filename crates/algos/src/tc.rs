@@ -206,7 +206,10 @@ mod tests {
             tri_sum += lcc[v as usize] * d * (d - 1.0) / 2.0;
         }
         let total = triangle_count(execution::par, &ctx, &g, false).triangles;
-        assert!((tri_sum / 3.0 - total as f64).abs() < 1e-6, "{tri_sum} vs {total}");
+        assert!(
+            (tri_sum / 3.0 - total as f64).abs() < 1e-6,
+            "{tri_sum} vs {total}"
+        );
     }
 
     #[test]

@@ -143,6 +143,52 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // --- bitmap decode: per-bit probe vs iterator vs word scan ------------
+    // The dense-frontier scan kernel behind the masked pull. The word scan
+    // costs one load per 64 bits and decodes with trailing_zeros in a tight
+    // loop; the parallel form hands workers disjoint word ranges.
+    {
+        use essentials_parallel::atomics::AtomicBitset;
+        let nbits = 1usize << 20;
+        let wctx = Context::new(4);
+        for density_pct in [1usize, 50, 90] {
+            let bits = AtomicBitset::new(nbits);
+            for i in 0..nbits {
+                if (i.wrapping_mul(2654435761)) % 100 < density_pct {
+                    bits.set(i);
+                }
+            }
+            group.bench_function(format!("bitmap_bit_probe/{density_pct}pct"), |b| {
+                b.iter(|| (0..nbits).filter(|&i| bits.get(i)).count())
+            });
+            group.bench_function(format!("bitmap_iter_ones/{density_pct}pct"), |b| {
+                b.iter(|| bits.iter_ones().count())
+            });
+            group.bench_function(format!("bitmap_word_scan/{density_pct}pct"), |b| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    bits.for_each_set(|_| acc += 1);
+                    acc
+                })
+            });
+            group.bench_function(format!("bitmap_word_scan_par/{density_pct}pct"), |b| {
+                b.iter(|| {
+                    wctx.pool().parallel_reduce(
+                        0..bits.num_words(),
+                        Schedule::Dynamic(64),
+                        0usize,
+                        |wi| {
+                            let mut acc = 0usize;
+                            bits.for_each_set_in_words(wi, wi + 1, &mut |_| acc += 1);
+                            acc
+                        },
+                        |a, b| a + b,
+                    )
+                })
+            });
+        }
+    }
+
     // --- degree prefix sum: serial vs parallel ---------------------------
     let degrees: Vec<usize> = (0..big_n).map(|v| big.out_degree(v as VertexId)).collect();
     let mut scan_out = Vec::new();

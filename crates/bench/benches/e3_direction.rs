@@ -22,16 +22,14 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_function(format!("bfs_do/{}", w.name()), |b| {
             b.iter(|| {
-                bfs::bfs_direction_optimizing(
-                    execution::par,
-                    &ctx,
-                    &g,
-                    0,
-                    bfs::DoParams::default(),
-                )
+                bfs::bfs_direction_optimizing(execution::par, &ctx, &g, 0, bfs::DoParams::default())
             })
         });
-        let cfg = pagerank::PrConfig { max_iterations: 20, tolerance: 0.0, ..Default::default() };
+        let cfg = pagerank::PrConfig {
+            max_iterations: 20,
+            tolerance: 0.0,
+            ..Default::default()
+        };
         group.bench_function(format!("pagerank_pull/{}", w.name()), |b| {
             b.iter(|| pagerank::pagerank_pull(execution::par, &ctx, &g, cfg))
         });

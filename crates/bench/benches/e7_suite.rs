@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
         let sym = w.symmetric(10);
         let wg = w.weighted(10);
         group.bench_function(format!("pagerank/{}", w.name()), |b| {
-            let cfg = pagerank::PrConfig { max_iterations: 20, tolerance: 0.0, ..Default::default() };
+            let cfg = pagerank::PrConfig {
+                max_iterations: 20,
+                tolerance: 0.0,
+                ..Default::default()
+            };
             b.iter(|| pagerank::pagerank_pull(execution::par, &ctx, &sym, cfg))
         });
         group.bench_function(format!("cc_label_prop/{}", w.name()), |b| {
@@ -37,7 +41,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("color/{}", w.name()), |b| {
             b.iter(|| color::color_greedy(execution::par, &ctx, &sym))
         });
-        let x: Vec<f32> = (0..wg.get_num_vertices()).map(|i| (i % 13) as f32).collect();
+        let x: Vec<f32> = (0..wg.get_num_vertices())
+            .map(|i| (i % 13) as f32)
+            .collect();
         group.bench_function(format!("spmv/{}", w.name()), |b| {
             b.iter(|| spmv::spmv(execution::par, &ctx, &wg, &x))
         });

@@ -32,6 +32,7 @@ use essentials_partition::{
 fn main() {
     let mut scale: u32 = 12;
     let mut obs_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--obs" {
@@ -39,12 +40,23 @@ fn main() {
                 eprintln!("--obs requires an output path (e.g. --obs out.jsonl)");
                 std::process::exit(2);
             }));
+        } else if arg == "--json" {
+            json_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--json requires an output path (e.g. --json bench.json)");
+                std::process::exit(2);
+            }));
         } else if let Ok(s) = arg.parse() {
             scale = s;
         } else {
-            eprintln!("unrecognized argument {arg:?}; usage: harness [scale] [--obs FILE]");
+            eprintln!(
+                "unrecognized argument {arg:?}; usage: harness [scale] [--obs FILE] [--json FILE]"
+            );
             std::process::exit(2);
         }
+    }
+    if let Some(path) = json_path {
+        json_session(scale, &path);
+        return;
     }
     if let Some(path) = obs_path {
         obs_session(scale, &path);
@@ -105,6 +117,291 @@ fn obs_session(scale: u32, path: &str) {
         totals.skew_ratio()
     );
     println!("{} records written to {path}", records.len());
+}
+
+/// One machine-readable benchmark result (a row of BENCH_XXXX.json).
+struct JsonRow {
+    experiment: &'static str,
+    workload: &'static str,
+    algo: &'static str,
+    variant: String,
+    threads: usize,
+    ms: f64,
+    iterations: usize,
+    /// Machine-independent work column: edges inspected (BFS), relaxations
+    /// (SSSP), label updates (CC), gathered/scattered edges (PageRank),
+    /// set bits visited (bitmap-scan ablation).
+    work: usize,
+    /// Millions of work units per second (work / ms / 1000).
+    mteps: f64,
+}
+
+impl JsonRow {
+    fn to_json(&self) -> String {
+        // All strings here are static identifiers or ASCII variant labels —
+        // nothing needs escaping (same reasoning as the obs JSONL export).
+        format!(
+            "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"algo\":\"{}\",\"variant\":\"{}\",\"threads\":{},\"ms\":{:.3},\"iterations\":{},\"work\":{},\"mteps\":{:.2}}}",
+            self.experiment, self.workload, self.algo, self.variant,
+            self.threads, self.ms, self.iterations, self.work, self.mteps,
+        )
+    }
+}
+
+fn mteps(work: usize, ms: f64) -> f64 {
+    if ms > 0.0 {
+        work as f64 / ms / 1000.0
+    } else {
+        0.0
+    }
+}
+
+/// `--json` mode: the machine-readable benchmark session. Runs the
+/// direction-engine comparisons (BFS / SSSP / CC / PageRank, fixed vs
+/// adaptive) and the bitmap-scan ablation, and writes every result as one
+/// JSON object per row (schema documented in EXPERIMENTS.md). Snapshots of
+/// this output are committed as BENCH_XXXX.json; regenerate with
+/// `cargo run --release -p essentials-bench --bin harness -- SCALE --json FILE`.
+fn json_session(scale: u32, path: &str) {
+    use essentials_parallel::atomics::AtomicBitset;
+
+    let mut rows: Vec<JsonRow> = Vec::new();
+
+    // --- direction: BFS push vs pull vs adaptive, thread sweep -----------
+    for w in [Workload::Rmat, Workload::Grid] {
+        let g = w.symmetric(scale);
+        let reference = bfs::bfs_sequential(&g, 0).level;
+        for &t in &[1usize, 2, 4] {
+            let ctx = Context::new(t);
+            let runs: Vec<(&str, Box<dyn Fn() -> bfs::BfsResult>)> = vec![
+                ("push", Box::new(|| bfs::bfs(execution::par, &ctx, &g, 0))),
+                (
+                    "pull",
+                    Box::new(|| bfs::bfs_pull(execution::par, &ctx, &g, 0)),
+                ),
+                (
+                    "adaptive",
+                    Box::new(|| bfs::bfs_adaptive(execution::par, &ctx, &g, 0)),
+                ),
+            ];
+            for (variant, f) in runs {
+                let r = f();
+                assert_eq!(r.level, reference, "{variant} diverged");
+                let ms = median_ms(3, || {
+                    f();
+                });
+                rows.push(JsonRow {
+                    experiment: "direction",
+                    workload: w.name(),
+                    algo: "bfs",
+                    variant: variant.to_string(),
+                    threads: t,
+                    ms,
+                    iterations: r.stats.iterations,
+                    work: r.edges_inspected,
+                    mteps: mteps(r.edges_inspected, ms),
+                });
+            }
+        }
+    }
+
+    // --- direction: SSSP / CC / PageRank, fixed vs adaptive --------------
+    let ctx = Context::new(4);
+    for w in [Workload::Rmat, Workload::Grid] {
+        let wg = w.weighted(scale);
+        let g = w.symmetric(scale);
+        let n = g.get_num_vertices();
+        let m = g.get_num_edges();
+
+        let sssp_runs: Vec<(&str, Box<dyn Fn() -> sssp::SsspResult>)> = vec![
+            (
+                "push",
+                Box::new(|| sssp::sssp(execution::par, &ctx, &wg, 0)),
+            ),
+            (
+                "adaptive",
+                Box::new(|| sssp::sssp_adaptive(execution::par, &ctx, &wg, 0)),
+            ),
+        ];
+        for (variant, f) in sssp_runs {
+            let r = f();
+            let ms = median_ms(3, || {
+                f();
+            });
+            rows.push(JsonRow {
+                experiment: "direction",
+                workload: w.name(),
+                algo: "sssp",
+                variant: variant.to_string(),
+                threads: 4,
+                ms,
+                iterations: r.stats.iterations,
+                work: r.relaxations,
+                mteps: mteps(r.relaxations, ms),
+            });
+        }
+
+        let cc_runs: Vec<(&str, Box<dyn Fn() -> cc::CcResult>)> = vec![
+            (
+                "label-prop",
+                Box::new(|| cc::cc_label_propagation(execution::par, &ctx, &g)),
+            ),
+            (
+                "adaptive",
+                Box::new(|| cc::cc_adaptive(execution::par, &ctx, &g)),
+            ),
+        ];
+        for (variant, f) in cc_runs {
+            let r = f();
+            let ms = median_ms(3, || {
+                f();
+            });
+            rows.push(JsonRow {
+                experiment: "direction",
+                workload: w.name(),
+                algo: "cc",
+                variant: variant.to_string(),
+                threads: 4,
+                ms,
+                iterations: r.stats.iterations,
+                work: r.updates,
+                mteps: mteps(r.updates, ms),
+            });
+        }
+
+        let cfg = pagerank::PrConfig {
+            damping: 0.85,
+            tolerance: 0.0, // fixed iteration count: identical work per variant
+            max_iterations: 20,
+        };
+        let pr_runs: Vec<(&str, Box<dyn Fn() -> pagerank::PageRankResult>)> = vec![
+            (
+                "pull",
+                Box::new(|| pagerank::pagerank_pull(execution::par, &ctx, &g, cfg)),
+            ),
+            (
+                "push",
+                Box::new(|| pagerank::pagerank_push(execution::par, &ctx, &g, cfg)),
+            ),
+            (
+                "adaptive",
+                Box::new(|| {
+                    pagerank::pagerank_adaptive(execution::par, &ctx, &g, cfg, Default::default())
+                }),
+            ),
+        ];
+        for (variant, f) in pr_runs {
+            let r = f();
+            let ms = median_ms(3, || {
+                f();
+            });
+            let work = m * r.stats.iterations;
+            rows.push(JsonRow {
+                experiment: "direction",
+                workload: w.name(),
+                algo: "pagerank",
+                variant: variant.to_string(),
+                threads: 4,
+                ms,
+                iterations: r.stats.iterations,
+                work,
+                mteps: mteps(work, ms),
+            });
+        }
+        let _ = n;
+    }
+
+    // --- ablation: bitmap decode — per-bit probe vs iterator vs word scan
+    // The "work" column counts the set bits each scan visits; "mteps" is
+    // millions of set bits decoded per second. The word scan must win at
+    // high density (one load per 64 bits, no iterator machinery).
+    let nbits = 1usize << 20;
+    for density_pct in [1usize, 25, 50, 90] {
+        let bits = AtomicBitset::new(nbits);
+        for i in 0..nbits {
+            if (i.wrapping_mul(2654435761)) % 100 < density_pct {
+                bits.set(i);
+            }
+        }
+        let set = bits.count_ones();
+        let sink = std::sync::atomic::AtomicUsize::new(0);
+        let pool_ctx = Context::new(4);
+        let scans: Vec<(&str, Box<dyn Fn() -> usize>)> = vec![
+            (
+                "bit_probe",
+                Box::new(|| (0..nbits).filter(|&i| bits.get(i)).count()),
+            ),
+            ("iter_ones", Box::new(|| bits.iter_ones().count())),
+            (
+                "word_scan",
+                Box::new(|| {
+                    let mut acc = 0usize;
+                    bits.for_each_set(|_| acc += 1);
+                    acc
+                }),
+            ),
+            (
+                // The kernel the masked pull actually runs: workers take
+                // disjoint word ranges and decode them independently.
+                "word_scan_par",
+                Box::new(|| {
+                    pool_ctx.pool().parallel_reduce(
+                        0..bits.num_words(),
+                        Schedule::Dynamic(64),
+                        0usize,
+                        |wi| {
+                            let mut acc = 0usize;
+                            bits.for_each_set_in_words(wi, wi + 1, &mut |_| acc += 1);
+                            acc
+                        },
+                        |a, b| a + b,
+                    )
+                }),
+            ),
+        ];
+        for (variant, f) in scans {
+            assert_eq!(f(), set, "{variant} decoded a different set");
+            // Sub-millisecond scans: amortize over 8 inner repetitions and
+            // take the median of 9 trials to keep host jitter out of the
+            // committed snapshot.
+            let ms = median_ms(9, || {
+                for _ in 0..8 {
+                    sink.fetch_add(f(), std::sync::atomic::Ordering::Relaxed);
+                }
+            }) / 8.0;
+            rows.push(JsonRow {
+                experiment: "bitmap-scan",
+                workload: "uniform",
+                algo: "decode",
+                variant: format!("{variant}/{density_pct}pct"),
+                threads: if variant == "word_scan_par" { 4 } else { 1 },
+                ms,
+                iterations: 1,
+                work: set,
+                mteps: mteps(set, ms),
+            });
+        }
+    }
+
+    // --- serialize -------------------------------------------------------
+    let mut out = String::with_capacity(rows.len() * 160 + 128);
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"essentials-bench/v1\",\n  \"scale\": {scale},\n  \"rows\": [\n"
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&row.to_json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, &out).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{} benchmark rows written to {path}", rows.len());
 }
 
 /// E1 — Timing models: BSP vs asynchronous (Table I row 1).
@@ -316,7 +613,10 @@ fn e3_direction(scale: u32) {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         assert!(diff < 1e-6, "push/pull fixpoints diverged: {diff}");
-        for (name, iters) in [("pull", pull.stats.iterations), ("push", push.stats.iterations)] {
+        for (name, iters) in [
+            ("pull", pull.stats.iterations),
+            ("push", push.stats.iterations),
+        ] {
             let ms = median_ms(2, || {
                 if name == "pull" {
                     pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
@@ -348,7 +648,10 @@ fn e4_partitioning(scale: u32) {
             let parts = [
                 ("random", random_partition(n, k, 1)),
                 ("contig", contiguous_partition(n, k)),
-                ("multilevel", multilevel_partition(&g, MultilevelConfig::new(k))),
+                (
+                    "multilevel",
+                    multilevel_partition(&g, MultilevelConfig::new(k)),
+                ),
             ];
             for (name, p) in parts {
                 let cut = edge_cut(&g, &p);
@@ -374,7 +677,12 @@ fn e5_load_balance(scale: u32) {
     // workers statically by vertices vs. by edges, and report the worst
     // worker's share of edge work relative to ideal (1.0 = perfect).
     println!("   static work division imbalance (max worker edges / ideal):");
-    table_header(&[("workload", 11), ("workers", 7), ("by-vertex", 10), ("by-edge", 10)]);
+    table_header(&[
+        ("workload", 11),
+        ("workers", 7),
+        ("by-vertex", 10),
+        ("by-edge", 10),
+    ]);
     for w in [Workload::Rmat, Workload::Grid] {
         let g = w.directed(scale);
         let degrees: Vec<usize> = g.vertices().map(|v| g.out_degree(v)).collect();
@@ -414,8 +722,10 @@ fn e5_load_balance(scale: u32) {
         }
     }
 
-    println!("
-   wall time (indicative on this host):");
+    println!(
+        "
+   wall time (indicative on this host):"
+    );
     table_header(&[
         ("workload", 11),
         ("strategy", 15),
@@ -449,8 +759,16 @@ fn e5_load_balance(scale: u32) {
                     },
                 );
             });
-            println!("{:>11}  {:>15}  {t:>7}  {vertex_ms:>9.2}", w.name(), "vertex-balanced");
-            println!("{:>11}  {:>15}  {t:>7}  {edge_ms:>9.2}", w.name(), "edge-balanced");
+            println!(
+                "{:>11}  {:>15}  {t:>7}  {vertex_ms:>9.2}",
+                w.name(),
+                "vertex-balanced"
+            );
+            println!(
+                "{:>11}  {:>15}  {t:>7}  {edge_ms:>9.2}",
+                w.name(),
+                "edge-balanced"
+            );
         }
         // Mutex-guarded Listing-3 vs collector-based expansion.
         let ctx = Context::new(4);
@@ -492,9 +810,11 @@ fn e6_sssp(scale: u32) {
         let g = w.weighted(scale);
         let oracle = sssp::dijkstra(&g, 0);
         let check = |name: &str, r: &sssp::SsspResult| {
-            let ok = r.dist.iter().zip(&oracle.dist).all(|(a, b)| {
-                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3
-            });
+            let ok = r
+                .dist
+                .iter()
+                .zip(&oracle.dist)
+                .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3);
             assert!(ok, "{name} diverged from Dijkstra");
         };
         let runs: Vec<(&str, Box<dyn Fn() -> sssp::SsspResult>)> = vec![
@@ -564,7 +884,13 @@ fn e7_suite(scale: u32) {
         let (p, r) = time_ms(|| pagerank::pagerank_pull(execution::par, &ctx, &sym, cfg));
         let (s, _) = time_ms(|| pagerank::pagerank_sequential(&sym, cfg));
         assert!(pagerank::verify_pagerank(&sym, &r.rank, cfg.damping, 1e-6));
-        print_suite_row("pagerank", w, p, s, &format!("{} iterations", r.stats.iterations));
+        print_suite_row(
+            "pagerank",
+            w,
+            p,
+            s,
+            &format!("{} iterations", r.stats.iterations),
+        );
 
         // Connected components
         let (p, r) = time_ms(|| cc::cc_label_propagation(execution::par, &ctx, &sym));
@@ -610,15 +936,24 @@ fn e7_suite(scale: u32) {
         print_suite_row("mst", w, p, s, &format!("weight {:.1}", r.total_weight));
 
         // HITS
-        let (p, r) = time_ms(|| hits::hits(execution::par, &ctx, &sym, hits::HitsConfig::default()));
+        let (p, r) =
+            time_ms(|| hits::hits(execution::par, &ctx, &sym, hits::HitsConfig::default()));
         let (s, _) = time_ms(|| {
             let c = Context::sequential();
             hits::hits(execution::seq, &c, &sym, hits::HitsConfig::default())
         });
-        print_suite_row("hits", w, p, s, &format!("{} iterations", r.stats.iterations));
+        print_suite_row(
+            "hits",
+            w,
+            p,
+            s,
+            &format!("{} iterations", r.stats.iterations),
+        );
 
         // SpMV
-        let x: Vec<f32> = (0..wg.get_num_vertices()).map(|i| (i % 13) as f32).collect();
+        let x: Vec<f32> = (0..wg.get_num_vertices())
+            .map(|i| (i % 13) as f32)
+            .collect();
         let (p, y) = time_ms(|| spmv::spmv(execution::par, &ctx, &wg, &x));
         let (s, y2) = time_ms(|| spmv::spmv_sequential(&wg, &x));
         assert_eq!(y, y2);
@@ -628,13 +963,18 @@ fn e7_suite(scale: u32) {
         let (p, r) = time_ms(|| sswp::sswp(execution::par, &ctx, &wg, 0));
         let (s, oracle) = time_ms(|| sswp::sswp_sequential(&wg, 0));
         assert_eq!(r.width, oracle.width);
-        print_suite_row("sswp", w, p, s, &format!("{} supersteps", r.stats.iterations));
+        print_suite_row(
+            "sswp",
+            w,
+            p,
+            s,
+            &format!("{} supersteps", r.stats.iterations),
+        );
 
         // Betweenness (sampled sources — exact BC is quadratic).
         let sources: Vec<VertexId> = (0..8).collect();
-        let (p, r) = time_ms(|| {
-            essentials_algos::bc::betweenness(execution::par, &ctx, &sym, &sources)
-        });
+        let (p, r) =
+            time_ms(|| essentials_algos::bc::betweenness(execution::par, &ctx, &sym, &sources));
         let (s, oracle) = time_ms(|| essentials_algos::bc::betweenness_sequential(&sym, &sources));
         let ok = r
             .iter()
@@ -686,9 +1026,10 @@ fn e8_message_passing(scale: u32) {
             );
 
             let (ms, (dist, stats)) = time_ms(|| mp_sssp(&pg, 0));
-            let ok = dist.iter().zip(&sssp_oracle.dist).all(|(a, b)| {
-                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3
-            });
+            let ok = dist
+                .iter()
+                .zip(&sssp_oracle.dist)
+                .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3);
             assert!(ok, "mp-sssp diverged");
             println!(
                 "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
@@ -711,9 +1052,10 @@ fn e8_message_passing(scale: u32) {
 
             // Sender-side combining (Pregel combiners).
             let (ms, (dist, stats)) = time_ms(|| mp_sssp_combined(&pg, 0));
-            let ok = dist.iter().zip(&sssp_oracle.dist).all(|(a, b)| {
-                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3
-            });
+            let ok = dist
+                .iter()
+                .zip(&sssp_oracle.dist)
+                .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3);
             assert!(ok, "mp-sssp-combined diverged");
             println!(
                 "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
@@ -736,9 +1078,10 @@ fn e8_message_passing(scale: u32) {
                 stats.messages_remote
             );
             let (ms, (dist, stats)) = time_ms(|| async_mp_sssp(&pg, 0));
-            let ok = dist.iter().zip(&sssp_oracle.dist).all(|(a, b)| {
-                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3
-            });
+            let ok = dist
+                .iter()
+                .zip(&sssp_oracle.dist)
+                .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3);
             assert!(ok, "async-mp-sssp diverged");
             println!(
                 "{:>11}  {:>9}  {k:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
@@ -751,9 +1094,25 @@ fn e8_message_passing(scale: u32) {
         }
         // Shared-memory equivalents for reference.
         let (ms, _) = time_ms(|| bfs::bfs(execution::par, &ctx, &g, 0));
-        println!("{:>11}  {:>9}  {:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}", w.name(), "shm-bfs", "-", "-", "-", "-");
+        println!(
+            "{:>11}  {:>9}  {:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
+            w.name(),
+            "shm-bfs",
+            "-",
+            "-",
+            "-",
+            "-"
+        );
         let (ms, _) = time_ms(|| sssp::sssp(execution::par, &ctx, &g, 0));
-        println!("{:>11}  {:>9}  {:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}", w.name(), "shm-sssp", "-", "-", "-", "-");
+        println!(
+            "{:>11}  {:>9}  {:>5}  {ms:>9.2}  {:>10}  {:>10}  {:>10}",
+            w.name(),
+            "shm-sssp",
+            "-",
+            "-",
+            "-",
+            "-"
+        );
     }
     println!();
 }

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use essentials_frontier::SparseFrontier;
+use essentials_frontier::{DenseFrontier, SparseFrontier};
 use essentials_obs::ObsSink;
 use essentials_parallel::ThreadPool;
 
@@ -122,6 +122,20 @@ impl Context {
     pub fn recycle_frontier(&self, f: SparseFrontier) {
         self.scratch.recycle(f, self.num_threads());
     }
+
+    /// The dense mirror of [`Self::recycle_frontier`]: parks a spent bitmap
+    /// frontier so the next pull/dense-push output over the same vertex
+    /// universe reuses it instead of allocating O(n/64) words.
+    pub fn recycle_dense_frontier(&self, f: DenseFrontier) {
+        self.scratch.recycle_dense(f, self.num_threads());
+    }
+
+    /// An empty dense frontier over `n` vertices, drawn from the pool when a
+    /// bitmap of exactly that capacity was recycled (steady state: cleared
+    /// in word stores, zero allocations).
+    pub fn take_dense_frontier(&self, n: usize) -> DenseFrontier {
+        self.scratch.take_dense(n, self.num_threads())
+    }
 }
 
 impl Default for Context {
@@ -171,6 +185,20 @@ mod tests {
         ctx.recycle_frontier(f);
         let mut s = ctx.take_scratch();
         assert!(s.take_vec().capacity() >= 256);
+    }
+
+    #[test]
+    fn recycled_dense_frontier_round_trips() {
+        let ctx = Context::new(2);
+        let d = DenseFrontier::new(128);
+        d.insert(9);
+        let addr = d.bits().words().as_ptr();
+        ctx.recycle_dense_frontier(d);
+        let got = ctx.take_dense_frontier(128);
+        assert_eq!(got.bits().words().as_ptr(), addr);
+        assert!(got.is_empty());
+        // Different universe allocates fresh rather than mis-sizing.
+        assert_eq!(ctx.take_dense_frontier(64).capacity(), 64);
     }
 
     #[test]

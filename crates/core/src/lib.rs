@@ -39,15 +39,18 @@ pub mod prelude {
     pub use crate::enactor::{Enactor, IterProgress, LoopStats};
     pub use crate::load_balance::{for_each_edge_balanced, for_each_vertex_balanced};
     pub use crate::operators::advance::{
-        advance_edges, expand_pull, expand_pull_counted, expand_push_dense, expand_to_edges,
-        neighbors_expand,
-        neighbors_expand_mutex, neighbors_expand_unique, PullConfig,
+        advance_edges, expand_pull, expand_pull_counted, expand_pull_masked, expand_push_dense,
+        expand_to_edges, neighbors_expand, neighbors_expand_mutex, neighbors_expand_unique,
+        PullConfig,
     };
-    pub use crate::scratch::AdvanceScratch;
     pub use crate::operators::compute::{fill_indexed, foreach_active, foreach_vertex};
+    pub use crate::operators::direction::{
+        advance_adaptive, AdaptiveAdvance, AdaptiveConfig, Direction, DirectionPolicy,
+    };
     pub use crate::operators::filter::{filter, uniquify, uniquify_with_bitmap};
     pub use crate::operators::intersect::{intersect_count, intersect_count_gallop};
     pub use crate::operators::reduce::{count_if, reduce};
+    pub use crate::scratch::AdvanceScratch;
     pub use essentials_frontier::{
         Collector, DenseFrontier, EdgeFrontier, Frontier, QueueFrontier, SparseFrontier,
         VertexFrontier,

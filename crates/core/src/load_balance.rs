@@ -39,7 +39,9 @@ where
 {
     let mut scratch = ctx.take_scratch();
     let crate::scratch::AdvanceScratch {
-        offsets, chunk_sums, ..
+        offsets,
+        chunk_sums,
+        ..
     } = &mut *scratch;
     for_each_edge_balanced_with(ctx, g, frontier, offsets, chunk_sums, f);
     ctx.put_scratch(scratch);

@@ -144,7 +144,11 @@ where
         if let Some(sink) = ctx.obs() {
             let adm = admitted.get() as u64;
             sink.on_advance(&AdvanceEvent {
-                kind: if UNIQUE { OpKind::AdvanceUnique } else { OpKind::Advance },
+                kind: if UNIQUE {
+                    OpKind::AdvanceUnique
+                } else {
+                    OpKind::Advance
+                },
                 policy: P::NAME,
                 frontier_in,
                 edges_inspected: if detail { frontier_out_edges(g, f) } else { 0 },
@@ -308,7 +312,10 @@ where
     W: EdgeValue,
     F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
 {
-    let output = DenseFrontier::new(g.num_vertices());
+    // Recycled through the context's dense pool: steady-state dense-push
+    // iterations reuse a parked bitmap (cleared in word stores) instead of
+    // allocating O(n/64) words per call.
+    let output = ctx.take_dense_frontier(g.num_vertices());
     let detail = ctx.obs_wants_detail();
     let admitted = Counter::new();
     let body = |v: VertexId, e: EdgeId| {
@@ -354,7 +361,6 @@ pub struct PullConfig {
     pub early_exit: bool,
 }
 
-
 /// Pull-direction expansion (§III-C): every *candidate* destination scans
 /// its **in**-neighbors for active sources instead of active sources
 /// scattering to destinations.
@@ -389,7 +395,8 @@ where
     F: Fn(VertexId, VertexId, W) -> bool + Sync,
 {
     let n = g.num_vertices();
-    let output = DenseFrontier::new(n);
+    // Recycled bitmap, same contract as `expand_push_dense`.
+    let output = ctx.take_dense_frontier(n);
     let scanned = essentials_parallel::atomics::Counter::new();
     let scan = |dst: VertexId| {
         if !candidate(dst) {
@@ -454,6 +461,84 @@ where
     F: Fn(VertexId, VertexId, W) -> bool + Sync,
 {
     expand_pull_counted(policy, ctx, g, input, cfg, candidate, condition).0
+}
+
+/// Masked pull: [`expand_pull_counted`] where the candidate set is a
+/// **bitmap**, iterated word-parallel, instead of a predicate probed for all
+/// `n` destinations.
+///
+/// `candidates` holds the vertices that could still be admitted (for BFS:
+/// the unvisited set). The scan decodes only its set words — all-zero words
+/// cost one load per 64 vertices, and settled destinations are never
+/// touched. The caller keeps the mask current between iterations with
+/// [`DenseFrontier::and_not`]`(output)`, retiring this iteration's
+/// admissions 64 at a time; that maintenance is how the unvisited mass
+/// shrinks as the traversal settles, turning late pull iterations from
+/// O(n + in-edges) full scans into O(remaining candidates).
+///
+/// Returns the output frontier (recycled through the context's dense pool)
+/// and the number of in-edges scanned.
+pub fn expand_pull_masked<P, G, W, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    input: &DenseFrontier,
+    candidates: &DenseFrontier,
+    cfg: PullConfig,
+    condition: F,
+) -> (DenseFrontier, usize)
+where
+    P: ExecutionPolicy,
+    G: InEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, W) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    debug_assert_eq!(candidates.capacity(), n);
+    let output = ctx.take_dense_frontier(n);
+    let scanned = essentials_parallel::atomics::Counter::new();
+    let scan = |dst: VertexId| {
+        let srcs = g.in_neighbors(dst);
+        let ws = g.in_neighbor_weights(dst);
+        let mut local_scans = 0usize;
+        for (k, &src) in srcs.iter().enumerate() {
+            local_scans += 1;
+            if input.contains(src) && condition(src, dst, ws[k]) {
+                output.insert(dst);
+                if cfg.early_exit {
+                    break;
+                }
+            }
+        }
+        scanned.add(local_scans);
+    };
+    let mask = candidates.bits();
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        mask.for_each_set(|i| scan(i as VertexId));
+    } else {
+        // Workers take disjoint *word* ranges of the mask and decode their
+        // own chunks — the parallel form of the word-at-a-time scan. 4 words
+        // per grab = 256 candidate slots, small enough to balance skewed
+        // in-degree, large enough to amortize the queue.
+        ctx.pool()
+            .parallel_for(0..mask.num_words(), Schedule::Dynamic(4), |wi| {
+                mask.for_each_set_in_words(wi, wi + 1, &mut |i| scan(i as VertexId));
+            });
+    }
+    if let Some(sink) = ctx.obs() {
+        let out_len = output.len();
+        sink.on_advance(&AdvanceEvent {
+            kind: OpKind::Pull,
+            policy: P::NAME,
+            frontier_in: input.len(),
+            edges_inspected: scanned.get() as u64,
+            admitted: out_len as u64,
+            output_len: out_len,
+            dedup_hits: 0,
+            per_worker: &[],
+        });
+    }
+    (output, scanned.get())
 }
 
 /// Edge-to-vertex advance: applies `condition(src, dst, edge, w)` to every
@@ -526,8 +611,9 @@ where
         }
         return out;
     }
-    let buffers: Vec<Mutex<Vec<(VertexId, EdgeId)>>> =
-        (0..ctx.num_threads()).map(|_| Mutex::new(Vec::new())).collect();
+    let buffers: Vec<Mutex<Vec<(VertexId, EdgeId)>>> = (0..ctx.num_threads())
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
     for_each_edge_balanced(ctx, g, f.as_slice(), |tid, v, e| {
         buffers[tid].lock().push((v, e));
     });
@@ -582,7 +668,9 @@ mod tests {
             let mut a = neighbors_expand(execution::seq, &ctx, &g, &frontier, |_, _, _, _| true);
             let mut b = neighbors_expand(execution::par, &ctx, &g, &frontier, |_, _, _, _| true);
             let mut c =
-                neighbors_expand(execution::par_nosync, &ctx, &g, &frontier, |_, _, _, _| true);
+                neighbors_expand(execution::par_nosync, &ctx, &g, &frontier, |_, _, _, _| {
+                    true
+                });
             let mut d =
                 neighbors_expand_mutex(execution::par, &ctx, &g, &frontier, |_, _, _, _| true);
             for f in [&mut a, &mut b, &mut c, &mut d] {
@@ -726,6 +814,89 @@ mod tests {
         );
         assert_eq!(pull.len(), 1);
         assert!(pull.contains(2));
+    }
+
+    #[test]
+    fn masked_pull_matches_predicate_pull() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let dense_in = DenseFrontier::new(4);
+        dense_in.insert(0);
+        // Mask = {0, 2, 3}: vertex 1 is settled and must never be scanned.
+        let mask = DenseFrontier::new(4);
+        for v in [0, 2, 3] {
+            mask.insert(v);
+        }
+        for (pull, _) in [
+            expand_pull_masked(
+                execution::seq,
+                &ctx,
+                &g,
+                &dense_in,
+                &mask,
+                PullConfig::default(),
+                |_, _, _| true,
+            ),
+            expand_pull_masked(
+                execution::par,
+                &ctx,
+                &g,
+                &dense_in,
+                &mask,
+                PullConfig::default(),
+                |_, _, _| true,
+            ),
+        ] {
+            let reference = expand_pull(
+                execution::seq,
+                &ctx,
+                &g,
+                &dense_in,
+                PullConfig::default(),
+                |dst| mask.contains(dst),
+                |_, _, _| true,
+            );
+            assert_eq!(
+                essentials_frontier::convert::dense_to_sparse(&pull),
+                essentials_frontier::convert::dense_to_sparse(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn masked_pull_counts_only_masked_scans() {
+        let g = weighted_diamond();
+        let ctx = Context::new(2);
+        let dense_in = DenseFrontier::new(4);
+        dense_in.insert(1);
+        dense_in.insert(2);
+        let mask = DenseFrontier::new(4);
+        mask.insert(3); // only 3's in-edges (from 1 and 2) may be scanned
+        let (out, scanned) = expand_pull_masked(
+            execution::seq,
+            &ctx,
+            &g,
+            &dense_in,
+            &mask,
+            PullConfig::default(),
+            |_, _, _| true,
+        );
+        assert_eq!(scanned, 2);
+        assert!(out.contains(3));
+    }
+
+    #[test]
+    fn dense_outputs_recycle_through_the_context() {
+        let g = weighted_diamond();
+        let ctx = Context::new(1);
+        let f = SparseFrontier::single(0);
+        let out = expand_push_dense(execution::seq, &ctx, &g, &f, |_, _, _, _| true);
+        let addr = out.bits().words().as_ptr();
+        ctx.recycle_dense_frontier(out);
+        // Next dense expansion over the same universe reuses the bitmap.
+        let out2 = expand_push_dense(execution::seq, &ctx, &g, &f, |_, _, _, _| true);
+        assert_eq!(out2.bits().words().as_ptr(), addr);
+        assert_eq!(out2.len(), 2);
     }
 
     #[test]

@@ -16,7 +16,11 @@ use crate::context::Context;
 /// operator call — the instrumentation never enters the per-item loop.
 fn emit(ctx: &Context, kind: OpKind, policy: &'static str, items: usize) {
     if let Some(sink) = ctx.obs() {
-        sink.on_compute(&ComputeEvent { kind, policy, items });
+        sink.on_compute(&ComputeEvent {
+            kind,
+            policy,
+            items,
+        });
     }
 }
 

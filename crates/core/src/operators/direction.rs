@@ -1,0 +1,482 @@
+//! Adaptive direction engine: per-iteration choice of sparse-push,
+//! dense-push, or pull (§III-C made an *execution-policy* concern).
+//!
+//! The paper argues that traversal direction and frontier representation are
+//! choices the operator layer should make per iteration, not per algorithm.
+//! [`DirectionPolicy`] is the reusable form of the Beamer α/β heuristic that
+//! previously lived inside `bfs_direction_optimizing`; [`advance_adaptive`]
+//! is the entry point that consults it each iteration, converts the frontier
+//! representation to match the chosen kernel, and dispatches to
+//! [`neighbors_expand_unique`](super::advance::neighbors_expand_unique)
+//! (sparse-push), [`expand_push_dense`](super::advance::expand_push_dense)
+//! (dense-push), or the pull expansions. Algorithms supply the same three
+//! ingredients fixed-direction variants do — a push condition, a pull
+//! candidate predicate, a pull condition — and the engine owns everything
+//! else: the decision, the representation switches, the unexplored-edge
+//! bookkeeping, recycling spent frontiers through the [`Context`] pools, and
+//! emitting [`DirectionEvent`]s so switches stay observable.
+//!
+//! For settle-style algorithms (BFS: an admitted vertex never becomes a
+//! candidate again), the engine additionally maintains an
+//! *unvisited-candidates* bitmap and routes pull iterations through
+//! [`expand_pull_masked`](super::advance::expand_pull_masked), so late pull
+//! scans skip all-zero words and settled destinations instead of probing the
+//! candidate predicate for all `n` vertices.
+
+use essentials_frontier::{convert, DenseFrontier, Frontier, SparseFrontier, VertexFrontier};
+use essentials_graph::{EdgeId, EdgeValue, EdgeWeights, GraphBase, InEdgeWeights, VertexId};
+use essentials_obs::DirectionEvent;
+use essentials_parallel::ExecutionPolicy;
+
+use crate::context::Context;
+use crate::operators::advance::{
+    expand_pull_counted, expand_pull_masked, expand_push_dense, neighbors_expand_unique, PullConfig,
+};
+
+/// Traversal direction (and output representation) of one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Frontier scatters over out-edges into a sparse output.
+    Push,
+    /// Frontier scatters over out-edges into a dense (bitmap) output —
+    /// same edge work as [`Direction::Push`], but insertion is idempotent
+    /// and the large output needs no dedup pass.
+    DensePush,
+    /// Candidates gather over in-edges (dense input and output).
+    Pull,
+}
+
+impl Direction {
+    /// Push-family (scatter over out-edges) vs. pull. The α/β hysteresis
+    /// flips between *families*; the sparse/dense push split inside the push
+    /// family is a pure representation choice.
+    #[inline]
+    pub fn is_pull(self) -> bool {
+        matches!(self, Direction::Pull)
+    }
+}
+
+/// The per-iteration quantities a [`DirectionPolicy`] decides from.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyInputs {
+    /// Vertex-universe size.
+    pub n: usize,
+    /// Active vertices this iteration.
+    pub frontier_len: usize,
+    /// Out-edges of the frontier (the α numerator).
+    pub frontier_edges: usize,
+    /// Edges not yet retired by any earlier frontier (the α denominator).
+    pub unexplored_edges: usize,
+    /// Whether the frontier grew since the previous iteration.
+    pub growing: bool,
+    /// Direction of the previous iteration.
+    pub current: Direction,
+    /// Iterations since the last push↔pull flip (hysteresis dwell input).
+    pub since_switch: usize,
+}
+
+/// The Beamer α/β direction heuristic, hoisted out of BFS into a reusable
+/// policy any frontier-driven algorithm consults per iteration.
+///
+/// * **α rule** (while pushing): switch to pull when the frontier is still
+///   growing and its out-edge mass exceeds `unexplored_edges / alpha` — the
+///   scatter is about to touch a large fraction of what remains, so
+///   gathering over candidates is cheaper.
+/// * **β rule** (while pulling): fall back to push when the frontier drops
+///   below `n / beta` — the candidate scan no longer pays for itself on the
+///   shrinking tail.
+/// * **γ rule** (representation, inside the push family): emit a dense
+///   bitmap output when the frontier holds at least `n / gamma` vertices, so
+///   large push iterations get idempotent insertion instead of a dedup pass.
+///
+/// The asymmetry of α and β is itself hysteresis (the pull-entry and
+/// pull-exit thresholds differ); `dwell` adds an explicit floor — a
+/// push↔pull flip is suppressed until the current direction has run `dwell`
+/// iterations — for workloads where the two rules straddle a boundary and
+/// would otherwise oscillate.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectionPolicy {
+    /// Push→pull when `growing && frontier_edges > unexplored_edges / alpha`.
+    pub alpha: usize,
+    /// Pull→push when `frontier_len < n / beta`.
+    pub beta: usize,
+    /// Dense-push (bitmap output) when `frontier_len >= n / gamma`.
+    pub gamma: usize,
+    /// Minimum iterations between push↔pull flips (1 = flip freely).
+    pub dwell: usize,
+}
+
+impl Default for DirectionPolicy {
+    fn default() -> Self {
+        DirectionPolicy {
+            alpha: 14,
+            beta: 24,
+            gamma: 4,
+            dwell: 1,
+        }
+    }
+}
+
+impl DirectionPolicy {
+    /// Picks the direction (and push representation) for one iteration.
+    pub fn decide(&self, s: &PolicyInputs) -> Direction {
+        let pulling = s.current.is_pull();
+        let want_pull = if pulling {
+            // β rule: keep pulling while the frontier covers enough of the
+            // universe for the candidate scan to amortize.
+            s.frontier_len >= s.n / self.beta.max(1)
+        } else {
+            // α rule: only a still-growing frontier justifies the flip —
+            // the shrinking tail on high-diameter graphs stays push.
+            s.growing && s.frontier_edges > s.unexplored_edges / self.alpha.max(1)
+        };
+        let pull = if s.since_switch >= self.dwell.max(1) {
+            want_pull
+        } else {
+            pulling
+        };
+        if pull {
+            Direction::Pull
+        } else if s.n > 0 && s.frontier_len.saturating_mul(self.gamma.max(1)) >= s.n {
+            Direction::DensePush
+        } else {
+            Direction::Push
+        }
+    }
+}
+
+/// Configuration of an adaptive advance loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveConfig {
+    /// The direction heuristic.
+    pub policy: DirectionPolicy,
+    /// Pull scans stop at the first admitting in-edge (correct for
+    /// reachability-style conditions like BFS; wrong for conditions that
+    /// must see every edge, like SSSP relaxation).
+    pub early_exit: bool,
+    /// Admitted vertices never become pull candidates again (BFS-style).
+    /// Enables the unvisited-candidates bitmap: pull iterations go through
+    /// the masked word-parallel scan, and each iteration's output is retired
+    /// from the mask 64 bits at a time.
+    pub settle: bool,
+}
+
+/// Cross-iteration state of one adaptive traversal: the policy inputs that
+/// persist between iterations (unexplored-edge mass, previous length,
+/// current direction), the optional unvisited mask, and the decision trace.
+pub struct AdaptiveAdvance {
+    cfg: AdaptiveConfig,
+    n: usize,
+    unexplored_edges: usize,
+    prev_len: usize,
+    iter: usize,
+    current: Direction,
+    since_switch: usize,
+    /// Unvisited-candidates mask (settle mode only), built lazily from the
+    /// candidate predicate at the first pull iteration.
+    unvisited: Option<DenseFrontier>,
+    directions: Vec<Direction>,
+    edges: usize,
+}
+
+impl AdaptiveAdvance {
+    /// Fresh engine state for a traversal of `g`.
+    pub fn new<G: GraphBase>(g: &G, cfg: AdaptiveConfig) -> Self {
+        AdaptiveAdvance {
+            cfg,
+            n: g.num_vertices(),
+            unexplored_edges: g.num_edges(),
+            prev_len: 0,
+            iter: 0,
+            current: Direction::Push,
+            // Large sentinel: the first decision is never dwell-suppressed.
+            since_switch: usize::MAX,
+            unvisited: None,
+            directions: Vec::new(),
+            edges: 0,
+        }
+    }
+
+    /// Direction chosen each iteration so far.
+    pub fn directions(&self) -> &[Direction] {
+        &self.directions
+    }
+
+    /// Edges inspected so far: out-edges evaluated by push iterations plus
+    /// in-edges scanned by pull iterations — the machine-independent work
+    /// measure fixed-direction variants report.
+    pub fn edges_inspected(&self) -> usize {
+        self.edges
+    }
+
+    /// Iterations advanced so far.
+    pub fn iterations(&self) -> usize {
+        self.iter
+    }
+
+    /// Returns the engine's pooled memory (the unvisited mask) to the
+    /// context. Call when the traversal's loop exits.
+    pub fn finish(&mut self, ctx: &Context) {
+        if let Some(mask) = self.unvisited.take() {
+            ctx.recycle_dense_frontier(mask);
+        }
+    }
+
+    /// The unvisited mask, built from `candidate` on first use (settle mode).
+    fn ensure_unvisited<C: Fn(VertexId) -> bool>(
+        &mut self,
+        ctx: &Context,
+        candidate: &C,
+    ) -> &DenseFrontier {
+        if self.unvisited.is_none() {
+            let mask = ctx.take_dense_frontier(self.n);
+            for v in 0..self.n as VertexId {
+                if candidate(v) {
+                    mask.insert(v);
+                }
+            }
+            self.unvisited = Some(mask);
+        }
+        self.unvisited.as_ref().unwrap()
+    }
+}
+
+/// One adaptive advance: consults the policy, converts the frontier to the
+/// chosen kernel's representation, expands, maintains the engine state, and
+/// returns the next frontier. The spent input recycles through the context's
+/// sparse/dense pools, so steady-state iterations of every direction perform
+/// zero heap allocations.
+///
+/// `push_condition(src, dst, edge, w)` is evaluated once per out-edge of the
+/// frontier on push iterations; `pull_condition(src, dst, w)` once per
+/// scanned in-edge on pull iterations; `pull_candidate(dst)` gates which
+/// destinations a pull scans (and seeds the unvisited mask in settle mode).
+/// For the result to be direction-independent the conditions must be the
+/// push/pull views of the same monotone update — BFS's claim-by-CAS,
+/// SSSP/CC's `fetch_min` — as the fixed-direction variants already require.
+#[allow(clippy::too_many_arguments)]
+pub fn advance_adaptive<P, G, W, FPush, C, FPull>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    engine: &mut AdaptiveAdvance,
+    frontier: VertexFrontier,
+    push_condition: FPush,
+    pull_candidate: C,
+    pull_condition: FPull,
+) -> VertexFrontier
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + InEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    FPush: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+    C: Fn(VertexId) -> bool + Sync,
+    FPull: Fn(VertexId, VertexId, W) -> bool + Sync,
+{
+    let n = engine.n;
+    let len = frontier.len();
+    let growing = len > engine.prev_len;
+    engine.prev_len = len;
+
+    // Frontier out-edge mass: the α numerator, and the amount this
+    // iteration retires from the unexplored pool. O(len) either way — the
+    // dense side uses the word-parallel scan.
+    let frontier_edges = match &frontier {
+        VertexFrontier::Sparse(s) => s.iter().map(|v| g.out_degree(v)).sum(),
+        VertexFrontier::Dense(d) => {
+            let mut total = 0usize;
+            d.for_each_active(|v| total += g.out_degree(v));
+            total
+        }
+    };
+
+    let dir = engine.cfg.policy.decide(&PolicyInputs {
+        n,
+        frontier_len: len,
+        frontier_edges,
+        unexplored_edges: engine.unexplored_edges,
+        growing,
+        current: engine.current,
+        since_switch: engine.since_switch,
+    });
+    if dir.is_pull() != engine.current.is_pull() {
+        engine.since_switch = 1;
+    } else {
+        engine.since_switch = engine.since_switch.saturating_add(1);
+    }
+    engine.current = dir;
+    engine.directions.push(dir);
+    if let Some(sink) = ctx.obs() {
+        sink.on_direction(&DirectionEvent {
+            iteration: engine.iter,
+            frontier_len: len,
+            // By convention the event carries the α-side quantity only when
+            // the frontier arrived sparse (matching the original DO-BFS).
+            frontier_edges: match &frontier {
+                VertexFrontier::Sparse(_) => frontier_edges,
+                VertexFrontier::Dense(_) => 0,
+            },
+            unexplored_edges: engine.unexplored_edges,
+            growing,
+            pull: dir.is_pull(),
+        });
+    }
+    engine.unexplored_edges = engine.unexplored_edges.saturating_sub(frontier_edges);
+    engine.iter += 1;
+
+    match dir {
+        Direction::Push | Direction::DensePush => {
+            // Push kernels take a sparse input; a dense frontier converts
+            // word-at-a-time into a recycled vector.
+            let sparse = match frontier {
+                VertexFrontier::Sparse(s) => s,
+                VertexFrontier::Dense(d) => {
+                    let mut scratch = ctx.take_scratch();
+                    let mut v = scratch.take_vec();
+                    ctx.put_scratch(scratch);
+                    convert::dense_to_sparse_into(&d, &mut v);
+                    ctx.recycle_dense_frontier(d);
+                    SparseFrontier::from_vec(v)
+                }
+            };
+            // Both push kernels evaluate the condition once per out-edge.
+            engine.edges += frontier_edges;
+            let out = if dir == Direction::DensePush {
+                let out = expand_push_dense(policy, ctx, g, &sparse, push_condition);
+                if let Some(mask) = &engine.unvisited {
+                    mask.and_not(&out);
+                }
+                VertexFrontier::Dense(out)
+            } else {
+                let out = neighbors_expand_unique(policy, ctx, g, &sparse, push_condition);
+                if let Some(mask) = &engine.unvisited {
+                    for &v in out.as_slice() {
+                        mask.remove(v);
+                    }
+                }
+                VertexFrontier::Sparse(out)
+            };
+            ctx.recycle_frontier(sparse);
+            out
+        }
+        Direction::Pull => {
+            let dense = match frontier {
+                VertexFrontier::Sparse(s) => {
+                    let d = ctx.take_dense_frontier(n);
+                    for v in s.iter() {
+                        d.insert(v);
+                    }
+                    ctx.recycle_frontier(s);
+                    d
+                }
+                VertexFrontier::Dense(d) => d,
+            };
+            let pull_cfg = PullConfig {
+                early_exit: engine.cfg.early_exit,
+            };
+            let (out, scanned) = if engine.cfg.settle {
+                // The mask reflects candidacy at iteration entry; outputs
+                // retire from it below, keeping it exact.
+                engine.ensure_unvisited(ctx, &pull_candidate);
+                let mask = engine.unvisited.as_ref().unwrap();
+                expand_pull_masked(policy, ctx, g, &dense, mask, pull_cfg, &pull_condition)
+            } else {
+                expand_pull_counted(
+                    policy,
+                    ctx,
+                    g,
+                    &dense,
+                    pull_cfg,
+                    &pull_candidate,
+                    &pull_condition,
+                )
+            };
+            engine.edges += scanned;
+            if let Some(mask) = &engine.unvisited {
+                mask.and_not(&out);
+            }
+            ctx.recycle_dense_frontier(dense);
+            VertexFrontier::Dense(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(current: Direction) -> PolicyInputs {
+        PolicyInputs {
+            n: 1000,
+            frontier_len: 10,
+            frontier_edges: 50,
+            unexplored_edges: 10_000,
+            growing: true,
+            current,
+            since_switch: usize::MAX,
+        }
+    }
+
+    #[test]
+    fn alpha_rule_enters_pull_only_while_growing() {
+        let p = DirectionPolicy::default();
+        let mut s = inputs(Direction::Push);
+        s.frontier_edges = 2000; // > 10_000 / 14
+        assert_eq!(p.decide(&s), Direction::Pull);
+        s.growing = false;
+        assert_eq!(p.decide(&s), Direction::Push);
+        s.growing = true;
+        s.frontier_edges = 100; // below the α threshold
+        assert_eq!(p.decide(&s), Direction::Push);
+    }
+
+    #[test]
+    fn beta_rule_exits_pull_on_the_shrinking_tail() {
+        let p = DirectionPolicy::default();
+        let mut s = inputs(Direction::Pull);
+        s.frontier_len = 500; // >= 1000 / 24: keep pulling
+        assert_eq!(p.decide(&s), Direction::Pull);
+        s.frontier_len = 10; // < 1000 / 24: back to push
+        assert_eq!(p.decide(&s), Direction::Push);
+    }
+
+    #[test]
+    fn gamma_rule_picks_dense_push_for_fat_frontiers() {
+        let p = DirectionPolicy::default();
+        let mut s = inputs(Direction::Push);
+        s.growing = false; // α can't fire
+        s.frontier_len = 400; // 400 * 4 >= 1000
+        assert_eq!(p.decide(&s), Direction::DensePush);
+        s.frontier_len = 100; // 100 * 4 < 1000
+        assert_eq!(p.decide(&s), Direction::Push);
+    }
+
+    #[test]
+    fn dwell_suppresses_immediate_flips() {
+        let p = DirectionPolicy {
+            dwell: 3,
+            ..DirectionPolicy::default()
+        };
+        // β wants push (len < n/24), but the flip is younger than dwell.
+        let mut s = inputs(Direction::Pull);
+        s.frontier_len = 10;
+        s.since_switch = 1;
+        assert_eq!(p.decide(&s), Direction::Pull);
+        s.since_switch = 3;
+        assert_eq!(p.decide(&s), Direction::Push);
+    }
+
+    #[test]
+    fn degenerate_parameters_do_not_divide_by_zero() {
+        let p = DirectionPolicy {
+            alpha: 0,
+            beta: 0,
+            gamma: 0,
+            dwell: 0,
+        };
+        let s = inputs(Direction::Push);
+        let _ = p.decide(&s); // must not panic
+        let s = inputs(Direction::Pull);
+        let _ = p.decide(&s);
+    }
+}

@@ -99,7 +99,11 @@ mod tests {
         for mask_a in 0u32..256 {
             for mask_b in [0u32, 1, 37, 170, 255] {
                 let pick = |mask: u32| -> Vec<VertexId> {
-                    universe.iter().copied().filter(|&v| mask >> v & 1 == 1).collect()
+                    universe
+                        .iter()
+                        .copied()
+                        .filter(|&v| mask >> v & 1 == 1)
+                        .collect()
                 };
                 let (a, b) = (pick(mask_a), pick(mask_b));
                 assert_eq!(

@@ -10,6 +10,7 @@
 
 pub mod advance;
 pub mod compute;
+pub mod direction;
 pub mod filter;
 pub mod intersect;
 pub mod reduce;

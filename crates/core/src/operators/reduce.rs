@@ -68,8 +68,22 @@ mod tests {
     #[test]
     fn reduce_policy_equivalence_exact_for_integers() {
         let ctx = Context::new(4);
-        let seq = reduce(execution::seq, &ctx, 100_000, 0u64, |i| i as u64, |a, b| a + b);
-        let par = reduce(execution::par, &ctx, 100_000, 0u64, |i| i as u64, |a, b| a + b);
+        let seq = reduce(
+            execution::seq,
+            &ctx,
+            100_000,
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        let par = reduce(
+            execution::par,
+            &ctx,
+            100_000,
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
         assert_eq!(seq, par);
     }
 
@@ -90,7 +104,10 @@ mod tests {
     #[test]
     fn empty_reduction_yields_identity() {
         let ctx = Context::new(2);
-        assert_eq!(reduce(execution::par, &ctx, 0, 7u32, |_| 0, |a, b| a + b), 7);
+        assert_eq!(
+            reduce(execution::par, &ctx, 0, 7u32, |_| 0, |a, b| a + b),
+            7
+        );
         assert_eq!(max_f64(execution::seq, &ctx, 0, |_| 1.0), f64::NEG_INFINITY);
     }
 }

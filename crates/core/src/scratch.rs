@@ -15,13 +15,17 @@
 
 use std::sync::atomic::{AtomicPtr, Ordering};
 
-use essentials_frontier::{SparseFrontier, WorkerBuffers};
+use essentials_frontier::{DenseFrontier, SparseFrontier, WorkerBuffers};
 use essentials_graph::VertexId;
 use essentials_parallel::atomics::AtomicBitset;
 
 /// Bound on pooled output vectors; algorithms juggle at most a current and
 /// a next frontier plus a couple of temporaries.
 const MAX_SPARE_FRONTIERS: usize = 4;
+
+/// Bound on pooled dense (bitmap) frontiers. Pull/dense-push iterations hold
+/// a current, a next, and possibly an unvisited-candidates bitmap.
+const MAX_SPARE_DENSE: usize = 4;
 
 /// All reusable memory one advance/filter iteration needs.
 pub struct AdvanceScratch {
@@ -37,6 +41,10 @@ pub struct AdvanceScratch {
     pub(crate) seen: AtomicBitset,
     /// Recycled output vectors (frontier pool).
     spare: Vec<Vec<VertexId>>,
+    /// Recycled dense frontiers (bitmap pool). Capacity-keyed: a pooled
+    /// bitmap is only handed out for the vertex universe it was built for,
+    /// so reuse is exact and clearing stays O(n/64) word stores.
+    spare_dense: Vec<DenseFrontier>,
 }
 
 impl AdvanceScratch {
@@ -48,6 +56,7 @@ impl AdvanceScratch {
             buffers: WorkerBuffers::new(workers),
             seen: AtomicBitset::new(0),
             spare: Vec::new(),
+            spare_dense: Vec::new(),
         }
     }
 
@@ -72,6 +81,28 @@ impl AdvanceScratch {
     pub(crate) fn put_vec(&mut self, v: Vec<VertexId>) {
         if self.spare.len() < MAX_SPARE_FRONTIERS && v.capacity() > 0 {
             self.spare.push(v);
+        }
+    }
+
+    /// An empty dense frontier over `n` vertices, reusing a pooled bitmap of
+    /// exactly that capacity when one exists (cleared in O(n/64) word
+    /// stores, no allocation). Mismatched capacities allocate fresh — the
+    /// universe is fixed per graph, so steady state always hits the pool.
+    pub(crate) fn take_dense(&mut self, n: usize) -> DenseFrontier {
+        match self.spare_dense.iter().position(|d| d.capacity() == n) {
+            Some(i) => {
+                let d = self.spare_dense.swap_remove(i);
+                d.clear();
+                d
+            }
+            None => DenseFrontier::new(n),
+        }
+    }
+
+    /// Returns a dense frontier to the pool (dropped if the pool is full).
+    pub(crate) fn put_dense(&mut self, d: DenseFrontier) {
+        if self.spare_dense.len() < MAX_SPARE_DENSE && d.capacity() > 0 {
+            self.spare_dense.push(d);
         }
     }
 }
@@ -122,6 +153,23 @@ impl ScratchSlot {
         s.put_vec(f.into_vec());
         self.put(s);
     }
+
+    /// Recycles a dense frontier's bitmap into the parked scratch's pool
+    /// (the dense mirror of [`Self::recycle`]).
+    pub(crate) fn recycle_dense(&self, f: DenseFrontier, workers: usize) {
+        let mut s = self.take(workers);
+        s.put_dense(f);
+        self.put(s);
+    }
+
+    /// A dense frontier over `n` vertices from the parked scratch's pool
+    /// (fresh allocation if the slot is empty or no pooled bitmap matches).
+    pub(crate) fn take_dense(&self, n: usize, workers: usize) -> DenseFrontier {
+        let mut s = self.take(workers);
+        let d = s.take_dense(n);
+        self.put(s);
+        d
+    }
 }
 
 impl Drop for ScratchSlot {
@@ -167,6 +215,26 @@ mod tests {
         assert_eq!(s.ensure_seen(100).len(), 100);
         assert_eq!(s.ensure_seen(50).len(), 100);
         assert_eq!(s.ensure_seen(200).len(), 200);
+    }
+
+    #[test]
+    fn dense_pool_matches_capacity_exactly() {
+        let mut s = AdvanceScratch::new(1);
+        let d = DenseFrontier::new(100);
+        d.insert(7);
+        let addr = d.bits().words().as_ptr();
+        s.put_dense(d);
+        // Wrong universe: fresh allocation, pooled one stays parked.
+        assert_eq!(s.take_dense(50).capacity(), 50);
+        // Right universe: same words, cleared.
+        let got = s.take_dense(100);
+        assert_eq!(got.bits().words().as_ptr(), addr);
+        assert!(got.is_empty());
+        assert!(!got.contains(7));
+        for _ in 0..10 {
+            s.put_dense(DenseFrontier::new(8));
+        }
+        assert!(s.spare_dense.len() <= MAX_SPARE_DENSE);
     }
 
     #[test]

@@ -15,10 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Arbitrary weighted graph + a frontier over its vertices.
 fn arb_graph_and_frontier() -> impl Strategy<Value = (Graph<f32>, Vec<VertexId>)> {
     (1usize..48).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (0..n as VertexId, 0..n as VertexId, 1u32..100),
-            0..250,
-        );
+        let edges = prop::collection::vec((0..n as VertexId, 0..n as VertexId, 1u32..100), 0..250);
         let frontier = prop::collection::vec(0..n as VertexId, 0..60);
         (edges, frontier).prop_map(move |(edges, frontier)| {
             let coo = Coo::from_edges(

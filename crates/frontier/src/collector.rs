@@ -22,7 +22,9 @@ impl Collector {
     /// A collector for `threads` workers.
     pub fn new(threads: usize) -> Self {
         Collector {
-            buffers: (0..threads.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            buffers: (0..threads.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
     }
 

@@ -6,7 +6,6 @@
 //! conversions preserve the *set* of active vertices; sparse duplicates
 //! collapse on the way in.
 
-
 use crate::dense::DenseFrontier;
 use crate::queue::QueueFrontier;
 use crate::sparse::SparseFrontier;
@@ -20,9 +19,23 @@ pub fn sparse_to_dense(s: &SparseFrontier, n: usize) -> DenseFrontier {
     d
 }
 
-/// Dense → sparse (ascending id order, no duplicates).
+/// Dense → sparse (ascending id order, no duplicates), word-at-a-time:
+/// all-zero bitmap words cost one load, set words decode with
+/// `trailing_zeros` straight into the push.
 pub fn dense_to_sparse(d: &DenseFrontier) -> SparseFrontier {
-    d.iter().collect()
+    let mut out = Vec::with_capacity(d.len());
+    d.for_each_active(|v| out.push(v));
+    SparseFrontier::from_vec(out)
+}
+
+/// Zero-allocation dense → sparse: decodes into `out` (cleared first), so a
+/// recycled frontier vector absorbs the conversion without touching the
+/// allocator. Callers reserve capacity once during warm-up; steady-state
+/// iterations reuse it.
+pub fn dense_to_sparse_into(d: &DenseFrontier, out: &mut Vec<essentials_graph::VertexId>) {
+    out.clear();
+    out.reserve(d.len());
+    d.for_each_active(|v| out.push(v));
 }
 
 /// Sparse → queue: every active vertex becomes a message, distributed
@@ -70,6 +83,21 @@ mod tests {
         assert_eq!(sparse_to_dense(&s, 5).len(), 0);
         assert!(dense_to_sparse(&DenseFrontier::new(5)).is_empty());
         assert!(queue_to_sparse(&sparse_to_queue(&s, 3)).is_empty());
+    }
+
+    #[test]
+    fn dense_to_sparse_into_reuses_storage() {
+        let d = DenseFrontier::new(130);
+        for v in [0, 64, 129] {
+            d.insert(v);
+        }
+        let mut out = Vec::with_capacity(130);
+        let ptr = out.as_ptr();
+        dense_to_sparse_into(&d, &mut out);
+        assert_eq!(out, vec![0, 64, 129]);
+        assert_eq!(out.as_ptr(), ptr, "capacity was sufficient; no realloc");
+        dense_to_sparse_into(&DenseFrontier::new(130), &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

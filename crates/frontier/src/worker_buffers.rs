@@ -101,7 +101,10 @@ impl WorkerBuffers {
     /// load-balance skew input). Allocates; callers gate on whether anyone
     /// wants the detail.
     pub fn slot_lens(&mut self) -> Vec<usize> {
-        self.slots.iter_mut().map(|s| s.buf.get_mut().len()).collect()
+        self.slots
+            .iter_mut()
+            .map(|s| s.buf.get_mut().len())
+            .collect()
     }
 
     /// Direct access to one worker's buffer (sequential paths).
@@ -141,7 +144,9 @@ impl WorkerView<'_> {
             let mut h = std::hash::DefaultHasher::new();
             std::thread::current().id().hash(&mut h);
             let me = h.finish() | 1; // never 0
-            let seen = slot.owner.compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed);
+            let seen = slot
+                .owner
+                .compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed);
             if let Err(prev) = seen {
                 assert_eq!(
                     prev, me,
@@ -188,7 +193,11 @@ mod tests {
             out.clear();
             buffers.drain_into(&mut out);
             assert_eq!(out.len(), 4096);
-            caps.push((0..2).map(|t| buffers.slot_mut(t).capacity()).collect::<Vec<_>>());
+            caps.push(
+                (0..2)
+                    .map(|t| buffers.slot_mut(t).capacity())
+                    .collect::<Vec<_>>(),
+            );
         }
         // After the first round grows the buffers, later rounds reuse them.
         assert_eq!(caps[1], caps[2]);

@@ -1,7 +1,9 @@
 //! Property-based tests: frontier conversions preserve the active set,
 //! queues preserve multisets, collectors lose nothing.
 
-use essentials_frontier::{convert, Collector, DenseFrontier, Frontier, QueueFrontier, SparseFrontier, VertexFrontier};
+use essentials_frontier::{
+    convert, Collector, DenseFrontier, Frontier, QueueFrontier, SparseFrontier, VertexFrontier,
+};
 use essentials_graph::VertexId;
 use proptest::prelude::*;
 
@@ -122,5 +124,59 @@ proptest! {
         }
         prop_assert_eq!(d.len(), model.len());
         prop_assert_eq!(d.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn word_decode_paths_agree_with_iter(
+        // Universe deliberately off the word boundary most of the time so
+        // the tail word is exercised; 0 ids covers the empty extreme.
+        universe in 1usize..600,
+        ids in prop::collection::vec(0..600u32, 0..600),
+    ) {
+        let d = DenseFrontier::new(universe);
+        let mut model = std::collections::BTreeSet::new();
+        for &v in &ids {
+            if (v as usize) < universe {
+                d.insert(v);
+                model.insert(v);
+            }
+        }
+        let expected: Vec<VertexId> = model.into_iter().collect();
+        // Word-at-a-time decode.
+        let mut via_words = Vec::new();
+        d.for_each_active(|v| via_words.push(v));
+        prop_assert_eq!(&via_words, &expected);
+        // Word-at-a-time conversion, both the allocating and reusing forms.
+        prop_assert_eq!(convert::dense_to_sparse(&d).into_vec(), expected.clone());
+        let mut reused = vec![0u32; 3]; // dirty storage must be cleared
+        convert::dense_to_sparse_into(&d, &mut reused);
+        prop_assert_eq!(&reused, &expected);
+        // Full extreme: set_all covers the whole universe including the tail.
+        d.set_all();
+        prop_assert_eq!(d.len(), universe);
+        let mut full = Vec::new();
+        d.for_each_active(|v| full.push(v));
+        prop_assert_eq!(full, (0..universe as VertexId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dense_word_ops_match_set_algebra(
+        universe in 1usize..300,
+        a_ids in prop::collection::vec(0..300u32, 0..300),
+        b_ids in prop::collection::vec(0..300u32, 0..300),
+    ) {
+        use std::collections::BTreeSet;
+        let a = DenseFrontier::new(universe);
+        let b = DenseFrontier::new(universe);
+        let sa: BTreeSet<u32> = a_ids.iter().copied().filter(|&v| (v as usize) < universe).collect();
+        let sb: BTreeSet<u32> = b_ids.iter().copied().filter(|&v| (v as usize) < universe).collect();
+        for &v in &sa { a.insert(v); }
+        for &v in &sb { b.insert(v); }
+        a.union_with(&b);
+        prop_assert_eq!(a.len(), sa.union(&sb).count());
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), sa.union(&sb).copied().collect::<Vec<_>>());
+        a.and_not(&b);
+        prop_assert_eq!(a.len(), sa.difference(&sb).count());
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), sa.difference(&sb).copied().collect::<Vec<_>>());
     }
 }

@@ -117,10 +117,7 @@ mod tests {
         let stats = essentials_graph::properties::degree_stats(&csr);
         // Power-law-ish: the max degree dwarfs the mean. Uniform graphs
         // have skew ≈ 2-3; RMAT at this scale is reliably > 10.
-        assert!(
-            stats.skew > 10.0,
-            "expected skewed degrees, got {stats:?}"
-        );
+        assert!(stats.skew > 10.0, "expected skewed degrees, got {stats:?}");
     }
 
     #[test]
@@ -134,12 +131,26 @@ mod tests {
         };
         let csr = Csr::from_coo(&rmat(10, 16, params, 7));
         let stats = essentials_graph::properties::degree_stats(&csr);
-        assert!(stats.skew < 4.0, "uniform RMAT should be ER-like, got {stats:?}");
+        assert!(
+            stats.skew < 4.0,
+            "uniform RMAT should be ER-like, got {stats:?}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_probabilities() {
-        rmat(4, 1, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0, noise: 0.0 }, 1);
+        rmat(
+            4,
+            1,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+                noise: 0.0,
+            },
+            1,
+        );
     }
 }

@@ -48,7 +48,10 @@ impl<W: EdgeValue> Coo<W> {
     }
 
     /// Builds from `(src, dst, value)` triples.
-    pub fn from_edges(num_vertices: usize, edges: impl IntoIterator<Item = (VertexId, VertexId, W)>) -> Self {
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, W)>,
+    ) -> Self {
         let mut coo = Coo::new(num_vertices);
         for (s, d, w) in edges {
             coo.push(s, d, w);

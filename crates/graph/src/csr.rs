@@ -77,7 +77,11 @@ impl<W: EdgeValue> Csr<W> {
 
     /// Builds directly from raw CSR arrays (used by I/O). Panics if the
     /// arrays are inconsistent.
-    pub fn from_raw(row_offsets: Vec<EdgeId>, column_indices: Vec<VertexId>, values: Vec<W>) -> Self {
+    pub fn from_raw(
+        row_offsets: Vec<EdgeId>,
+        column_indices: Vec<VertexId>,
+        values: Vec<W>,
+    ) -> Self {
         assert!(!row_offsets.is_empty(), "row_offsets must have n+1 entries");
         assert_eq!(
             *row_offsets.last().unwrap(),

@@ -192,10 +192,7 @@ mod tests {
     use super::*;
 
     fn triangle() -> Graph<f32> {
-        Graph::from_coo(&Coo::from_edges(
-            3,
-            [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)],
-        ))
+        Graph::from_coo(&Coo::from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]))
     }
 
     #[test]

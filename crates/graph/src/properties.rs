@@ -42,15 +42,18 @@ pub fn degree_stats<W: EdgeValue>(g: &Csr<W>) -> DegreeStats {
         max: degs[n - 1],
         mean,
         median: degs[n / 2],
-        skew: if mean > 0.0 { degs[n - 1] as f64 / mean } else { 0.0 },
+        skew: if mean > 0.0 {
+            degs[n - 1] as f64 / mean
+        } else {
+            0.0
+        },
     }
 }
 
 /// True if for every edge `u → v` the reverse `v → u` exists (structure
 /// only; weights are not compared).
 pub fn is_symmetric<W: EdgeValue>(g: &Csr<W>) -> bool {
-    (0..g.num_vertices() as VertexId)
-        .all(|u| g.neighbors(u).iter().all(|&v| g.has_edge(v, u)))
+    (0..g.num_vertices() as VertexId).all(|u| g.neighbors(u).iter().all(|&v| g.has_edge(v, u)))
 }
 
 /// Number of self-loop edges.
@@ -68,10 +71,7 @@ mod tests {
     #[test]
     fn stats_on_a_star() {
         // 0 -> {1..=4}: hub degree 4, leaves 0.
-        let g = Csr::from_coo(&Coo::from_edges(
-            5,
-            (1..5).map(|i| (0, i as VertexId, ())),
-        ));
+        let g = Csr::from_coo(&Coo::from_edges(5, (1..5).map(|i| (0, i as VertexId, ()))));
         let s = degree_stats(&g);
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 4);

@@ -58,11 +58,15 @@ pub fn read_binary(mut data: &[u8]) -> Result<Csr<f32>, IoError> {
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(IoError::Parse("bad magic (not an essentials snapshot)".into()));
+        return Err(IoError::Parse(
+            "bad magic (not an essentials snapshot)".into(),
+        ));
     }
     let version = data.get_u32_le();
     if version != VERSION {
-        return Err(IoError::Parse(format!("unsupported snapshot version {version}")));
+        return Err(IoError::Parse(format!(
+            "unsupported snapshot version {version}"
+        )));
     }
     need(data, 16, "dimensions")?;
     let n = data.get_u64_le() as usize;

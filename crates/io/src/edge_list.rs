@@ -50,7 +50,11 @@ fn parse(tok: Option<&str>, lineno: usize, line: &str) -> Result<usize, IoError>
 
 /// Writes `src dst weight` lines.
 pub fn write_edge_list<W: Write>(mut w: W, coo: &Coo<f32>) -> std::io::Result<()> {
-    writeln!(w, "# essentials-rs edge list: {} vertices", coo.num_vertices())?;
+    writeln!(
+        w,
+        "# essentials-rs edge list: {} vertices",
+        coo.num_vertices()
+    )?;
     for (s, d, v) in coo.iter() {
         writeln!(w, "{s} {d} {v}")?;
     }

@@ -84,7 +84,9 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<(Coo<f32>, MmHeader),
         .collect::<Result<_, _>>()
         .map_err(|e| IoError::Parse(format!("bad size line '{size_line}': {e}")))?;
     if dims.len() != 3 {
-        return Err(IoError::Parse(format!("size line needs 3 numbers: {size_line}")));
+        return Err(IoError::Parse(format!(
+            "size line needs 3 numbers: {size_line}"
+        )));
     }
     let (rows, cols, entries) = (dims[0], dims[1], dims[2]);
     let n = rows.max(cols);
@@ -185,8 +187,7 @@ mod tests {
 
     #[test]
     fn symmetric_entries_are_mirrored_except_diagonal() {
-        let input =
-            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let input = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
         let (coo, _) = read_matrix_market(input.as_bytes()).unwrap();
         let edges: Vec<_> = coo.iter().collect();
         assert_eq!(edges, vec![(1, 0, 5.0), (0, 1, 5.0), (2, 2, 1.0)]);
@@ -194,7 +195,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let input = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% mid\n1 1 3.0\n";
+        let input =
+            "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% mid\n1 1 3.0\n";
         let (coo, _) = read_matrix_market(input.as_bytes()).unwrap();
         assert_eq!(coo.num_edges(), 1);
     }

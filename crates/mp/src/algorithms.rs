@@ -70,7 +70,12 @@ impl<W: EdgeValue> VertexProgram<W> for BfsCombined {
     type Value = u32;
     type Msg = u32;
     fn init(&self, v: VertexId) -> u32 {
-        <BfsProgram as VertexProgram<W>>::init(&BfsProgram { source: self.source }, v)
+        <BfsProgram as VertexProgram<W>>::init(
+            &BfsProgram {
+                source: self.source,
+            },
+            v,
+        )
     }
     fn combiner(&self) -> Option<fn(u32, u32) -> u32> {
         Some(u32::min)
@@ -83,7 +88,10 @@ impl<W: EdgeValue> VertexProgram<W> for BfsCombined {
         out: NeighborView<'_, W>,
         msgs: &[u32],
     ) {
-        BfsProgram { source: self.source }.compute(ctx, v, value, out, msgs)
+        BfsProgram {
+            source: self.source,
+        }
+        .compute(ctx, v, value, out, msgs)
     }
 }
 
@@ -155,7 +163,10 @@ impl VertexProgram<f32> for SsspCombined {
     type Value = f32;
     type Msg = f32;
     fn init(&self, v: VertexId) -> f32 {
-        SsspProgram { source: self.source }.init(v)
+        SsspProgram {
+            source: self.source,
+        }
+        .init(v)
     }
     fn combiner(&self) -> Option<fn(f32, f32) -> f32> {
         Some(f32::min)
@@ -168,7 +179,10 @@ impl VertexProgram<f32> for SsspCombined {
         out: NeighborView<'_, f32>,
         msgs: &[f32],
     ) {
-        SsspProgram { source: self.source }.compute(ctx, v, value, out, msgs)
+        SsspProgram {
+            source: self.source,
+        }
+        .compute(ctx, v, value, out, msgs)
     }
 }
 

@@ -174,10 +174,7 @@ pub fn async_mp_sssp(pg: &PartitionedGraph<f32>, source: VertexId) -> (Vec<f32>,
             }
         },
     );
-    (
-        dist.into_iter().map(AtomicF32::into_inner).collect(),
-        stats,
-    )
+    (dist.into_iter().map(AtomicF32::into_inner).collect(), stats)
 }
 
 /// Asynchronous message-passing BFS (monotone level relaxation).
@@ -247,7 +244,9 @@ mod tests {
 
     #[test]
     fn async_mp_bfs_matches_sequential() {
-        let g = GraphBuilder::from_coo(gen::grid2d(20, 20)).deduplicate().build();
+        let g = GraphBuilder::from_coo(gen::grid2d(20, 20))
+            .deduplicate()
+            .build();
         let oracle = essentials_algos::bfs::bfs_sequential(&g, 0);
         let p = multilevel_partition(&g, MultilevelConfig::new(3));
         let pg = PartitionedGraph::build(&g, &p);

@@ -132,7 +132,11 @@ pub struct MpStats {
 
 /// Runs `program` over `pg` with `seeds` active at superstep 0. Returns the
 /// final value of every vertex (global order) and run statistics.
-pub fn run_pregel<W, P>(pg: &PartitionedGraph<W>, program: &P, seeds: &[VertexId]) -> (Vec<P::Value>, MpStats)
+pub fn run_pregel<W, P>(
+    pg: &PartitionedGraph<W>,
+    program: &P,
+    seeds: &[VertexId],
+) -> (Vec<P::Value>, MpStats)
 where
     W: EdgeValue,
     P: VertexProgram<W>,
@@ -165,7 +169,9 @@ where
                 let part = pg.part(rank);
                 // local index of global vertex (only valid for owned ids)
                 let local_of = |v: VertexId| -> usize {
-                    part.owned.binary_search(&v).expect("message to non-owned vertex")
+                    part.owned
+                        .binary_search(&v)
+                        .expect("message to non-owned vertex")
                 };
                 let mut step = 0usize;
                 loop {
@@ -242,7 +248,10 @@ where
             out[pg.part(r).owned[li] as usize] = Some(val);
         }
     }
-    let values = out.into_iter().map(|v| v.expect("vertex not owned by any rank")).collect();
+    let values = out
+        .into_iter()
+        .map(|v| v.expect("vertex not owned by any rank"))
+        .collect();
     (
         values,
         MpStats {
@@ -317,7 +326,10 @@ mod tests {
 
     #[test]
     fn single_rank_works() {
-        let g = Graph::<()>::from_coo(&essentials_graph::Coo::from_edges(3, [(0, 1, ()), (1, 2, ())]));
+        let g = Graph::<()>::from_coo(&essentials_graph::Coo::from_edges(
+            3,
+            [(0, 1, ()), (1, 2, ())],
+        ));
         let p = essentials_partition::Partitioning::new(vec![0, 0, 0], 1);
         let pg = PartitionedGraph::build(&g, &p);
         let (values, stats) = run_pregel(&pg, &MaxId, &[0]);

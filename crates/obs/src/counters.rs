@@ -141,14 +141,19 @@ impl CountersSink {
 impl ObsSink for CountersSink {
     fn on_advance(&self, ev: &AdvanceEvent<'_>) {
         self.advance_calls.fetch_add(1, Ordering::Relaxed);
-        self.edges_inspected.fetch_add(ev.edges_inspected, Ordering::Relaxed);
-        self.edges_admitted.fetch_add(ev.admitted, Ordering::Relaxed);
-        self.vertices_pushed.fetch_add(ev.output_len as u64, Ordering::Relaxed);
+        self.edges_inspected
+            .fetch_add(ev.edges_inspected, Ordering::Relaxed);
+        self.edges_admitted
+            .fetch_add(ev.admitted, Ordering::Relaxed);
+        self.vertices_pushed
+            .fetch_add(ev.output_len as u64, Ordering::Relaxed);
         self.dedup_hits.fetch_add(ev.dedup_hits, Ordering::Relaxed);
         let last = self.per_worker.len() - 1;
         for (tid, &n) in ev.per_worker.iter().enumerate() {
             if n > 0 {
-                self.per_worker[tid.min(last)].0.fetch_add(n as u64, Ordering::Relaxed);
+                self.per_worker[tid.min(last)]
+                    .0
+                    .fetch_add(n as u64, Ordering::Relaxed);
             }
         }
     }
@@ -163,7 +168,8 @@ impl ObsSink for CountersSink {
 
     fn on_compute(&self, ev: &ComputeEvent) {
         self.compute_calls.fetch_add(1, Ordering::Relaxed);
-        self.compute_items.fetch_add(ev.items as u64, Ordering::Relaxed);
+        self.compute_items
+            .fetch_add(ev.items as u64, Ordering::Relaxed);
     }
 
     fn on_iteration(&self, _ev: &IterSpan) {
@@ -253,9 +259,12 @@ mod tests {
         let c = CountersSink::new(2);
         c.on_advance(&advance(&[5, 5]));
         c.reset();
-        assert_eq!(c.snapshot(), CounterTotals {
-            per_worker_pushes: vec![0, 0],
-            ..CounterTotals::default()
-        });
+        assert_eq!(
+            c.snapshot(),
+            CounterTotals {
+                per_worker_pushes: vec![0, 0],
+                ..CounterTotals::default()
+            }
+        );
     }
 }

@@ -74,7 +74,9 @@ pub fn record_to_json(rec: &Record) -> String {
         Record::Compute(ev) => {
             s.push_str(&format!(
                 "{{\"type\":\"compute\",\"op\":\"{}\",\"policy\":\"{}\",\"items\":{}}}",
-                ev.kind.name(), ev.policy, ev.items,
+                ev.kind.name(),
+                ev.policy,
+                ev.items,
             ));
         }
         Record::Direction(ev) => {
@@ -154,9 +156,17 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), records.len());
-        assert_eq!(lines[0], "{\"type\":\"mark\",\"label\":\"trial \\\"0\\\"\\n\"}");
-        assert!(lines[1].contains("\"type\":\"iteration\"") && lines[1].contains("\"wall_ns\":12345"));
-        assert!(lines[2].contains("\"op\":\"advance_unique\"") && lines[2].contains("\"per_worker\":[12,8]"));
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"mark\",\"label\":\"trial \\\"0\\\"\\n\"}"
+        );
+        assert!(
+            lines[1].contains("\"type\":\"iteration\"") && lines[1].contains("\"wall_ns\":12345")
+        );
+        assert!(
+            lines[2].contains("\"op\":\"advance_unique\"")
+                && lines[2].contains("\"per_worker\":[12,8]")
+        );
         assert!(lines[3].contains("\"type\":\"filter\"") && lines[3].contains("\"output_len\":15"));
         assert!(lines[4].contains("\"items\":100"));
         assert!(lines[5].contains("\"pull\":true") && lines[5].contains("\"growing\":true"));

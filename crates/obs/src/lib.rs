@@ -39,7 +39,9 @@ pub mod summary;
 pub mod trace;
 
 pub use counters::{CounterTotals, CountersSink};
-pub use event::{AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, LoopKind, OpKind};
+pub use event::{
+    AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, LoopKind, OpKind,
+};
 pub use export::write_jsonl;
 pub use sink::{NullSink, ObsSink, TeeSink};
 pub use summary::Summary;

@@ -93,28 +93,16 @@ impl Summary {
     /// A compact human-readable rendering (used by `harness --obs`).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "iterations        {:>12}\n",
-            self.iterations
-        ));
+        out.push_str(&format!("iterations        {:>12}\n", self.iterations));
         out.push_str(&format!(
             "wall time         {:>12.3} ms\n",
             self.wall_ns as f64 / 1e6
         ));
-        out.push_str(&format!(
-            "edges inspected   {:>12}\n",
-            self.edges_inspected
-        ));
-        out.push_str(&format!(
-            "vertices pushed   {:>12}\n",
-            self.vertices_pushed
-        ));
+        out.push_str(&format!("edges inspected   {:>12}\n", self.edges_inspected));
+        out.push_str(&format!("vertices pushed   {:>12}\n", self.vertices_pushed));
         out.push_str(&format!("dedup hits        {:>12}\n", self.dedup_hits));
         out.push_str(&format!("MTEPS             {:>12.2}\n", self.mteps()));
-        out.push_str(&format!(
-            "skew ratio        {:>12.3}\n",
-            self.skew_ratio()
-        ));
+        out.push_str(&format!("skew ratio        {:>12.3}\n", self.skew_ratio()));
         if self.direction_decisions > 0 {
             out.push_str(&format!(
                 "pull iterations   {:>9}/{:<3}\n",

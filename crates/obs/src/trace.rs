@@ -151,7 +151,11 @@ mod tests {
         assert_eq!(recs.len(), 3);
         assert_eq!(recs[0], Record::Mark("start".into()));
         match &recs[1] {
-            Record::Advance { edges_inspected, per_worker, .. } => {
+            Record::Advance {
+                edges_inspected,
+                per_worker,
+                ..
+            } => {
                 assert_eq!(*edges_inspected, 7);
                 assert_eq!(per_worker, &vec![2, 1]);
             }

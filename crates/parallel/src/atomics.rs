@@ -83,7 +83,10 @@ impl AtomicF32 {
         loop {
             let cur_f = f32::from_bits(cur);
             let new = (cur_f + v).to_bits();
-            match self.0.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+            match self
+                .0
+                .compare_exchange_weak(cur, new, order, Ordering::Relaxed)
+            {
                 Ok(_) => return cur_f,
                 Err(seen) => cur = seen,
             }
@@ -126,7 +129,10 @@ impl AtomicF64 {
         loop {
             let cur_f = f64::from_bits(cur);
             let new = (cur_f + v).to_bits();
-            match self.0.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+            match self
+                .0
+                .compare_exchange_weak(cur, new, order, Ordering::Relaxed)
+            {
                 Ok(_) => return cur_f,
                 Err(seen) => cur = seen,
             }
@@ -241,6 +247,92 @@ impl AtomicBitset {
                 }
             })
         })
+    }
+
+    /// Number of 64-bit words backing the bitset (the unit of the word
+    /// kernels below and of chunked parallel iteration).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Calls `f(i)` for every set bit `i`, word-at-a-time: all-zero words
+    /// cost one load, and set bits are decoded with `trailing_zeros` in a
+    /// tight loop with no iterator machinery between the word and the
+    /// closure. The fast sequential scan of dense frontiers.
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        self.for_each_set_in_words(0, self.words.len(), &mut f);
+    }
+
+    /// [`Self::for_each_set`] restricted to words `[word_lo, word_hi)` —
+    /// the building block for *parallel* dense-frontier iteration: workers
+    /// take disjoint word ranges and decode their own chunks.
+    #[inline]
+    pub fn for_each_set_in_words(&self, word_lo: usize, word_hi: usize, f: &mut impl FnMut(usize)) {
+        let hi = word_hi.min(self.words.len());
+        let lo = word_lo.min(hi);
+        // Slice iteration, not indexing: no per-word bounds check in the
+        // scan loop.
+        for (wi, word) in self.words[lo..hi].iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            let base = (lo + wi) * 64;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(base + b);
+            }
+        }
+    }
+
+    /// Sets every bit of `self` that is set in `other` (word-level `|=`);
+    /// returns how many bits this newly set. Not atomic as a whole — call
+    /// between phases, like [`Self::clear_all`]. Both bitsets must have the
+    /// same length.
+    pub fn union_with(&self, other: &AtomicBitset) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        let mut added = 0usize;
+        for (w, o) in self.words.iter().zip(&other.words) {
+            let ob = o.load(Ordering::Relaxed);
+            if ob != 0 {
+                let old = w.fetch_or(ob, Ordering::Relaxed);
+                added += (ob & !old).count_ones() as usize;
+            }
+        }
+        added
+    }
+
+    /// Clears every bit of `self` that is set in `other` (word-level
+    /// `&= !`); returns how many bits this cleared. The candidate-set
+    /// maintenance kernel of masked pull: `unvisited.and_not(newly_visited)`
+    /// retires settled destinations 64 at a time. Same phase discipline and
+    /// length requirement as [`Self::union_with`].
+    pub fn and_not(&self, other: &AtomicBitset) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        let mut removed = 0usize;
+        for (w, o) in self.words.iter().zip(&other.words) {
+            let ob = o.load(Ordering::Relaxed);
+            if ob != 0 {
+                let old = w.fetch_and(!ob, Ordering::Relaxed);
+                removed += (ob & old).count_ones() as usize;
+            }
+        }
+        removed
+    }
+
+    /// Sets all `len` bits (tail bits of the last word stay clear, so
+    /// `count_ones` and the scans never see ghost indices ≥ `len`).
+    pub fn set_all(&self) {
+        if self.len == 0 {
+            return;
+        }
+        let (full, tail) = (self.len / 64, self.len % 64);
+        for w in &self.words[..full] {
+            w.store(u64::MAX, Ordering::Relaxed);
+        }
+        if tail != 0 {
+            self.words[full].store((1u64 << tail) - 1, Ordering::Relaxed);
+        }
     }
 
     /// Raw word access for bulk operations (counting, unions).
@@ -364,5 +456,59 @@ mod tests {
         assert!(bits.is_empty());
         assert_eq!(bits.count_ones(), 0);
         assert_eq!(bits.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn for_each_set_matches_iter_ones() {
+        let bits = AtomicBitset::new(197); // tail word: 197 % 64 != 0
+        for i in [0, 63, 64, 100, 128, 196] {
+            bits.set(i);
+        }
+        let mut via_closure = Vec::new();
+        bits.for_each_set(|i| via_closure.push(i));
+        assert_eq!(via_closure, bits.iter_ones().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_set_in_words_covers_range_only() {
+        let bits = AtomicBitset::new(300);
+        for i in [10, 70, 130, 250] {
+            bits.set(i);
+        }
+        let mut got = Vec::new();
+        bits.for_each_set_in_words(1, 3, &mut |i| got.push(i));
+        assert_eq!(got, vec![70, 130]);
+        // Out-of-range hi clamps.
+        got.clear();
+        bits.for_each_set_in_words(3, 99, &mut |i| got.push(i));
+        assert_eq!(got, vec![250]);
+    }
+
+    #[test]
+    fn union_and_and_not_report_deltas() {
+        let a = AtomicBitset::new(130);
+        let b = AtomicBitset::new(130);
+        for i in [1, 64, 129] {
+            a.set(i);
+        }
+        for i in [64, 65, 129] {
+            b.set(i);
+        }
+        assert_eq!(a.union_with(&b), 1); // only 65 is new
+        assert_eq!(a.count_ones(), 4);
+        assert_eq!(a.and_not(&b), 3); // 64, 65, 129 cleared
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(a.and_not(&b), 0); // idempotent once disjoint
+    }
+
+    #[test]
+    fn set_all_respects_tail_word() {
+        let bits = AtomicBitset::new(67);
+        bits.set_all();
+        assert_eq!(bits.count_ones(), 67);
+        assert_eq!(bits.iter_ones().max(), Some(66));
+        let empty = AtomicBitset::new(0);
+        empty.set_all();
+        assert_eq!(empty.count_ones(), 0);
     }
 }

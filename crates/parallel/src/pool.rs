@@ -295,10 +295,7 @@ impl ThreadPool {
                 }
             });
         }
-        partials
-            .into_inner()
-            .into_iter()
-            .fold(identity, combine)
+        partials.into_inner().into_iter().fold(identity, combine)
     }
 }
 

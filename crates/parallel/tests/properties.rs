@@ -173,4 +173,73 @@ proptest! {
         prop_assert_eq!(bits.count_ones(), distinct.len());
         prop_assert_eq!(bits.iter_ones().collect::<Vec<_>>(), distinct);
     }
+
+    #[test]
+    fn for_each_set_matches_iter_ones_on_random_bitmaps(
+        // Deliberately not a multiple of 64 most of the time: the tail word
+        // must decode exactly like full words.
+        len in 1usize..700,
+        seed_bits in prop::collection::vec(0usize..700, 0..700),
+    ) {
+        use essentials_parallel::atomics::AtomicBitset;
+        let bits = AtomicBitset::new(len);
+        for &b in &seed_bits {
+            if b < len {
+                bits.set(b);
+            }
+        }
+        let expected: Vec<usize> = bits.iter_ones().collect();
+        let mut tight = Vec::new();
+        bits.for_each_set(|i| tight.push(i));
+        prop_assert_eq!(&tight, &expected);
+        // The chunked word-range form covers the same set when the ranges
+        // tile the words (parallel iteration decomposes this way).
+        let words = bits.num_words();
+        let mut chunked = Vec::new();
+        let mut wi = 0;
+        while wi < words {
+            let hi = (wi + 3).min(words);
+            bits.for_each_set_in_words(wi, hi, &mut |i| chunked.push(i));
+            wi = hi;
+        }
+        prop_assert_eq!(&chunked, &expected);
+        prop_assert_eq!(expected.len(), bits.count_ones());
+    }
+
+    #[test]
+    fn for_each_set_extremes_empty_and_full(len in 1usize..700) {
+        use essentials_parallel::atomics::AtomicBitset;
+        let bits = AtomicBitset::new(len);
+        let mut seen = 0usize;
+        bits.for_each_set(|_| seen += 1);
+        prop_assert_eq!(seen, 0);
+        bits.set_all();
+        let mut got = Vec::new();
+        bits.for_each_set(|i| got.push(i));
+        prop_assert_eq!(got, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn union_and_and_not_match_set_algebra(
+        len in 1usize..400,
+        a_bits in prop::collection::vec(0usize..400, 0..400),
+        b_bits in prop::collection::vec(0usize..400, 0..400),
+    ) {
+        use essentials_parallel::atomics::AtomicBitset;
+        use std::collections::BTreeSet;
+        let a = AtomicBitset::new(len);
+        let b = AtomicBitset::new(len);
+        let sa: BTreeSet<usize> = a_bits.iter().copied().filter(|&x| x < len).collect();
+        let sb: BTreeSet<usize> = b_bits.iter().copied().filter(|&x| x < len).collect();
+        for &x in &sa { a.set(x); }
+        for &x in &sb { b.set(x); }
+        let added = a.union_with(&b);
+        prop_assert_eq!(added, sb.difference(&sa).count());
+        let union: Vec<usize> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(a.iter_ones().collect::<Vec<_>>(), union);
+        let removed = a.and_not(&b);
+        prop_assert_eq!(removed, sb.len());
+        let diff: Vec<usize> = sa.difference(&sb).copied().collect();
+        prop_assert_eq!(a.iter_ones().collect::<Vec<_>>(), diff);
+    }
 }

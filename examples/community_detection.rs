@@ -10,8 +10,7 @@ use essentials::prelude::*;
 use essentials_gen as gen;
 use essentials_mp::algorithms::mp_bfs;
 use essentials_partition::{
-    balance, edge_cut, multilevel_partition, random_partition, MultilevelConfig,
-    PartitionedGraph,
+    balance, edge_cut, multilevel_partition, random_partition, MultilevelConfig, PartitionedGraph,
 };
 
 fn main() {

@@ -38,11 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let csr = Csr::from_coo(&weighted);
     std::fs::write(&bin_path, io::write_binary(&csr))?;
     for p in [&mtx_path, &el_path, &bin_path] {
-        println!("wrote {} ({} bytes)", p.display(), std::fs::metadata(p)?.len());
+        println!(
+            "wrote {} ({} bytes)",
+            p.display(),
+            std::fs::metadata(p)?.len()
+        );
     }
 
     // --- Reload through each reader and check equivalence ----------------
-    let (from_mtx, header) = io::read_matrix_market(BufReader::new(std::fs::File::open(&mtx_path)?))?;
+    let (from_mtx, header) =
+        io::read_matrix_market(BufReader::new(std::fs::File::open(&mtx_path)?))?;
     println!(
         "matrix market: {}x{} with {} entries ({:?})",
         header.rows, header.cols, header.entries, header.symmetry

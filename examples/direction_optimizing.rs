@@ -1,51 +1,58 @@
-//! Push vs. pull vs. direction-optimizing traversal (§III-C).
+//! Push vs. pull vs. adaptive traversal (§III-C).
 //!
 //! Runs BFS three ways on a power-law graph and a mesh, printing the
-//! per-iteration frontier trace and the direction the optimizer chose.
-//! The RMAT run shows the classic pattern: push through the sparse early
-//! frontiers, pull through the dense middle, push again on the tail.
+//! per-iteration frontier trace and the direction the adaptive engine's
+//! [`DirectionPolicy`] chose. The RMAT run shows the classic pattern: push
+//! through the sparse early frontiers, pull through the dense middle, push
+//! again on the tail. A second RMAT pass with a deliberately eager policy
+//! (`alpha` high, `gamma` low) shows the knobs changing the decision — the
+//! heuristic is data the algorithm consults, not code baked into BFS.
 //!
 //! Run: `cargo run --release --example direction_optimizing`
 
 use essentials::prelude::*;
 use essentials_algos::bfs::{
-    bfs, bfs_direction_optimizing, bfs_pull, bfs_sequential, Direction, DoParams,
+    bfs, bfs_direction_optimizing, bfs_pull, bfs_sequential, bfs_with_policy, DoParams,
 };
 use essentials_gen as gen;
+
+fn print_trace(r: &essentials_algos::bfs::BfsResult, n: usize) {
+    println!("iter  direction   frontier");
+    for (i, (dir, len)) in r.directions.iter().zip(&r.stats.frontier_trace).enumerate() {
+        let bar = "#".repeat((*len * 40 / n.max(1)).min(40));
+        let d = match dir {
+            Direction::Push => "push",
+            Direction::DensePush => "push·dense",
+            Direction::Pull => "PULL",
+        };
+        println!("{i:>4}  {d:<10} {len:>8} {bar}");
+    }
+}
 
 fn trace(name: &str, g: &Graph<()>, ctx: &Context) {
     let oracle = bfs_sequential(g, 0);
     let push = bfs(execution::par, ctx, g, 0);
     let pull = bfs_pull(execution::par, ctx, g, 0);
     let dopt = bfs_direction_optimizing(execution::par, ctx, g, 0, DoParams::default());
-    for (vname, r) in [("push", &push), ("pull", &pull), ("do", &dopt)] {
+    for (vname, r) in [("push", &push), ("pull", &pull), ("adaptive", &dopt)] {
         assert_eq!(r.level, oracle.level, "{vname} diverged on {name}");
     }
-    println!("\n=== {name}: {} vertices, {} edges ===", g.get_num_vertices(), g.get_num_edges());
     println!(
-        "edges inspected: push {}, pull {}, direction-optimizing {}",
+        "\n=== {name}: {} vertices, {} edges ===",
+        g.get_num_vertices(),
+        g.get_num_edges()
+    );
+    println!(
+        "edges inspected: push {}, pull {}, adaptive {}",
         push.edges_inspected, pull.edges_inspected, dopt.edges_inspected
     );
-    println!("iter  direction  frontier");
-    for (i, (dir, len)) in dopt
-        .directions
-        .iter()
-        .zip(&dopt.stats.frontier_trace)
-        .enumerate()
-    {
-        let bar = "#".repeat((*len * 40 / g.get_num_vertices().max(1)).min(40));
-        let d = match dir {
-            Direction::Push => "push",
-            Direction::Pull => "PULL",
-        };
-        println!("{i:>4}  {d:<9} {len:>8} {bar}");
-    }
+    print_trace(&dopt, g.get_num_vertices());
 }
 
 fn main() {
     let ctx = Context::default();
 
-    // Power-law: dense middle phase → the optimizer switches to pull.
+    // Power-law: dense middle phase → the policy switches to pull.
     let rmat = GraphBuilder::from_coo(gen::rmat(13, 16, gen::RmatParams::default(), 1))
         .remove_self_loops()
         .deduplicate()
@@ -54,7 +61,21 @@ fn main() {
         .build();
     trace("RMAT-13 (social)", &rmat, &ctx);
 
-    // Mesh: frontiers never densify → stays push throughout.
-    let grid = GraphBuilder::from_coo(gen::grid2d(96, 96)).with_csc().build();
+    // Same graph, a policy that refuses pull (huge alpha) but goes to the
+    // bitmap representation early (gamma 64): all push, dense where fat.
+    let eager = DirectionPolicy {
+        alpha: usize::MAX,
+        gamma: 64,
+        ..DirectionPolicy::default()
+    };
+    let r = bfs_with_policy(execution::par, &ctx, &rmat, 0, eager);
+    println!("\n--- same graph, pull disabled (alpha = MAX) ---");
+    println!("edges inspected: {}", r.edges_inspected);
+    print_trace(&r, rmat.get_num_vertices());
+
+    // Mesh: frontiers never densify → stays sparse push throughout.
+    let grid = GraphBuilder::from_coo(gen::grid2d(96, 96))
+        .with_csc()
+        .build();
     trace("grid 96x96 (road)", &grid, &ctx);
 }

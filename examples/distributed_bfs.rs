@@ -25,18 +25,27 @@ fn main() {
     let ctx = Context::default();
     let oracle = essentials_algos::bfs::bfs(execution::par, &ctx, &g, 0);
 
-    println!("\n{:<14} {:>6} {:>10} {:>12} {:>12}", "partitioner", "k", "edge-cut", "msgs total", "msgs remote");
+    println!(
+        "\n{:<14} {:>6} {:>10} {:>12} {:>12}",
+        "partitioner", "k", "edge-cut", "msgs total", "msgs remote"
+    );
     for k in [2, 4, 8] {
         for (name, partitioning) in [
             ("random", random_partition(n, k, 1)),
-            ("multilevel", multilevel_partition(&g, MultilevelConfig::new(k))),
+            (
+                "multilevel",
+                multilevel_partition(&g, MultilevelConfig::new(k)),
+            ),
         ] {
             let cut = edge_cut(&g, &partitioning);
             let pg = PartitionedGraph::build(&g, &partitioning);
             // §III-D: the partitioned graph answers the same queries.
             assert_eq!(pg.out_neighbors(100), g.out_neighbors(100));
             let (levels, stats) = mp_bfs(&pg, 0);
-            assert_eq!(levels, oracle.level, "distributed BFS must match shared-memory BFS");
+            assert_eq!(
+                levels, oracle.level,
+                "distributed BFS must match shared-memory BFS"
+            );
             println!(
                 "{name:<14} {k:>6} {cut:>10} {:>12} {:>12}",
                 stats.messages_total, stats.messages_remote

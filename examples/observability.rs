@@ -91,5 +91,9 @@ fn main() {
     println!("  edges admitted   {:>8}", t.edges_admitted);
     println!("  vertices pushed  {:>8}", t.vertices_pushed);
     println!("  dedup hits       {:>8}", t.dedup_hits);
-    println!("  per-worker pushes {:?} (skew {:.3})", t.per_worker_pushes, t.skew_ratio());
+    println!(
+        "  per-worker pushes {:?} (skew {:.3})",
+        t.per_worker_pushes,
+        t.skew_ratio()
+    );
 }

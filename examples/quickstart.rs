@@ -41,7 +41,10 @@ fn main() {
     // Listing 4: parallel SSSP with the bulk-synchronous policy.
     let ctx = Context::default();
     let result = sssp(execution::par, &ctx, &g, 0);
-    println!("\nSSSP from vertex 0 ({} supersteps):", result.stats.iterations);
+    println!(
+        "\nSSSP from vertex 0 ({} supersteps):",
+        result.stats.iterations
+    );
     for (v, d) in result.dist.iter().enumerate() {
         println!("  dist[{v}] = {d}");
     }

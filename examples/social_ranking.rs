@@ -67,7 +67,10 @@ fn main() {
     let cores = kcore::kcore_peel(execution::par, &ctx, &sym);
     let kmax = cores.core.iter().copied().max().unwrap_or(0);
     let in_kmax = cores.core.iter().filter(|&&c| c == kmax).count();
-    println!("k-core: max core {kmax} ({in_kmax} members, {} peel rounds)", cores.rounds);
+    println!(
+        "k-core: max core {kmax} ({in_kmax} members, {} peel rounds)",
+        cores.rounds
+    );
 
     let coloring = color::color_greedy(execution::par, &ctx, &sym);
     assert!(color::verify_coloring(&sym, &coloring.color));

@@ -85,7 +85,9 @@ fn load(path: &str) -> Result<Coo<f32>, String> {
             .0)
     } else if path.ends_with(".esnt") {
         let bytes = std::fs::read(path).map_err(|e| err(e.to_string()))?;
-        Ok(eio::read_binary(&bytes).map_err(|e| err(e.to_string()))?.to_coo())
+        Ok(eio::read_binary(&bytes)
+            .map_err(|e| err(e.to_string()))?
+            .to_coo())
     } else {
         let f = std::fs::File::open(path).map_err(|e| err(e.to_string()))?;
         eio::read_edge_list(BufReader::new(f), 0).map_err(|e| err(e.to_string()))
@@ -112,7 +114,8 @@ fn generate(args: &[String]) -> Result<(), String> {
     };
     let p = |i: usize| -> Result<usize, String> {
         parse(
-            args.get(i).ok_or(format!("generate {family}: missing parameter {i}"))?,
+            args.get(i)
+                .ok_or(format!("generate {family}: missing parameter {i}"))?,
             "parameter",
         )
     };
@@ -129,9 +132,7 @@ fn generate(args: &[String]) -> Result<(), String> {
     };
     let weighted = match flag(args, "--weights") {
         Some(range) => {
-            let (lo, hi) = range
-                .split_once("..")
-                .ok_or("--weights wants LO..HI")?;
+            let (lo, hi) = range.split_once("..").ok_or("--weights wants LO..HI")?;
             gen::hash_weights(&coo, parse(lo, "weight")?, parse(hi, "weight")?, seed)
         }
         None => gen::unit_weights(&coo),
@@ -153,10 +154,18 @@ fn stats(args: &[String]) -> Result<(), String> {
     println!("file:        {path}");
     println!("vertices:    {}", csr.num_vertices());
     println!("edges:       {}", csr.num_edges());
-    println!("degree:      min {} / median {} / mean {:.2} / max {} (skew {:.1})",
-        d.min, d.median, d.mean, d.max, d.skew);
-    println!("self-loops:  {}", essentials::graph::properties::count_self_loops(&csr));
-    println!("symmetric:   {}", essentials::graph::properties::is_symmetric(&csr));
+    println!(
+        "degree:      min {} / median {} / mean {:.2} / max {} (skew {:.1})",
+        d.min, d.median, d.mean, d.max, d.skew
+    );
+    println!(
+        "self-loops:  {}",
+        essentials::graph::properties::count_self_loops(&csr)
+    );
+    println!(
+        "symmetric:   {}",
+        essentials::graph::properties::is_symmetric(&csr)
+    );
     Ok(())
 }
 
@@ -183,7 +192,12 @@ fn run_bfs(args: &[String]) -> Result<(), String> {
     let source = source_of(args)?;
     let r = bfs::bfs(execution::par, &ctx, &g, source);
     let reached = r.level.iter().filter(|&&l| l != bfs::UNVISITED).count();
-    let depth = r.level.iter().filter(|&&l| l != bfs::UNVISITED).max().unwrap_or(&0);
+    let depth = r
+        .level
+        .iter()
+        .filter(|&&l| l != bfs::UNVISITED)
+        .max()
+        .unwrap_or(&0);
     println!(
         "bfs from {source}: reached {reached}/{} vertices, depth {depth}, {} iterations, {} edges inspected",
         g.get_num_vertices(),
@@ -205,7 +219,11 @@ fn run_sssp(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown sssp mode '{other}'")),
     };
     let reached = r.dist.iter().filter(|d| d.is_finite()).count();
-    let max = r.dist.iter().filter(|d| d.is_finite()).fold(0.0f32, |a, &b| a.max(b));
+    let max = r
+        .dist
+        .iter()
+        .filter(|d| d.is_finite())
+        .fold(0.0f32, |a, &b| a.max(b));
     println!(
         "sssp[{mode}] from {source}: reached {reached}/{}, max distance {max:.3}, {} relaxations",
         g.get_num_vertices(),
@@ -224,7 +242,10 @@ fn run_pagerank(args: &[String]) -> Result<(), String> {
     let r = pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
     let mut top: Vec<(usize, f64)> = r.rank.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("pagerank: converged in {} iterations (err {:.2e})", r.stats.iterations, r.final_error);
+    println!(
+        "pagerank: converged in {} iterations (err {:.2e})",
+        r.stats.iterations, r.final_error
+    );
     for (v, score) in top.iter().take(5) {
         println!("  v{v:<8} {score:.6}");
     }
@@ -233,7 +254,10 @@ fn run_pagerank(args: &[String]) -> Result<(), String> {
 
 fn run_cc(args: &[String]) -> Result<(), String> {
     let coo = load(args.first().ok_or("cc: missing file")?)?;
-    let g = GraphBuilder::from_coo(coo).symmetrize().deduplicate().build();
+    let g = GraphBuilder::from_coo(coo)
+        .symmetrize()
+        .deduplicate()
+        .build();
     let ctx = Context::default();
     let r = cc::cc_label_propagation(execution::par, &ctx, &g);
     let mut sizes: std::collections::HashMap<VertexId, usize> = Default::default();
@@ -265,7 +289,10 @@ fn run_tc(args: &[String]) -> Result<(), String> {
 
 fn run_partition(args: &[String]) -> Result<(), String> {
     let coo = load(args.first().ok_or("partition: missing file")?)?;
-    let g = GraphBuilder::from_coo(coo).symmetrize().deduplicate().build();
+    let g = GraphBuilder::from_coo(coo)
+        .symmetrize()
+        .deduplicate()
+        .build();
     let k: usize = parse(flag(args, "-k").ok_or("partition: missing -k")?, "k")?;
     let p = multilevel_partition(&g, MultilevelConfig::new(k));
     println!(

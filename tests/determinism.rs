@@ -60,6 +60,19 @@ fn bfs_levels_bit_identical_across_thread_counts() {
         let ctx = Context::new(t);
         let r = bfs::bfs(execution::par, &ctx, &g, 0);
         assert_eq!(r.level, reference, "levels diverged at {t} threads");
+        // The adaptive engine's direction choices depend only on frontier
+        // sizes and edge mass — both thread-count independent — so its
+        // levels (and even its per-iteration direction trace) are too.
+        let a = bfs::bfs_adaptive(execution::par, &ctx, &g, 0);
+        assert_eq!(
+            a.level, reference,
+            "adaptive levels diverged at {t} threads"
+        );
+        let a1 = bfs::bfs_adaptive(execution::par, &Context::new(1), &g, 0);
+        assert_eq!(
+            a.directions, a1.directions,
+            "direction trace diverged at {t} threads"
+        );
     }
 }
 
@@ -72,6 +85,14 @@ fn sssp_distances_bit_identical_across_thread_counts() {
         let r = sssp::sssp(execution::par, &ctx, &g, 0);
         // Exact f32 equality — the least fixpoint is schedule independent.
         assert_eq!(r.dist, reference, "distances diverged at {t} threads");
+        // And direction independent: whatever mix of push and pull the
+        // adaptive engine chooses, monotone relaxation lands on the same
+        // least fixpoint.
+        let a = sssp::sssp_adaptive(execution::par, &ctx, &g, 0);
+        assert_eq!(
+            a.dist, reference,
+            "adaptive distances diverged at {t} threads"
+        );
     }
 }
 
@@ -96,6 +117,10 @@ fn pagerank_pull_bit_identical_at_fixed_iteration_count() {
         let r = pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
         assert_eq!(r.stats.iterations, 25);
         assert_eq!(r.rank, reference, "ranks diverged at {t} threads");
+        // The adaptive variant's default policy gathers every iteration —
+        // identical float operations in identical order.
+        let a = pagerank::pagerank_adaptive(execution::par, &ctx, &g, cfg, Default::default());
+        assert_eq!(a.rank, reference, "adaptive ranks diverged at {t} threads");
     }
 }
 

@@ -58,12 +58,20 @@ fn bfs_levels_agree_across_backends() {
             let ctx = Context::new(t);
             let r = bfs::bfs(execution::par, &ctx, &g, 0);
             assert_eq!(r.level, oracle, "shm bfs diverged on {name} at {t} threads");
+            let a = bfs::bfs_adaptive(execution::par, &ctx, &g, 0);
+            assert_eq!(
+                a.level, oracle,
+                "adaptive bfs diverged on {name} at {t} threads"
+            );
         }
         for &k in &MP_PARTITIONS {
             let p = random_partition(g.get_num_vertices(), k, 13);
             let pg = PartitionedGraph::build(&g, &p);
             let (levels, stats) = mp_bfs(&pg, 0);
-            assert_eq!(levels, oracle, "mp bfs diverged on {name} at {k} partitions");
+            assert_eq!(
+                levels, oracle,
+                "mp bfs diverged on {name} at {k} partitions"
+            );
             assert!(stats.supersteps > 0);
         }
     }
@@ -80,6 +88,11 @@ fn sssp_distances_agree_across_backends() {
             assert!(
                 close_f32(&r.dist, &oracle),
                 "shm sssp diverged on {name} at {t} threads"
+            );
+            let a = sssp::sssp_adaptive(execution::par, &ctx, &g, 0);
+            assert!(
+                close_f32(&a.dist, &oracle),
+                "adaptive sssp diverged on {name} at {t} threads"
             );
         }
         for &k in &MP_PARTITIONS {
@@ -120,7 +133,17 @@ fn pagerank_agrees_across_backends_at_fixed_iterations() {
             let ctx = Context::new(t);
             let r = pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
             for (a, b) in r.rank.iter().zip(&oracle) {
-                assert!((a - b).abs() < 1e-9, "shm pr diverged on {name} at {t} threads");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "shm pr diverged on {name} at {t} threads"
+                );
+            }
+            let ad = pagerank::pagerank_adaptive(execution::par, &ctx, &g, cfg, Default::default());
+            for (a, b) in ad.rank.iter().zip(&oracle) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "adaptive pr diverged on {name} at {t} threads"
+                );
             }
         }
         for &k in &MP_PARTITIONS {

@@ -36,10 +36,10 @@ fn raw_csr_rejects_out_of_range_columns() {
 #[test]
 fn matrix_market_rejects_garbage_without_panicking() {
     for bad in [
-        "",                                                     // empty
-        "hello world\n",                                        // no banner
-        "%%MatrixMarket matrix array real general\n2 2 4\n",    // array format
-        "%%MatrixMarket matrix coordinate real general\n2\n",   // bad size line
+        "",                                                                // empty
+        "hello world\n",                                                   // no banner
+        "%%MatrixMarket matrix array real general\n2 2 4\n",               // array format
+        "%%MatrixMarket matrix coordinate real general\n2\n",              // bad size line
         "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", // 0-based index
         "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 nan\n", // NaN
         "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 2 1.0\n", // count mismatch
@@ -91,13 +91,7 @@ fn binary_reader_survives_bit_flips() {
 #[should_panic(expected = "delta must be positive")]
 fn delta_stepping_rejects_nonpositive_delta() {
     let g = Graph::from_coo(&Coo::from_edges(2, [(0, 1, 1.0f32)]));
-    essentials_algos::sssp::delta_stepping(
-        execution::seq,
-        &Context::sequential(),
-        &g,
-        0,
-        0.0,
-    );
+    essentials_algos::sssp::delta_stepping(execution::seq, &Context::sequential(), &g, 0, 0.0);
 }
 
 #[test]

@@ -41,7 +41,10 @@ fn bfs_edges_inspected_matches_visited_degree_sum() {
         .filter(|&v| r.level[v as usize] != bfs::UNVISITED)
         .map(|v| g.out_degree(v) as u64)
         .sum();
-    assert!(expected > 0, "graph too sparse for the test to mean anything");
+    assert!(
+        expected > 0,
+        "graph too sparse for the test to mean anything"
+    );
 
     let t = sink.snapshot();
     assert_eq!(t.edges_inspected, expected);

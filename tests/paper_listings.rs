@@ -8,11 +8,7 @@ use essentials::prelude::*;
 #[test]
 fn listing1_csr_graph_api() {
     // struct csr_t { rows, cols, row_offsets, column_indices, values }
-    let csr = Csr::from_raw(
-        vec![0, 2, 3, 3],
-        vec![1, 2, 2],
-        vec![0.5f32, 1.5, 2.5],
-    );
+    let csr = Csr::from_raw(vec![0, 2, 3, 3], vec![1, 2, 2], vec![0.5f32, 1.5, 2.5]);
     // struct graph_t : csr_t { float get_edge_weight(e) { return values[e] } }
     let g = Graph::from_csr(csr);
     assert_eq!(g.get_edge_weight(0), 0.5);

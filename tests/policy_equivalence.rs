@@ -16,7 +16,10 @@ fn workloads() -> Vec<(&'static str, Graph<f32>)> {
         Graph::from_coo(&gen::hash_weights(&c, 0.1, 2.0, seed)).with_csc()
     };
     vec![
-        ("rmat", build(&gen::rmat(8, 8, gen::RmatParams::default(), 1), 1)),
+        (
+            "rmat",
+            build(&gen::rmat(8, 8, gen::RmatParams::default(), 1), 1),
+        ),
         ("grid", build(&gen::grid2d(16, 16), 2)),
         ("ws", build(&gen::watts_strogatz(300, 4, 0.2, 3), 3)),
         ("ba", build(&gen::barabasi_albert(300, 3, 4), 4)),

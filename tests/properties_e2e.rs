@@ -13,9 +13,7 @@ fn arb_graph() -> impl Strategy<Value = Graph<f32>> {
         prop::collection::vec(edge, 0..300).prop_map(move |edges| {
             let coo = Coo::from_edges(
                 n,
-                edges
-                    .into_iter()
-                    .map(|(s, d, w)| (s, d, w as f32 / 100.0)),
+                edges.into_iter().map(|(s, d, w)| (s, d, w as f32 / 100.0)),
             );
             Graph::from_coo(&coo).with_csc()
         })
@@ -27,12 +25,15 @@ fn arb_sym_graph() -> impl Strategy<Value = Graph<()>> {
     (2usize..50).prop_flat_map(|n| {
         let edge = (0..n as VertexId, 0..n as VertexId);
         prop::collection::vec(edge, 0..200).prop_map(move |edges| {
-            GraphBuilder::from_coo(Coo::from_edges(n, edges.into_iter().map(|(s, d)| (s, d, ()))))
-                .remove_self_loops()
-                .symmetrize()
-                .deduplicate()
-                .with_csc()
-                .build()
+            GraphBuilder::from_coo(Coo::from_edges(
+                n,
+                edges.into_iter().map(|(s, d)| (s, d, ())),
+            ))
+            .remove_self_loops()
+            .symmetrize()
+            .deduplicate()
+            .with_csc()
+            .build()
         })
     })
 }

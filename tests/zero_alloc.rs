@@ -111,6 +111,109 @@ fn steady_state_advance_iterations_do_not_allocate() {
 }
 
 #[test]
+fn steady_state_dense_and_pull_iterations_do_not_allocate() {
+    // The dense side of the contract: dense-push outputs and pull outputs
+    // recycle through the context's bitmap pool, the masked pull decodes a
+    // persistent unvisited bitmap word-at-a-time, and after warm-up none of
+    // it touches the allocator. NullSink attached throughout — the
+    // observability layer must not break the guarantee on these paths
+    // either.
+    let g: Graph<()> = Graph::from_coo(&gen::rmat(12, 8, gen::RmatParams::default(), 7)).with_csc();
+    let n = g.num_vertices();
+    let ctx = Context::new(4).with_obs(Arc::new(NullSink) as Arc<dyn ObsSink>);
+    let frontier: SparseFrontier = (0..n as VertexId).step_by(2).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+
+    // Persistent pull-side state, as an adaptive loop would hold it: the
+    // dense input frontier and the unvisited-candidates mask.
+    let dense_in = DenseFrontier::new(n);
+    for v in (0..n as VertexId).step_by(2) {
+        dense_in.insert(v);
+    }
+    let mask = DenseFrontier::new(n);
+
+    // One dense-push advance: same CAS condition, bitmap output, recycled.
+    let dense_push_iteration = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+        let out = expand_push_dense(execution::par, &ctx, &g, &frontier, |_s, d, _e, _w| {
+            levels[d as usize]
+                .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        });
+        ctx.recycle_dense_frontier(out);
+    };
+
+    // One masked pull advance: word-parallel scan of the mask, bitmap
+    // output recycled; mask maintenance (set_all + and_not) is word stores.
+    let pull_iteration = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+        mask.set_all();
+        let (out, _scanned) = expand_pull_masked(
+            execution::par,
+            &ctx,
+            &g,
+            &dense_in,
+            &mask,
+            PullConfig { early_exit: true },
+            |_s, d, _w| {
+                levels[d as usize]
+                    .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            },
+        );
+        mask.and_not(&out);
+        ctx.recycle_dense_frontier(out);
+    };
+
+    // One unmasked pull advance (the predicate-candidate form).
+    let pull_counted_iteration = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+        let (out, _scanned) = expand_pull_counted(
+            execution::par,
+            &ctx,
+            &g,
+            &dense_in,
+            PullConfig { early_exit: true },
+            |d| levels[d as usize].load(Ordering::Acquire) == u32::MAX,
+            |_s, d, _w| {
+                levels[d as usize]
+                    .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            },
+        );
+        ctx.recycle_dense_frontier(out);
+    };
+
+    for _ in 0..3 {
+        dense_push_iteration();
+        pull_iteration();
+        pull_counted_iteration();
+    }
+
+    let dense_allocs = count_allocs(dense_push_iteration);
+    assert_eq!(
+        dense_allocs, 0,
+        "steady-state dense-push iteration hit the allocator {dense_allocs} times"
+    );
+    let pull_allocs = count_allocs(pull_iteration);
+    assert_eq!(
+        pull_allocs, 0,
+        "steady-state masked pull iteration hit the allocator {pull_allocs} times"
+    );
+    let pull_counted_allocs = count_allocs(pull_counted_iteration);
+    assert_eq!(
+        pull_counted_allocs, 0,
+        "steady-state pull iteration hit the allocator {pull_counted_allocs} times"
+    );
+}
+
+#[test]
 fn null_sink_preserves_the_zero_allocation_guarantee() {
     // The observability layer's overhead contract: with a NullSink attached
     // (wants_op_detail == false) the operators must skip every piece of
