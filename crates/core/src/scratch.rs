@@ -8,13 +8,14 @@
 //! zero times.
 //!
 //! The scratch checks in and out of the [`crate::Context`] through a single
-//! `AtomicPtr` swap slot — no lock, no allocation. If two algorithms on one
-//! context overlap (the slot is empty when the second asks), the loser
-//! simply allocates a fresh scratch and the two instances rotate through the
-//! slot afterwards; correctness never depends on winning the swap.
+//! [`SwapSlot`] — no lock, no allocation. If two algorithms on one context
+//! overlap (the slot is empty when the second asks), the loser simply
+//! allocates a fresh scratch and the two instances rotate through the slot
+//! afterwards; correctness never depends on winning the swap. The slot's
+//! atomic protocol (and its memory orderings) live in [`crate::slot`],
+//! where they are tested by exhaustive interleaving enumeration.
 
-use std::sync::atomic::{AtomicPtr, Ordering};
-
+use crate::slot::SwapSlot;
 use essentials_frontier::{DenseFrontier, SparseFrontier, WorkerBuffers};
 use essentials_graph::VertexId;
 use essentials_parallel::atomics::AtomicBitset;
@@ -51,12 +52,12 @@ impl AdvanceScratch {
     /// Empty scratch sized for `workers` worker threads.
     pub fn new(workers: usize) -> Self {
         AdvanceScratch {
-            offsets: Vec::new(),
-            chunk_sums: Vec::new(),
+            offsets: Vec::new(),    // alloc-ok: Vec::new never allocates (cold constructor)
+            chunk_sums: Vec::new(), // alloc-ok: see above
             buffers: WorkerBuffers::new(workers),
             seen: AtomicBitset::new(0),
-            spare: Vec::new(),
-            spare_dense: Vec::new(),
+            spare: Vec::new(),       // alloc-ok: see above
+            spare_dense: Vec::new(), // alloc-ok: see above
         }
     }
 
@@ -80,7 +81,7 @@ impl AdvanceScratch {
     /// Returns a vector to the pool (dropped if the pool is full).
     pub(crate) fn put_vec(&mut self, v: Vec<VertexId>) {
         if self.spare.len() < MAX_SPARE_FRONTIERS && v.capacity() > 0 {
-            self.spare.push(v);
+            self.spare.push(v); // alloc-ok: cold pool-return; spine bounded by MAX_SPARE_FRONTIERS
         }
     }
 
@@ -102,35 +103,34 @@ impl AdvanceScratch {
     /// Returns a dense frontier to the pool (dropped if the pool is full).
     pub(crate) fn put_dense(&mut self, d: DenseFrontier) {
         if self.spare_dense.len() < MAX_SPARE_DENSE && d.capacity() > 0 {
-            self.spare_dense.push(d);
+            self.spare_dense.push(d); // alloc-ok: cold pool-return; spine bounded by MAX_SPARE_DENSE
         }
     }
 }
 
-/// Lock-free single-slot exchanger for the scratch (see module docs).
+/// Lock-free single-slot exchanger for the scratch: scratch-specific policy
+/// (lazy construction, worker-count growth, replace-keeps-newest) layered on
+/// the generic [`SwapSlot`] protocol.
 pub(crate) struct ScratchSlot {
-    slot: AtomicPtr<AdvanceScratch>,
+    slot: SwapSlot<AdvanceScratch>,
 }
 
 impl ScratchSlot {
     pub(crate) fn new() -> Self {
         ScratchSlot {
-            slot: AtomicPtr::new(std::ptr::null_mut()),
+            slot: SwapSlot::new(),
         }
     }
 
     /// Takes the parked scratch, or builds a fresh one if the slot is empty
     /// (first use, or another algorithm holds it right now).
     pub(crate) fn take(&self, workers: usize) -> Box<AdvanceScratch> {
-        let p = self.slot.swap(std::ptr::null_mut(), Ordering::Acquire);
-        if p.is_null() {
-            Box::new(AdvanceScratch::new(workers))
-        } else {
-            // SAFETY: a non-null pointer in the slot is always a leaked Box
-            // from `put`, and the swap transferred exclusive ownership.
-            let mut s = unsafe { Box::from_raw(p) };
-            s.buffers.ensure_workers(workers);
-            s
+        match self.slot.take() {
+            Some(mut s) => {
+                s.buffers.ensure_workers(workers);
+                s
+            }
+            None => Box::new(AdvanceScratch::new(workers)), // alloc-ok: first-use or contended miss; steady state takes the parked scratch
         }
     }
 
@@ -138,12 +138,7 @@ impl ScratchSlot {
     /// meanwhile, the incoming (most recently used, cache-warm) one replaces
     /// it and the older one is freed.
     pub(crate) fn put(&self, scratch: Box<AdvanceScratch>) {
-        let p = Box::into_raw(scratch);
-        let old = self.slot.swap(p, Ordering::Release);
-        if !old.is_null() {
-            // SAFETY: same ownership argument as in `take`.
-            drop(unsafe { Box::from_raw(old) });
-        }
+        drop(self.slot.put(scratch));
     }
 
     /// Recycles a frontier's storage into the parked scratch's vector pool.
@@ -169,16 +164,6 @@ impl ScratchSlot {
         let d = s.take_dense(n);
         self.put(s);
         d
-    }
-}
-
-impl Drop for ScratchSlot {
-    fn drop(&mut self) {
-        let p = self.slot.swap(std::ptr::null_mut(), Ordering::Acquire);
-        if !p.is_null() {
-            // SAFETY: exclusive ownership as in `take`.
-            drop(unsafe { Box::from_raw(p) });
-        }
     }
 }
 

@@ -1,0 +1,117 @@
+//! `SwapSlot<T>` — a lock-free single-slot box exchanger.
+//!
+//! The scratch check-in/check-out protocol ([`crate::scratch::ScratchSlot`])
+//! needs exactly one primitive: a cell that atomically exchanges ownership
+//! of a heap object. `SwapSlot` is that primitive, generic and on its own so
+//! its protocol can be tested exhaustively: **every operation is exactly one
+//! atomic swap** (its linearization point) plus thread-local work. With no
+//! second shared access per operation, the set of observable two-thread
+//! executions equals the set of serial interleavings of the operations —
+//! which `tests/slot_interleavings.rs` enumerates in full.
+//!
+//! Ordering contract: `take` swaps with `Acquire` (it must see every write
+//! the parker made to the payload), `put` swaps with `Release` (it publishes
+//! those writes). `put` returns the displaced box instead of freeing it, so
+//! the free is a separate, caller-visible step and never part of the atomic
+//! protocol.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Lock-free single-slot exchanger of `Box<T>` ownership (see module docs).
+pub struct SwapSlot<T> {
+    slot: AtomicPtr<T>,
+}
+
+impl<T> SwapSlot<T> {
+    /// An empty slot.
+    pub const fn new() -> Self {
+        SwapSlot {
+            slot: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Takes the parked value, leaving the slot empty. `None` when the slot
+    /// was already empty. One atomic swap (`Acquire`).
+    pub fn take(&self) -> Option<Box<T>> {
+        let p = self.slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: a non-null pointer in the slot is always a leaked Box
+            // from `put`, and the swap transferred exclusive ownership to us
+            // (any concurrent swap saw either this pointer or our null, never
+            // both).
+            Some(unsafe { Box::from_raw(p) })
+        }
+    }
+
+    /// Parks `value`, returning whatever was displaced (`None` when the slot
+    /// was empty). One atomic swap (`Release`); the caller decides the fate
+    /// of the displaced box — typically dropping the older, cache-cold one.
+    #[must_use = "the displaced box is live; dropping it is the caller's decision"]
+    pub fn put(&self, value: Box<T>) -> Option<Box<T>> {
+        let p = Box::into_raw(value);
+        let old = self.slot.swap(p, Ordering::Release);
+        if old.is_null() {
+            None
+        } else {
+            // SAFETY: same ownership argument as in `take` — the swap handed
+            // us the previously parked box exclusively.
+            Some(unsafe { Box::from_raw(old) })
+        }
+    }
+}
+
+impl<T> Default for SwapSlot<T> {
+    fn default() -> Self {
+        SwapSlot::new()
+    }
+}
+
+impl<T> Drop for SwapSlot<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent access remains; free the parked box.
+        drop(self.take());
+    }
+}
+
+// SAFETY: the slot transfers whole `Box<T>` values between threads, so the
+// payload must be sendable; the slot itself holds only an atomic pointer.
+unsafe impl<T: Send> Send for SwapSlot<T> {}
+// SAFETY: shared access goes exclusively through the atomic swap, which
+// hands each box to exactly one caller.
+unsafe impl<T: Send> Sync for SwapSlot<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_identity() {
+        let slot: SwapSlot<u32> = SwapSlot::new();
+        assert!(slot.take().is_none());
+        assert!(slot.put(Box::new(7)).is_none());
+        assert_eq!(*slot.take().expect("parked"), 7);
+        assert!(slot.take().is_none());
+    }
+
+    #[test]
+    fn put_displaces_the_parked_box() {
+        let slot: SwapSlot<u32> = SwapSlot::new();
+        assert!(slot.put(Box::new(1)).is_none());
+        let displaced = slot.put(Box::new(2)).expect("displaced");
+        assert_eq!(*displaced, 1);
+        assert_eq!(*slot.take().expect("parked"), 2);
+    }
+
+    #[test]
+    fn drop_frees_the_parked_box() {
+        use std::rc::Rc;
+        let alive = Rc::new(());
+        let slot: SwapSlot<Rc<()>> = SwapSlot::new();
+        assert!(slot.put(Box::new(alive.clone())).is_none());
+        assert_eq!(Rc::strong_count(&alive), 2);
+        drop(slot);
+        assert_eq!(Rc::strong_count(&alive), 1);
+    }
+}

@@ -87,6 +87,7 @@ mod tests {
     use essentials_parallel::{Schedule, ThreadPool};
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spins up a real thread pool; Miri runs the serial tests
     fn collects_everything_once() {
         let pool = ThreadPool::new(4);
         let c = Collector::new(4);

@@ -190,6 +190,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spins up a real thread pool; Miri runs the serial tests
     fn concurrent_inserts_count_exactly() {
         let pool = ThreadPool::new(4);
         let f = DenseFrontier::new(1000);

@@ -43,7 +43,7 @@ impl WorkerBuffers {
     /// Buffers for `workers` worker threads (minimum 1).
     pub fn new(workers: usize) -> Self {
         WorkerBuffers {
-            slots: (0..workers.max(1)).map(|_| Slot::default()).collect(),
+            slots: (0..workers.max(1)).map(|_| Slot::default()).collect(), // alloc-ok: cold constructor
         }
     }
 
@@ -104,7 +104,7 @@ impl WorkerBuffers {
         self.slots
             .iter_mut()
             .map(|s| s.buf.get_mut().len())
-            .collect()
+            .collect() // alloc-ok: detail path, gated on a sink requesting per-worker stats
     }
 
     /// Direct access to one worker's buffer (sequential paths).
@@ -154,7 +154,10 @@ impl WorkerView<'_> {
                 );
             }
         }
-        unsafe { (*slot.buf.get()).push(v) };
+        // SAFETY: the caller's contract (this fn is `unsafe`) guarantees
+        // `tid` is this worker's own slot, so the UnsafeCell is never
+        // accessed from two threads at once.
+        unsafe { (*slot.buf.get()).push(v) }; // alloc-ok: amortized growth; steady state is alloc-free (tests/zero_alloc.rs)
     }
 }
 
@@ -164,6 +167,7 @@ mod tests {
     use essentials_parallel::{Schedule, ThreadPool};
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spins up a real thread pool; Miri runs the serial tests
     fn parallel_pushes_are_all_collected() {
         let pool = ThreadPool::new(4);
         let mut buffers = WorkerBuffers::new(4);
@@ -180,6 +184,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spins up a real thread pool; Miri runs the serial tests
     fn capacity_is_retained_across_drains() {
         let pool = ThreadPool::new(2);
         let mut buffers = WorkerBuffers::new(2);
@@ -187,6 +192,7 @@ mod tests {
         let mut caps = Vec::new();
         for _ in 0..3 {
             let view = buffers.view();
+            // SAFETY: tid is this worker's own id from the pool.
             pool.parallel_for_with(0..4096, Schedule::Static, |tid, i| unsafe {
                 view.push(tid, i as VertexId)
             });

@@ -1,0 +1,230 @@
+//! `LINT_ORDERINGS.toml` — the checked-in atomic-ordering table.
+//!
+//! The table maps each workspace file that performs atomic operations to the
+//! set of `std::sync::atomic::Ordering`s it is permitted to use, with a
+//! one-line justification. The linter enforces the mapping in *both*
+//! directions: an ordering outside the set is a diagnostic, and so is a
+//! table entry that has gone stale (file removed, atomics removed, or an
+//! allowed ordering no longer used). Tightening or loosening an ordering is
+//! therefore always a reviewed table diff next to the code diff.
+//!
+//! The parser below understands exactly the subset of TOML the table uses —
+//! `[[file]]` array-of-tables headers, `key = "string"`, and
+//! `key = ["a", "b"]` — so the linter stays dependency-free.
+
+use std::fmt;
+
+/// The five atomic orderings (the only legal members of an `allow` list).
+pub const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One `[[file]]` entry.
+#[derive(Debug)]
+pub struct FileEntry {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// Permitted ordering names.
+    pub allow: Vec<String>,
+    /// One-line justification (required — an ordering decision without a
+    /// recorded reason is what this table exists to prevent).
+    pub why: String,
+    /// Line in the TOML where the entry starts (for diagnostics).
+    pub line: usize,
+}
+
+/// The parsed table.
+#[derive(Debug, Default)]
+pub struct OrderingTable {
+    pub entries: Vec<FileEntry>,
+}
+
+impl OrderingTable {
+    pub fn entry_for(&self, path: &str) -> Option<&FileEntry> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+}
+
+/// A parse failure with its location.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LINT_ORDERINGS.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses the ordering table.
+pub fn parse(src: &str) -> Result<OrderingTable, ParseError> {
+    let mut table = OrderingTable::default();
+    let mut current: Option<FileEntry> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[file]]" {
+            if let Some(e) = current.take() {
+                finish(&mut table, e)?;
+            }
+            current = Some(FileEntry {
+                path: String::new(),
+                allow: Vec::new(),
+                why: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(lineno, format!("unsupported table header `{line}`")));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| err(lineno, "key outside any [[file]] entry"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "path" => entry.path = parse_string(value, lineno)?,
+            "why" => entry.why = parse_string(value, lineno)?,
+            "allow" => entry.allow = parse_string_array(value, lineno)?,
+            _ => return Err(err(lineno, format!("unknown key `{key}`"))),
+        }
+    }
+    if let Some(e) = current.take() {
+        finish(&mut table, e)?;
+    }
+    Ok(table)
+}
+
+fn finish(table: &mut OrderingTable, e: FileEntry) -> Result<(), ParseError> {
+    if e.path.is_empty() {
+        return Err(err(e.line, "[[file]] entry is missing `path`"));
+    }
+    if e.why.trim().is_empty() {
+        return Err(err(
+            e.line,
+            format!("entry for `{}` is missing its `why` justification", e.path),
+        ));
+    }
+    if e.allow.is_empty() {
+        return Err(err(
+            e.line,
+            format!("entry for `{}` allows nothing", e.path),
+        ));
+    }
+    for o in &e.allow {
+        if !ATOMIC_ORDERINGS.contains(&o.as_str()) {
+            return Err(err(
+                e.line,
+                format!("`{}` is not an atomic ordering (entry `{}`)", o, e.path),
+            ));
+        }
+    }
+    if table.entry_for(&e.path).is_some() {
+        return Err(err(e.line, format!("duplicate entry for `{}`", e.path)));
+    }
+    table.entries.push(e);
+    Ok(())
+}
+
+/// Removes a `#` comment, respecting string quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ParseError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(err(lineno, format!("expected a quoted string, got `{v}`")))
+    }
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, ParseError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(lineno, format!("expected `[ … ]`, got `{v}`")))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let t = parse(
+            r#"
+# header comment
+[[file]]
+path = "crates/x/src/a.rs"
+allow = ["Relaxed", "AcqRel"]
+why = "counter + claim"
+
+[[file]]
+path = "crates/x/src/b.rs"  # trailing comment
+allow = ["Acquire"]
+why = "load side of the handoff"
+"#,
+        )
+        .unwrap();
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].allow, vec!["Relaxed", "AcqRel"]);
+        assert_eq!(
+            t.entry_for("crates/x/src/b.rs").unwrap().why.trim(),
+            "load side of the handoff"
+        );
+    }
+
+    #[test]
+    fn rejects_missing_why() {
+        let e = parse("[[file]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\n").unwrap_err();
+        assert!(e.msg.contains("why"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_ordering() {
+        let e = parse("[[file]]\npath = \"a.rs\"\nallow = [\"Sequential\"]\nwhy = \"x\"\n")
+            .unwrap_err();
+        assert!(e.msg.contains("not an atomic ordering"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicates_and_stray_keys() {
+        let dup = "[[file]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\nwhy = \"x\"\n[[file]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\nwhy = \"x\"\n";
+        assert!(parse(dup).unwrap_err().msg.contains("duplicate"));
+        assert!(parse("x = \"y\"\n").unwrap_err().msg.contains("outside"));
+    }
+}

@@ -1,0 +1,332 @@
+//! A minimal line-oriented lexer for Rust source.
+//!
+//! The rules in this crate are lexical: they need to know, per line, what is
+//! *code* and what is *comment* — nothing more. This module splits a source
+//! file into per-line `(code, comment)` pairs with string/char literal
+//! contents blanked out of the code channel, so a rule that greps the code
+//! channel for `unsafe` or `Ordering::SeqCst` can never be fooled by a
+//! comment, a doc-example, or a string literal containing those tokens.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//! count, `b`-prefixed forms), char/byte literals, and the char-literal vs.
+//! lifetime ambiguity (`'a'` vs `&'a mut`).
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments removed and literal contents blanked (quotes are
+    /// kept so the shape of the line survives).
+    pub code: String,
+    /// Concatenated comment text of the line, without the `//`/`/*` markers.
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line carries no code at all (blank or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// Lexer state that can span line boundaries.
+enum State {
+    Code,
+    /// Inside nested block comments at the given depth.
+    BlockComment(u32),
+    /// Inside a plain string literal.
+    Str,
+    /// Inside a raw string literal terminated by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `src` into per-line code/comment channels.
+pub fn split_lines(src: &str) -> Vec<Line> {
+    let mut out: Vec<Line> = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+
+    // Byte-wise scan: every delimiter this lexer cares about is ASCII, and
+    // non-ASCII bytes are copied through verbatim inside their channel.
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            out.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    // Line comment: rest of the line is comment text.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\n' {
+                        j += 1;
+                    }
+                    line.comment.push_str(&src[i + 2..j]);
+                    i = j;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                b'"' => {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                }
+                b'r' | b'b' => {
+                    // Possible raw-string / byte-string prefix. Only treat it
+                    // as one when `r`/`b`/`br` is its own token (previous
+                    // byte is not part of an identifier).
+                    let prev_is_ident =
+                        i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                    if !prev_is_ident {
+                        if let Some((hashes, consumed)) = raw_string_open(&bytes[i..]) {
+                            line.code.push_str(&src[i..i + consumed]);
+                            state = State::RawStr(hashes);
+                            i += consumed;
+                            continue;
+                        }
+                        if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                            line.code.push_str("b\"");
+                            state = State::Str;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    line.code.push(b as char);
+                    i += 1;
+                }
+                b'\'' => {
+                    // Char literal or lifetime?
+                    if let Some(consumed) = char_literal_len(&bytes[i..]) {
+                        // Blank the contents, keep the quotes.
+                        line.code.push_str("''");
+                        i += consumed;
+                    } else {
+                        line.code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    // Copy through whatever this byte starts (possibly a
+                    // multi-byte UTF-8 sequence).
+                    let ch_len = utf8_len(b);
+                    line.code.push_str(&src[i..i + ch_len]);
+                    i += ch_len;
+                }
+            },
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    let ch_len = utf8_len(b);
+                    line.comment.push_str(&src[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+            State::Str => match b {
+                b'\\' => i += 2, // skip the escaped byte, blanked anyway
+                b'"' => {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => i += utf8_len(b),
+            },
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(&bytes[i + 1..], hashes) {
+                    line.code.push('"');
+                    for _ in 0..hashes {
+                        line.code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += utf8_len(b);
+                }
+            }
+        }
+    }
+    // Match `str::lines` semantics: a trailing newline does not create an
+    // extra empty line.
+    if !src.is_empty() && !src.ends_with('\n') {
+        out.push(line);
+    }
+    out
+}
+
+/// If `bytes` opens a raw string (`r"`, `r#"`, `br##"` …), returns
+/// `(hash_count, bytes_consumed_through_opening_quote)`.
+fn raw_string_open(bytes: &[u8]) -> Option<(u32, usize)> {
+    let mut j = 0;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// True when `rest` (the bytes after a `"`) begins with `hashes` `#`s.
+fn closes_raw(rest: &[u8], hashes: u32) -> bool {
+    let h = hashes as usize;
+    rest.len() >= h && rest[..h].iter().all(|&b| b == b'#')
+}
+
+/// If `bytes` (starting at a `'`) is a char/byte literal, returns its total
+/// byte length; `None` means it is a lifetime (or a stray quote).
+fn char_literal_len(bytes: &[u8]) -> Option<usize> {
+    debug_assert_eq!(bytes[0], b'\'');
+    match bytes.get(1)? {
+        b'\\' => {
+            // Escape: scan to the closing quote.
+            let mut j = 2;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\'' => return Some(j + 1),
+                    b'\n' => return None,
+                    b'\\' => j += 2,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            // `'X'` where X is one char: a literal. `'a` followed by
+            // anything else: a lifetime.
+            let first_len = utf8_len(*bytes.get(1)?);
+            if bytes.get(1 + first_len) == Some(&b'\'') {
+                Some(first_len + 2)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Length of the UTF-8 sequence starting with `b` (1 for ASCII/continuation).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+/// True when `needle` occurs in `haystack` as a whole word (neighbours are
+/// not identifier characters). The dependency-free stand-in for `\bword\b`.
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    find_word(haystack, needle).is_some()
+}
+
+/// Byte offset of the first whole-word occurrence of `needle`.
+pub fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(h[at - 1]);
+        let after = at + needle.len();
+        let after_ok = after >= h.len() || !is_ident_byte(h[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_go_to_the_comment_channel() {
+        let lines = split_lines("let x = 1; // SAFETY: fine\n// unsafe in comment");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("SAFETY: fine"));
+        assert!(lines[1].is_code_blank());
+        assert!(lines[1].comment.contains("unsafe in comment"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let lines = split_lines("a /* one /* two */ still */ b\n/* open\nunsafe\n*/ c");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[2].is_code_blank());
+        assert!(lines[2].comment.contains("unsafe"));
+        assert_eq!(lines[3].code.trim(), "c");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = split_lines(r#"let s = "unsafe // not a comment"; tail"#);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("tail"));
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"has \"quotes\" and unsafe\"#; after";
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("after"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let lines = codes("let c = '\"'; fn f<'a>(x: &'a str) {} let d = '\\'';");
+        // The quote char literal must not open a string.
+        assert!(lines[0].contains("fn f<'a>"));
+        assert!(lines[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let lines = codes(r#"let s = "a\"unsafe\"b"; let t = 1;"#);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(lines[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(contains_word("pub unsafe fn", "unsafe"));
+        assert!(!contains_word("unsafe_code", "unsafe"));
+        assert!(!contains_word("not_unsafe", "unsafe"));
+        assert!(contains_word("x.take_scratch()", "take_scratch"));
+    }
+}

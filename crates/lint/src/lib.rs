@@ -1,0 +1,58 @@
+//! `essentials-lint` — the workspace's concurrency-correctness gate.
+//!
+//! The paper's portability claim (operators keep identical semantics while
+//! execution policies swap parallel strategies underneath) rests on a small
+//! set of hand-maintained invariants the Rust compiler cannot check: every
+//! `unsafe` block is justified and quarantined, every atomic ordering is a
+//! recorded decision, the operator hot path does not allocate, and the
+//! advance scratch always returns to its slot. This crate enforces those as
+//! a lexical static-analysis pass over the workspace's own sources — run as
+//! `cargo run -p essentials-lint`, in CI, and by its own test suite against
+//! a corpus of known-bad fixtures.
+//!
+//! See `rules` for the catalog and `config` for the `LINT_ORDERINGS.toml`
+//! format. The crate is dependency-free by design.
+
+pub mod config;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+pub use rules::Diagnostic;
+
+/// Lints the workspace rooted at `root` (the directory holding
+/// `LINT_ORDERINGS.toml`). Returns all diagnostics, sorted.
+///
+/// `Err` means the run itself could not proceed (unreadable tree, malformed
+/// ordering table) — callers should treat that as a failure too, not a pass.
+pub fn run_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let table_path = root.join("LINT_ORDERINGS.toml");
+    let table_src = std::fs::read_to_string(&table_path)
+        .map_err(|e| format!("cannot read {}: {e}", table_path.display()))?;
+    let table = config::parse(&table_src).map_err(|e| e.to_string())?;
+
+    let files = walk::workspace_rs_files(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let mut seen_orderings: BTreeMap<String, Vec<&'static str>> = BTreeMap::new();
+    for rel in &files {
+        let path = walk::rel_str(rel);
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let m = model::FileModel::build(lexer::split_lines(&src));
+        rules::check_unsafe(&path, &m, &mut out);
+        let used = rules::check_orderings(&path, &m, &table, &mut out);
+        if !used.is_empty() {
+            seen_orderings.insert(path.clone(), used);
+        }
+        rules::check_hot_path_allocs(&path, &m, &mut out);
+        rules::check_scratch_pairing(&path, &m, &mut out);
+    }
+    rules::check_table_staleness(&table, &seen_orderings, &mut out);
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,75 @@
+//! CLI for `essentials-lint`.
+//!
+//! ```text
+//! cargo run -p essentials-lint            # lint the enclosing workspace
+//! cargo run -p essentials-lint -- --root path/to/tree
+//! ```
+//!
+//! Exit status: 0 clean, 1 diagnostics found, 2 the run itself failed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: essentials-lint [--root DIR]");
+                eprintln!("Lints the workspace rooted at DIR (default: nearest");
+                eprintln!("ancestor of the current directory with LINT_ORDERINGS.toml).");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("no LINT_ORDERINGS.toml found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    match essentials_lint::run_root(&root) {
+        Ok(diags) if diags.is_empty() => {
+            eprintln!("essentials-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("essentials-lint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("essentials-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Nearest ancestor of the current directory containing the ordering table.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("LINT_ORDERINGS.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

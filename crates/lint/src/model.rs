@@ -1,0 +1,205 @@
+//! Structural model of one source file: per-line test-region membership and
+//! function extents, derived from the lexed code channel by brace counting.
+//!
+//! This is deliberately *approximate* parsing — no AST, no token tree. Brace
+//! counting over comment- and literal-stripped code is exact for the
+//! constructs the rules care about (`#[cfg(test)] mod … { }` regions and
+//! `fn` bodies); the known blind spots (braces inside const generics,
+//! `fn`-typed macro fragments) do not occur in this workspace and would fail
+//! loudly as spurious diagnostics rather than silent passes.
+
+use crate::lexer::{contains_word, Line};
+
+/// A function body: the lines `[start, end]` (0-based, inclusive) spanned by
+/// the innermost `{ … }` following a `fn` keyword.
+#[derive(Debug)]
+pub struct FnSpan {
+    /// Line of the `fn` keyword.
+    pub decl_line: usize,
+    /// First line of the body (the one with the opening brace).
+    pub start: usize,
+    /// Line of the matching closing brace.
+    pub end: usize,
+}
+
+/// Lexed lines plus structural facts.
+pub struct FileModel {
+    pub lines: Vec<Line>,
+    /// Per line: inside a `#[cfg(test)] mod … { }` region.
+    pub in_test: Vec<bool>,
+    /// All function bodies, in source order.
+    pub functions: Vec<FnSpan>,
+}
+
+impl FileModel {
+    pub fn build(lines: Vec<Line>) -> FileModel {
+        let in_test = mark_test_regions(&lines);
+        let functions = find_functions(&lines);
+        FileModel {
+            lines,
+            in_test,
+            functions,
+        }
+    }
+
+    /// The innermost function span containing `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| f.start <= line && line <= f.end)
+            .min_by_key(|f| f.end - f.start)
+    }
+}
+
+/// Net and minimum brace depth contribution of a code line.
+fn brace_delta(code: &str) -> i32 {
+    let mut d = 0i32;
+    for b in code.bytes() {
+        match b {
+            b'{' => d += 1,
+            b'}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Marks the lines inside `#[cfg(test)] mod … { }` regions.
+fn mark_test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth = 0i32;
+    // (depth at which the test mod's body closes)
+    let mut test_close_depth: Option<i32> = None;
+    // A `#[cfg(test)]` attribute has been seen and no item consumed it yet.
+    let mut pending_cfg_test = false;
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.trim();
+        if test_close_depth.is_some() {
+            in_test[i] = true;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && !code.is_empty() {
+            if contains_word(code, "mod") && test_close_depth.is_none() {
+                // Region starts at this mod's opening brace; it closes when
+                // depth returns to the current level.
+                in_test[i] = true;
+                test_close_depth = Some(depth);
+            }
+            // Any other item (or the mod itself) consumes the attribute.
+            if !code.starts_with("#[") && !code.starts_with("#!") {
+                pending_cfg_test = false;
+            }
+        }
+        depth += brace_delta(&line.code);
+        if let Some(close) = test_close_depth {
+            if depth <= close {
+                test_close_depth = None;
+            }
+        }
+    }
+    in_test
+}
+
+/// Finds all `fn` bodies by pairing each `fn` keyword with the next opening
+/// brace and tracking depth to its close. Nested functions nest properly via
+/// the stack.
+fn find_functions(lines: &[Line]) -> Vec<FnSpan> {
+    struct Open {
+        decl_line: usize,
+        start: usize,
+        /// Depth *inside* the body.
+        body_depth: i32,
+    }
+    let mut spans = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut depth = 0i32;
+    // A `fn` keyword seen, its body brace not yet.
+    let mut pending_fn: Option<usize> = None;
+
+    for (i, line) in lines.iter().enumerate() {
+        if contains_word(&line.code, "fn") {
+            // Bodiless trait methods / fn-pointer types ending in `;` on the
+            // same line never open a body; the `{` check below filters the
+            // rest (a pending fn whose line-sequence hits `;` first is
+            // cleared there too).
+            pending_fn = Some(i);
+        }
+        for b in line.code.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    if let Some(decl_line) = pending_fn.take() {
+                        stack.push(Open {
+                            decl_line,
+                            start: i,
+                            body_depth: depth,
+                        });
+                    }
+                }
+                b'}' => {
+                    if let Some(open) = stack.last() {
+                        if depth == open.body_depth {
+                            let open = stack.pop().expect("non-empty");
+                            spans.push(FnSpan {
+                                decl_line: open.decl_line,
+                                start: open.start,
+                                end: i,
+                            });
+                        }
+                    }
+                    depth -= 1;
+                }
+                // `fn f(…);` (trait signature) — no body follows.
+                b';' if depth == stack.last().map_or(0, |o| o.body_depth) => {
+                    pending_fn = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    spans.sort_by_key(|s| s.start);
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_lines;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build(split_lines(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_region_is_marked() {
+        let m = model("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n");
+        assert_eq!(m.in_test, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_does_not_open_region() {
+        let m = model("#[cfg(test)]\nuse foo::bar;\nfn live() {}\n");
+        assert!(m.in_test.iter().all(|&t| !t));
+    }
+
+    #[test]
+    fn function_spans_nest() {
+        let m = model("fn outer() {\n    let c = |x: u32| x + 1;\n    fn inner() {\n        body();\n    }\n}\n");
+        assert_eq!(m.functions.len(), 2);
+        let inner = m.enclosing_fn(3).unwrap();
+        assert_eq!((inner.start, inner.end), (2, 4));
+        let outer = m.enclosing_fn(1).unwrap();
+        assert_eq!((outer.start, outer.end), (0, 5));
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let m = model(
+            "trait T {\n    fn sig(&self);\n    fn with_body(&self) {\n        x();\n    }\n}\n",
+        );
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].start, 2);
+    }
+}

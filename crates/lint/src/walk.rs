@@ -1,0 +1,63 @@
+//! Workspace file discovery.
+//!
+//! Walks the workspace's own Rust sources: `src/`, `tests/`, `examples/`,
+//! and `crates/`. Skips `vendor/` (third-party shims keep their upstream
+//! idioms), `target/`, and any directory named `fixtures` (the linter's own
+//! known-bad corpus must not lint the tree it certifies).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories under the root that are scanned.
+const ROOTS: [&str; 4] = ["src", "tests", "examples", "crates"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", "fixtures"];
+
+/// All workspace `.rs` files under `root`, repo-relative with forward
+/// slashes, sorted for stable diagnostics.
+pub fn workspace_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, &mut out)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .map(|p| {
+            p.strip_prefix(root)
+                .expect("collected under root")
+                .to_path_buf()
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders a repo-relative path with forward slashes regardless of platform.
+pub fn rel_str(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

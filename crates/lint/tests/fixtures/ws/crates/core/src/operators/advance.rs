@@ -1,0 +1,7 @@
+//! Fixture: EL020 — allocation in a hot-path module, one waived line.
+
+pub fn hot(out: &mut Vec<u32>) {
+    let mut tmp = Vec::new();
+    tmp.push(1); // alloc-ok: fixture waiver — this line must NOT be flagged
+    out.extend_from_slice(&tmp);
+}

@@ -1,0 +1,5 @@
+//! Fixture: EL001 — `unsafe` with no SAFETY comment anywhere near it.
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,11 @@
+//! Fixture: EL011 — an ordering outside the file's allowed set.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn bump_strict(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,12 @@
+//! Fixture: a file every rule passes over — comments and strings that
+//! mention unsafe, Ordering::SeqCst, Vec::new, and take_scratch must not
+//! fool the lexer.
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+pub fn decoys() -> &'static str {
+    // unsafe { would_be_flagged_if_this_were_code() }
+    "unsafe Ordering::SeqCst Vec::new() take_scratch()"
+}

@@ -1,0 +1,7 @@
+//! Fixture: EL002 — annotated `unsafe` outside the allowlisted modules.
+
+pub fn peek(xs: &[u32]) -> u32 {
+    // SAFETY: fixture claims xs is non-empty (annotation present on
+    // purpose, so only the allowlist rule fires).
+    unsafe { *xs.as_ptr() }
+}

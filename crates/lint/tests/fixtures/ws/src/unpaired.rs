@@ -1,0 +1,24 @@
+//! Fixture: EL030 — scratch taken but never returned (and vice versa).
+
+pub struct Ctx;
+
+impl Ctx {
+    pub fn take_scratch(&self) -> Vec<u32> {
+        Vec::new()
+    }
+    pub fn put_scratch(&self, _s: Vec<u32>) {}
+}
+
+pub fn leaky(ctx: &Ctx) -> usize {
+    let s = ctx.take_scratch();
+    s.len()
+}
+
+pub fn balanced(ctx: &Ctx) {
+    let s = ctx.take_scratch();
+    ctx.put_scratch(s);
+}
+
+pub fn give_back_only(ctx: &Ctx) {
+    ctx.put_scratch(Vec::new());
+}

@@ -1,0 +1,7 @@
+//! Fixture: EL010 — atomics with no LINT_ORDERINGS.toml entry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+//! Fixture: EL012 — the table allows an ordering this file no longer uses.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}

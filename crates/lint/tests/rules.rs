@@ -1,0 +1,93 @@
+//! The known-bad fixture corpus: every rule must fire, with stable
+//! diagnostics (exact file, line, rule id), and waived/clean lines must
+//! stay silent. `tests/fixtures/ws` is a miniature workspace with its own
+//! `LINT_ORDERINGS.toml` and one seeded violation per rule.
+
+use std::path::{Path, PathBuf};
+
+use essentials_lint::run_root;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+#[test]
+fn every_rule_fires_with_stable_diagnostics() {
+    let diags = run_root(&fixture_root()).expect("fixture corpus must lint");
+    let got: Vec<String> = diags
+        .iter()
+        .map(|d| format!("{}:{}: {}", d.path, d.line, d.rule))
+        .collect();
+    let want = [
+        "LINT_ORDERINGS.toml:9: EL012",  // src/gone.rs is not a file
+        "LINT_ORDERINGS.toml:14: EL012", // Acquire allowed but unused
+        "crates/core/src/operators/advance.rs:4: EL020", // Vec::new in a hot path
+        "crates/parallel/src/no_safety.rs:4: EL001", // unsafe without SAFETY
+        "src/bad_ordering.rs:10: EL011", // SeqCst outside the set
+        "src/stray_unsafe.rs:6: EL002",  // unsafe outside allowlist
+        "src/unpaired.rs:13: EL030",     // take without put
+        "src/unpaired.rs:23: EL030",     // put without take
+        "src/untracked.rs:6: EL010",     // atomics, no table entry
+    ];
+    assert_eq!(
+        got,
+        want,
+        "full diagnostics:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn waived_and_annotated_lines_stay_silent() {
+    let diags = run_root(&fixture_root()).expect("fixture corpus must lint");
+    // The `alloc-ok:` waiver on advance.rs line 5 suppresses the push.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.path.ends_with("advance.rs") && d.line == 5),
+        "waived line was flagged"
+    );
+    // The SAFETY-annotated unsafe in stray_unsafe.rs triggers EL002 only.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.path.ends_with("stray_unsafe.rs") && d.rule == "EL001"),
+        "annotated unsafe was flagged for EL001"
+    );
+    // The decoy file (rule keywords in comments and strings) is clean.
+    assert!(
+        !diags.iter().any(|d| d.path.ends_with("clean.rs")),
+        "decoy comments/strings fooled the lexer"
+    );
+    // The balanced take/put function is not an EL030.
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.path.ends_with("unpaired.rs"))
+            .count(),
+        2,
+        "only the two seeded pairing violations may fire"
+    );
+}
+
+#[test]
+fn messages_carry_the_fix_hint() {
+    let diags = run_root(&fixture_root()).expect("fixture corpus must lint");
+    let find = |rule: &str| {
+        diags
+            .iter()
+            .find(|d| d.rule == rule)
+            .unwrap_or_else(|| panic!("{rule} missing"))
+    };
+    assert!(find("EL001").msg.contains("SAFETY"));
+    assert!(find("EL002").msg.contains("UNSAFE_ALLOWLIST"));
+    assert!(find("EL010").msg.contains("LINT_ORDERINGS.toml"));
+    assert!(find("EL011").msg.contains("allowed set"));
+    assert!(find("EL012").msg.contains("stale"));
+    assert!(find("EL020").msg.contains("alloc-ok"));
+    assert!(find("EL030").msg.contains("take_scratch"));
+}

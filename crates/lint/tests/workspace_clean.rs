@@ -1,0 +1,24 @@
+//! The gate itself: the real workspace must lint clean. This is the same
+//! check CI runs via `cargo run -p essentials-lint`, wired into `cargo
+//! test` so a violation fails the ordinary test suite too.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let diags = essentials_lint::run_root(&root).expect("lint run must succeed");
+    assert!(
+        diags.is_empty(),
+        "essentials-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

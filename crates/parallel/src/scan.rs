@@ -38,6 +38,8 @@ impl<'a, T> DisjointWrites<'a, T> {
     /// concurrently by another worker.
     #[inline]
     unsafe fn write(&self, i: usize, v: T) {
+        // SAFETY: caller upholds the `# Safety` contract above (in-bounds,
+        // unaliased write).
         unsafe { self.0.add(i).write(v) };
     }
 
@@ -49,6 +51,8 @@ impl<'a, T> DisjointWrites<'a, T> {
     where
         T: Copy,
     {
+        // SAFETY: caller upholds the `# Safety` contract above (in-bounds,
+        // no concurrent writer).
         unsafe { self.0.add(i).read() }
     }
 }
@@ -106,6 +110,7 @@ where
                 unsafe { out_w.write(i, acc) };
                 acc += value(i);
             }
+            // SAFETY: slot `tid` of `chunk_sums` is owned by this worker.
             unsafe { sums_w.write(tid, acc) };
         });
     }
@@ -137,7 +142,7 @@ where
 /// Exclusive prefix sum of a slice into `out` (see [`parallel_scan_with`]).
 /// Allocates its own chunk-sum scratch; use the `_with` variant on hot paths.
 pub fn parallel_scan(pool: &ThreadPool, values: &[usize], out: &mut Vec<usize>) -> usize {
-    let mut chunk_sums = Vec::new();
+    let mut chunk_sums = Vec::new(); // alloc-ok: convenience wrapper; hot callers use the _with variant
     parallel_scan_with(pool, values.len(), |i| values[i], out, &mut chunk_sums)
 }
 
@@ -148,10 +153,10 @@ pub fn serial_scan(values: &[usize], out: &mut Vec<usize>) -> usize {
     out.reserve(values.len() + 1);
     let mut acc = 0usize;
     for &v in values {
-        out.push(acc);
+        out.push(acc); // alloc-ok: reserved above; serial reference implementation
         acc += v;
     }
-    out.push(acc);
+    out.push(acc); // alloc-ok: reserved above
     acc
 }
 

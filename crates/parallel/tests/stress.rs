@@ -7,16 +7,27 @@ use essentials_parallel::{run_async, Schedule, SpinBarrier, ThreadPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Scales a workload by `ESSENTIALS_STRESS_SCALE` (default 1). The
+/// sanitizer CI job raises it so instrumented runs still soak the pool;
+/// local runs stay fast.
+fn scaled(n: usize) -> usize {
+    match std::env::var("ESSENTIALS_STRESS_SCALE") {
+        Ok(s) => n * s.parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => n,
+    }
+}
+
 #[test]
 fn thousands_of_tiny_regions_do_not_lose_wakeups() {
     let pool = ThreadPool::new(4);
     let count = AtomicUsize::new(0);
-    for _ in 0..5_000 {
+    let regions = scaled(5_000);
+    for _ in 0..regions {
         pool.run(|_| {
             count.fetch_add(1, Ordering::Relaxed);
         });
     }
-    assert_eq!(count.into_inner(), 5_000 * 4);
+    assert_eq!(count.into_inner(), regions * 4);
 }
 
 #[test]
@@ -42,28 +53,30 @@ fn async_cascade_of_depth_ten_thousand() {
     // never fires early even when the queue is nearly always empty.
     let pool = ThreadPool::new(4);
     let max_seen = AtomicUsize::new(0);
+    let depth = scaled(10_000);
     let stats = run_async(&pool, vec![0usize], |item, pusher| {
         max_seen.fetch_max(item, Ordering::Relaxed);
-        if item < 10_000 {
+        if item < depth {
             pusher.push(item + 1);
         }
     });
-    assert_eq!(stats.processed, 10_001);
-    assert_eq!(max_seen.into_inner(), 10_000);
+    assert_eq!(stats.processed, depth + 1);
+    assert_eq!(max_seen.into_inner(), depth);
 }
 
 #[test]
 fn wide_async_burst() {
     // One seed fans out to 50k items in one handler call.
     let pool = ThreadPool::new(4);
+    let width = scaled(50_000);
     let stats = run_async(&pool, vec![usize::MAX], |item, pusher| {
         if item == usize::MAX {
-            for i in 0..50_000 {
+            for i in 0..width {
                 pusher.push(i);
             }
         }
     });
-    assert_eq!(stats.processed, 50_001);
+    assert_eq!(stats.processed, width + 1);
 }
 
 #[test]

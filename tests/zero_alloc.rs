@@ -20,22 +20,31 @@ struct CountingAlloc;
 static COUNTING: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: defers every allocator duty to `System` verbatim; the only
+// addition is a Relaxed counter bump, which cannot violate GlobalAlloc's
+// contract.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: `System` upholds the layout contract; counting is side-effect-free.
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwarding the caller's layout unchanged to System.
         unsafe { System.alloc(l) }
     }
 
+    // SAFETY: `System` upholds the layout contract; counting is side-effect-free.
     unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: forwarding the caller's pointer and layouts unchanged.
         unsafe { System.realloc(p, l, new_size) }
     }
 
+    // SAFETY: `System` upholds the layout contract.
     unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        // SAFETY: forwarding the caller's pointer and layout unchanged.
         unsafe { System.dealloc(p, l) }
     }
 }
@@ -44,12 +53,16 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Runs `iteration` once with allocation counting on; returns the count.
+///
+/// Relaxed is enough here: the counter is only read from this thread, and
+/// the pool's region barriers (worker join points inside `iteration`) give
+/// the happens-before edge for any worker-side increments.
 fn count_allocs(iteration: impl FnOnce()) -> usize {
-    ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
     iteration();
-    COUNTING.store(false, Ordering::SeqCst);
-    ALLOCS.load(Ordering::SeqCst)
+    COUNTING.store(false, Ordering::Relaxed);
+    ALLOCS.load(Ordering::Relaxed)
 }
 
 #[test]
