@@ -73,30 +73,49 @@ pub fn bfs<P: ExecutionPolicy, W: EdgeValue>(
     g: &Graph<W>,
     source: VertexId,
 ) -> BfsResult {
+    match try_bfs(policy, ctx, g, source) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`bfs`]: the context's [`RunBudget`] is checked at iteration
+/// boundaries (by the enactor) and chunk boundaries (inside the advance),
+/// fault-plan injections fire at their exact `(iteration, chunk)`
+/// coordinates, and a panic in a worker surfaces as
+/// [`ExecError::WorkerPanic`] instead of aborting the process. After any
+/// error the context is fully reusable — the next run on the same context
+/// matches the sequential oracle bit-for-bit (`tests/resilience.rs`).
+pub fn try_bfs<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+    source: VertexId,
+) -> Result<BfsResult, ExecError> {
     let n = g.get_num_vertices();
     let levels = init_levels(n, source);
     let edges = Counter::new();
     let mut directions = Vec::new();
-    let (_, stats) = Enactor::for_ctx(ctx).run(SparseFrontier::single(source), |iter, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).try_run(SparseFrontier::single(source), |iter, f| {
         directions.push(Direction::Push);
         let next_level = iter as u32 + 1;
-        let out = neighbors_expand(policy, ctx, g, &f, |_src, dst, _e, _w| {
+        let out = try_neighbors_expand(policy, ctx, g, &f, |_src, dst, _e, _w| {
             edges.add(1);
             levels[dst as usize]
                 .compare_exchange(UNVISITED, next_level, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
-        });
+        })?;
         // The CAS claim already deduplicates; recycling the spent frontier
         // keeps the loop allocation-free after warm-up.
         ctx.recycle_frontier(f);
-        out
-    });
-    BfsResult {
+        Ok(out)
+    })?;
+    Ok(BfsResult {
         level: unwrap_levels(levels),
         stats,
         edges_inspected: edges.get(),
         directions,
-    }
+    })
 }
 
 /// Pull-direction BSP BFS: every unvisited vertex scans its in-neighbors

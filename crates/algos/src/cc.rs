@@ -36,26 +36,40 @@ pub fn cc_label_propagation<P: ExecutionPolicy, W: EdgeValue>(
     ctx: &Context,
     g: &Graph<W>,
 ) -> CcResult {
+    match try_cc_label_propagation(policy, ctx, g) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`cc_label_propagation`]: budget and fault hooks fire at
+/// iteration and chunk boundaries; on error the partially-propagated
+/// labels are dropped with the context left fully reusable.
+pub fn try_cc_label_propagation<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+) -> Result<CcResult, ExecError> {
     let n = g.get_num_vertices();
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let updates = Counter::new();
     let init: SparseFrontier = g.vertices().collect();
-    let (_, stats) = Enactor::for_ctx(ctx).run(init, |_, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).try_run(init, |_, f| {
         // Dedup is fused into the push; spent frontiers recycle their
         // storage into the next iteration's output.
-        let out = neighbors_expand_unique(policy, ctx, g, &f, |src, dst, _e, _w| {
+        let out = try_neighbors_expand_unique(policy, ctx, g, &f, |src, dst, _e, _w| {
             updates.add(1);
             let l = labels[src as usize].load(Ordering::Acquire);
             labels[dst as usize].fetch_min(l, Ordering::AcqRel) > l
-        });
+        })?;
         ctx.recycle_frontier(f);
-        out
-    });
-    CcResult {
+        Ok(out)
+    })?;
+    Ok(CcResult {
         comp: labels.into_iter().map(AtomicU32::into_inner).collect(),
         stats,
         updates: updates.get(),
-    }
+    })
 }
 
 /// Min-label propagation routed through the core adaptive advance engine:

@@ -5,6 +5,8 @@
 
 use essentials_core::prelude::*;
 
+use crate::pagerank::ResidualWatchdog;
+
 /// HITS scores.
 #[derive(Debug, Clone)]
 pub struct HitsResult {
@@ -41,18 +43,34 @@ pub fn hits<P: ExecutionPolicy, W: EdgeValue>(
     g: &Graph<W>,
     cfg: HitsConfig,
 ) -> HitsResult {
+    match try_hits(policy, ctx, g, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`hits`]: the context's run budget is checked at iteration
+/// boundaries, and the shared power-iteration watchdog turns a non-finite
+/// or persistently rising residual into [`ExecError::Diverged`].
+pub fn try_hits<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+    cfg: HitsConfig,
+) -> Result<HitsResult, ExecError> {
     let n = g.get_num_vertices();
     if n == 0 {
-        return HitsResult {
+        return Ok(HitsResult {
             hub: Vec::new(),
             authority: Vec::new(),
             stats: LoopStats::default(),
-        };
+        });
     }
     let init = (vec![1.0f64; n], vec![1.0f64; n]);
+    let mut watchdog = ResidualWatchdog::new();
     let ((hub, authority), stats) = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
-        .run_until(init, |_, (hub, auth), progress| {
+        .try_run_until(init, |iter, (hub, auth), progress| {
             // Both score vectors are recomputed in full each iteration.
             progress.report_work(n);
             // auth'[v] = Σ hub[u] over in-edges (u → v)
@@ -79,13 +97,14 @@ pub fn hits<P: ExecutionPolicy, W: EdgeValue>(
                 .sum();
             *hub = new_hub;
             *auth = new_auth;
-            err < cfg.tolerance
-        });
-    HitsResult {
+            watchdog.check(iter, err)?;
+            Ok(err < cfg.tolerance)
+        })?;
+    Ok(HitsResult {
         hub,
         authority,
         stats,
-    }
+    })
 }
 
 fn l2_normalize(mut v: Vec<f64>) -> Vec<f64> {

@@ -43,6 +43,55 @@ impl Default for PrConfig {
     }
 }
 
+/// Consecutive residual rises tolerated before a power-iteration loop is
+/// declared divergent by [`ResidualWatchdog`].
+pub(crate) const RESIDUAL_RISE_STREAK: usize = 5;
+
+/// Convergence watchdog for power-iteration fixpoints (PageRank, HITS):
+/// a non-finite residual (NaN / ±inf — e.g. a damping factor > 1 that
+/// overflowed, or NaN inputs) fails immediately; a residual that *rises*
+/// for [`RESIDUAL_RISE_STREAK`] consecutive iterations fails as divergent
+/// without waiting for the iteration cap. A converging power iteration
+/// shrinks its residual geometrically, so a sustained rise is a reliable
+/// divergence signal while transient float wobble is tolerated.
+pub(crate) struct ResidualWatchdog {
+    prev: f64,
+    rising: usize,
+}
+
+impl ResidualWatchdog {
+    pub(crate) fn new() -> Self {
+        ResidualWatchdog {
+            prev: f64::INFINITY,
+            rising: 0,
+        }
+    }
+
+    pub(crate) fn check(&mut self, iteration: usize, err: f64) -> Result<(), ExecError> {
+        if !err.is_finite() {
+            return Err(ExecError::Diverged {
+                iteration,
+                detail: format!("non-finite residual {err}"),
+            });
+        }
+        if err > self.prev {
+            self.rising += 1;
+            if self.rising >= RESIDUAL_RISE_STREAK {
+                return Err(ExecError::Diverged {
+                    iteration,
+                    detail: format!(
+                        "residual rose for {RESIDUAL_RISE_STREAK} consecutive iterations (now {err:.3e})"
+                    ),
+                });
+            }
+        } else {
+            self.rising = 0;
+        }
+        self.prev = err;
+        Ok(())
+    }
+}
+
 /// Pull (gather) PageRank over the CSC. Requires `with_csc`.
 pub fn pagerank_pull<P: ExecutionPolicy, W: EdgeValue>(
     policy: P,
@@ -50,19 +99,36 @@ pub fn pagerank_pull<P: ExecutionPolicy, W: EdgeValue>(
     g: &Graph<W>,
     cfg: PrConfig,
 ) -> PageRankResult {
+    match try_pagerank_pull(policy, ctx, g, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`pagerank_pull`]: the run budget is checked at iteration
+/// boundaries, and a convergence watchdog turns a non-finite or
+/// persistently rising residual into [`ExecError::Diverged`] instead of
+/// spinning to the iteration cap on garbage.
+pub fn try_pagerank_pull<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+    cfg: PrConfig,
+) -> Result<PageRankResult, ExecError> {
     let n = g.get_num_vertices();
     if n == 0 {
-        return PageRankResult {
+        return Ok(PageRankResult {
             rank: Vec::new(),
             stats: LoopStats::default(),
             final_error: 0.0,
-        };
+        });
     }
     let rank = vec![1.0 / n as f64; n];
     let mut final_error = f64::INFINITY;
+    let mut watchdog = ResidualWatchdog::new();
     let (rank, stats) = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
-        .run_until(rank, |_, r, progress| {
+        .try_run_until(rank, |iter, r, progress| {
             // Every vertex is updated each iteration — the fixpoint loop's
             // natural work unit for the bench trace.
             progress.report_work(n);
@@ -81,13 +147,14 @@ pub fn pagerank_pull<P: ExecutionPolicy, W: EdgeValue>(
             let err: f64 = l1_diff(policy, ctx, r, &next);
             *r = next;
             final_error = err;
-            err < cfg.tolerance
-        });
-    PageRankResult {
+            watchdog.check(iter, err)?;
+            Ok(err < cfg.tolerance)
+        })?;
+    Ok(PageRankResult {
         rank,
         stats,
         final_error,
-    }
+    })
 }
 
 /// Push (scatter) PageRank over the CSR: each vertex adds its contribution
@@ -98,24 +165,41 @@ pub fn pagerank_push<P: ExecutionPolicy, W: EdgeValue>(
     g: &Graph<W>,
     cfg: PrConfig,
 ) -> PageRankResult {
+    match try_pagerank_push(policy, ctx, g, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`pagerank_push`] — same watchdog and budget contract as
+/// [`try_pagerank_pull`]; the scatter additionally routes through
+/// [`try_foreach_vertex`], so budget/fault hooks also fire at chunk
+/// boundaries inside an iteration.
+pub fn try_pagerank_push<P: ExecutionPolicy, W: EdgeValue>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<W>,
+    cfg: PrConfig,
+) -> Result<PageRankResult, ExecError> {
     let n = g.get_num_vertices();
     if n == 0 {
-        return PageRankResult {
+        return Ok(PageRankResult {
             rank: Vec::new(),
             stats: LoopStats::default(),
             final_error: 0.0,
-        };
+        });
     }
     let rank = vec![1.0 / n as f64; n];
     let mut final_error = f64::INFINITY;
+    let mut watchdog = ResidualWatchdog::new();
     let (rank, stats) = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
-        .run_until(rank, |_, r, progress| {
+        .try_run_until(rank, |iter, r, progress| {
             progress.report_work(n);
             let dangling: f64 = sum_dangling(policy, ctx, g, r);
             let base = (1.0 - cfg.damping) / n as f64 + cfg.damping * dangling / n as f64;
             let acc: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
-            foreach_vertex(policy, ctx, n, |v| {
+            try_foreach_vertex(policy, ctx, n, |v| {
                 let deg = g.out_degree(v);
                 if deg == 0 {
                     return;
@@ -124,7 +208,7 @@ pub fn pagerank_push<P: ExecutionPolicy, W: EdgeValue>(
                 for e in g.get_edges(v) {
                     acc[g.get_dest_vertex(e) as usize].fetch_add(share, Ordering::AcqRel);
                 }
-            });
+            })?;
             let next: Vec<f64> = acc
                 .into_iter()
                 .map(|a| base + cfg.damping * a.into_inner())
@@ -132,13 +216,14 @@ pub fn pagerank_push<P: ExecutionPolicy, W: EdgeValue>(
             let err = l1_diff(policy, ctx, r, &next);
             *r = next;
             final_error = err;
-            err < cfg.tolerance
-        });
-    PageRankResult {
+            watchdog.check(iter, err)?;
+            Ok(err < cfg.tolerance)
+        })?;
+    Ok(PageRankResult {
         rank,
         stats,
         final_error,
-    }
+    })
 }
 
 /// PageRank with the traversal direction chosen per iteration by a

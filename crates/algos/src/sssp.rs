@@ -82,6 +82,23 @@ pub fn sssp<P: ExecutionPolicy>(
     g: &Graph<f32>,
     source: VertexId,
 ) -> SsspResult {
+    match try_sssp(policy, ctx, g, source) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`sssp`]: budget/fault hooks at iteration and chunk
+/// boundaries, worker panics captured as [`ExecError::WorkerPanic`], and
+/// full context reusability after any error — including the fused dedup
+/// bitmap, which is swept clean on the error path so the next
+/// `neighbors_expand_unique` on the same context starts pristine.
+pub fn try_sssp<P: ExecutionPolicy>(
+    policy: P,
+    ctx: &Context,
+    g: &Graph<f32>,
+    source: VertexId,
+) -> Result<SsspResult, ExecError> {
     check_weights(g);
     let n = g.get_num_vertices();
     // Initialize data.
@@ -90,9 +107,9 @@ pub fn sssp<P: ExecutionPolicy>(
     let mut f = SparseFrontier::new();
     f.add_vertex(source);
     // Main-loop.
-    let (_, stats) = Enactor::for_ctx(ctx).run(f, |_, f| {
+    let (_, stats) = Enactor::for_ctx(ctx).try_run(f, |_, f| {
         // Expand the frontier; duplicates are filtered during the push.
-        let out = neighbors_expand_unique(
+        let out = try_neighbors_expand_unique(
             policy,
             ctx,
             g,
@@ -107,15 +124,15 @@ pub fn sssp<P: ExecutionPolicy>(
                 let curr_d = dist[dst as usize].fetch_min(new_d, Ordering::AcqRel);
                 new_d < curr_d
             },
-        );
+        )?;
         ctx.recycle_frontier(f);
-        out
-    });
-    SsspResult {
+        Ok(out)
+    })?;
+    Ok(SsspResult {
         dist: unwrap_dist(dist),
         stats,
         relaxations: relaxations.get(),
-    }
+    })
 }
 
 /// SSSP routed through the core adaptive advance engine: the same

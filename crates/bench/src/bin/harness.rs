@@ -3,6 +3,14 @@
 //! Usage: `cargo run --release -p essentials-bench --bin harness [scale]`
 //! (default scale 12 ⇒ ~4k-vertex graphs; scale 14–16 for longer runs).
 //!
+//! With `--json FILE` the harness writes the machine-readable benchmark
+//! snapshot (schema `essentials-bench/v2`, see EXPERIMENTS.md). The
+//! resilience flags `--deadline-ms N` and `--max-iters N` attach a
+//! `RunBudget` to a dedicated budget experiment in that session: the
+//! flagship algorithms run through their fallible `try_*` entry points and
+//! every `ExecError` outcome (deadline-expired, iteration-cap, …) lands in
+//! the output as its own row instead of aborting the process.
+//!
 //! With `--obs FILE` the harness instead runs an *observed* session: the
 //! flagship traversals execute with a `TeeSink(CountersSink, TraceSink)`
 //! attached to the context, every event is exported to FILE as JSON lines,
@@ -33,6 +41,8 @@ fn main() {
     let mut scale: u32 = 12;
     let mut obs_path: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_iters: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--obs" {
@@ -45,18 +55,40 @@ fn main() {
                 eprintln!("--json requires an output path (e.g. --json bench.json)");
                 std::process::exit(2);
             }));
+        } else if arg == "--deadline-ms" {
+            deadline_ms = Some(number_arg(args.next(), "--deadline-ms"));
+        } else if arg == "--max-iters" {
+            max_iters = Some(number_arg(args.next(), "--max-iters"));
         } else if let Ok(s) = arg.parse() {
             scale = s;
         } else {
             eprintln!(
-                "unrecognized argument {arg:?}; usage: harness [scale] [--obs FILE] [--json FILE]"
+                "unrecognized argument {arg:?}; usage: harness [scale] [--obs FILE] \
+                 [--json FILE [--deadline-ms N] [--max-iters N]]"
             );
             std::process::exit(2);
         }
     }
+    let budget = match (deadline_ms, max_iters) {
+        (None, None) => None,
+        (d, m) => {
+            let mut b = RunBudget::unlimited();
+            if let Some(ms) = d {
+                b = b.with_timeout(std::time::Duration::from_millis(ms));
+            }
+            if let Some(n) = m {
+                b = b.with_max_iterations(n);
+            }
+            Some(b)
+        }
+    };
     if let Some(path) = json_path {
-        json_session(scale, &path);
+        json_session(scale, &path, budget);
         return;
+    }
+    if budget.is_some() {
+        eprintln!("--deadline-ms/--max-iters only apply to --json sessions");
+        std::process::exit(2);
     }
     if let Some(path) = obs_path {
         obs_session(scale, &path);
@@ -74,6 +106,15 @@ fn main() {
     e6_sssp(scale);
     e7_suite(scale);
     e8_message_passing(scale);
+}
+
+/// Parses the numeric operand of `flag`, exiting with usage help when it
+/// is missing or malformed.
+fn number_arg<T: std::str::FromStr>(val: Option<String>, flag: &str) -> T {
+    val.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} requires a number (e.g. {flag} 50)");
+        std::process::exit(2);
+    })
 }
 
 /// `--obs` mode: run the flagship traversals with the full observability
@@ -134,6 +175,10 @@ struct JsonRow {
     work: usize,
     /// Millions of work units per second (work / ms / 1000).
     mteps: f64,
+    /// `"ok"` for completed runs, or the stable [`ExecError::kind`] label
+    /// (`cancelled`, `deadline-expired`, `iteration-cap`, `worker-panic`,
+    /// `diverged`) when a budgeted run stopped early.
+    outcome: &'static str,
 }
 
 impl JsonRow {
@@ -141,9 +186,10 @@ impl JsonRow {
         // All strings here are static identifiers or ASCII variant labels —
         // nothing needs escaping (same reasoning as the obs JSONL export).
         format!(
-            "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"algo\":\"{}\",\"variant\":\"{}\",\"threads\":{},\"ms\":{:.3},\"iterations\":{},\"work\":{},\"mteps\":{:.2}}}",
+            "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"algo\":\"{}\",\"variant\":\"{}\",\"threads\":{},\"ms\":{:.3},\"iterations\":{},\"work\":{},\"mteps\":{:.2},\"outcome\":\"{}\"}}",
             self.experiment, self.workload, self.algo, self.variant,
             self.threads, self.ms, self.iterations, self.work, self.mteps,
+            self.outcome,
         )
     }
 }
@@ -162,7 +208,12 @@ fn mteps(work: usize, ms: f64) -> f64 {
 /// JSON object per row (schema documented in EXPERIMENTS.md). Snapshots of
 /// this output are committed as BENCH_XXXX.json; regenerate with
 /// `cargo run --release -p essentials-bench --bin harness -- SCALE --json FILE`.
-fn json_session(scale: u32, path: &str) {
+///
+/// With a `budget` (from `--deadline-ms`/`--max-iters`) an extra `budget`
+/// experiment runs the flagship algorithms through their fallible `try_*`
+/// entry points under that [`RunBudget`]; `ExecError` stops become rows
+/// with a non-`ok` outcome instead of aborting the session.
+fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
     use essentials_parallel::atomics::AtomicBitset;
 
     let mut rows: Vec<JsonRow> = Vec::new();
@@ -200,6 +251,7 @@ fn json_session(scale: u32, path: &str) {
                     iterations: r.stats.iterations,
                     work: r.edges_inspected,
                     mteps: mteps(r.edges_inspected, ms),
+                    outcome: "ok",
                 });
             }
         }
@@ -238,6 +290,7 @@ fn json_session(scale: u32, path: &str) {
                 iterations: r.stats.iterations,
                 work: r.relaxations,
                 mteps: mteps(r.relaxations, ms),
+                outcome: "ok",
             });
         }
 
@@ -266,6 +319,7 @@ fn json_session(scale: u32, path: &str) {
                 iterations: r.stats.iterations,
                 work: r.updates,
                 mteps: mteps(r.updates, ms),
+                outcome: "ok",
             });
         }
 
@@ -306,6 +360,7 @@ fn json_session(scale: u32, path: &str) {
                 iterations: r.stats.iterations,
                 work,
                 mteps: mteps(work, ms),
+                outcome: "ok",
             });
         }
         let _ = n;
@@ -379,6 +434,100 @@ fn json_session(scale: u32, path: &str) {
                 iterations: 1,
                 work: set,
                 mteps: mteps(set, ms),
+                outcome: "ok",
+            });
+        }
+    }
+
+    // --- budget: fallible entry points under the CLI RunBudget -----------
+    // One row per flagship algorithm, run through try_* with the budget
+    // from --deadline-ms/--max-iters attached to the context. A stopped
+    // run is a result, not a failure: its row carries the ExecError kind
+    // as the outcome, the iterations completed before the stop, and the
+    // wall time of the aborted attempt (work is unknown mid-flight ⇒ 0).
+    if let Some(b) = budget {
+        let g = Workload::Rmat.symmetric(scale);
+        let wg = Workload::Rmat.weighted(scale);
+        let m = g.get_num_edges();
+        let bctx = Context::new(4).with_budget(b);
+        let pr_cfg = pagerank::PrConfig::default();
+        let runs: Vec<(
+            &str,
+            &str,
+            Box<dyn Fn() -> Result<(usize, usize), ExecError> + '_>,
+        )> = vec![
+            (
+                "bfs",
+                "push",
+                Box::new(|| {
+                    bfs::try_bfs(execution::par, &bctx, &g, 0)
+                        .map(|r| (r.stats.iterations, r.edges_inspected))
+                }),
+            ),
+            (
+                "sssp",
+                "push",
+                Box::new(|| {
+                    sssp::try_sssp(execution::par, &bctx, &wg, 0)
+                        .map(|r| (r.stats.iterations, r.relaxations))
+                }),
+            ),
+            (
+                "cc",
+                "label-prop",
+                Box::new(|| {
+                    cc::try_cc_label_propagation(execution::par, &bctx, &g)
+                        .map(|r| (r.stats.iterations, r.updates))
+                }),
+            ),
+            (
+                "pagerank",
+                "pull",
+                Box::new(|| {
+                    pagerank::try_pagerank_pull(execution::par, &bctx, &g, pr_cfg)
+                        .map(|r| (r.stats.iterations, m * r.stats.iterations))
+                }),
+            ),
+            (
+                "hits",
+                "pull",
+                Box::new(|| {
+                    hits::try_hits(execution::par, &bctx, &g, hits::HitsConfig::default())
+                        .map(|r| (r.stats.iterations, m * r.stats.iterations))
+                }),
+            ),
+        ];
+        for (algo, variant, f) in runs {
+            let (ms, res) = time_ms(&*f);
+            rows.push(match res {
+                Ok((iterations, work)) => JsonRow {
+                    experiment: "budget",
+                    workload: "rmat",
+                    algo,
+                    variant: variant.to_string(),
+                    threads: 4,
+                    ms,
+                    iterations,
+                    work,
+                    mteps: mteps(work, ms),
+                    outcome: "ok",
+                },
+                Err(e) => JsonRow {
+                    experiment: "budget",
+                    workload: "rmat",
+                    algo,
+                    variant: variant.to_string(),
+                    threads: 4,
+                    ms,
+                    iterations: match &e {
+                        ExecError::Budget { progress, .. } => progress.iterations,
+                        ExecError::Diverged { iteration, .. } => *iteration,
+                        ExecError::WorkerPanic { .. } => 0,
+                    },
+                    work: 0,
+                    mteps: 0.0,
+                    outcome: e.kind(),
+                },
             });
         }
     }
@@ -386,7 +535,7 @@ fn json_session(scale: u32, path: &str) {
     // --- serialize -------------------------------------------------------
     let mut out = String::with_capacity(rows.len() * 160 + 128);
     out.push_str(&format!(
-        "{{\n  \"schema\": \"essentials-bench/v1\",\n  \"scale\": {scale},\n  \"rows\": [\n"
+        "{{\n  \"schema\": \"essentials-bench/v2\",\n  \"scale\": {scale},\n  \"rows\": [\n"
     ));
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    ");

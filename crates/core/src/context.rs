@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use essentials_frontier::{DenseFrontier, SparseFrontier};
 use essentials_obs::ObsSink;
-use essentials_parallel::ThreadPool;
+use essentials_parallel::{ChunkHooks, FaultPlan, RunBudget, ThreadPool};
 
 use crate::scratch::{AdvanceScratch, ScratchSlot};
 
@@ -34,6 +34,8 @@ pub struct Context {
     pool: Arc<ThreadPool>,
     scratch: Arc<ScratchSlot>,
     obs: Option<Arc<dyn ObsSink>>,
+    budget: RunBudget,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Context {
@@ -55,7 +57,47 @@ impl Context {
             pool,
             scratch: Arc::new(ScratchSlot::new()),
             obs: None,
+            budget: RunBudget::unlimited(),
+            fault: None,
         }
+    }
+
+    /// Attaches a [`RunBudget`] (cancellation token, deadline, iteration
+    /// cap). The fallible `try_*` operator and algorithm entry points check
+    /// it at iteration and chunk boundaries; the default budget is
+    /// unlimited and costs one branch per check site.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The run budget (unlimited unless [`Context::with_budget`] was
+    /// called).
+    #[inline]
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+
+    /// Attaches a deterministic [`FaultPlan`]: the fallible execution paths
+    /// will inject panics/cancellations at the plan's `(iteration, chunk)`
+    /// coordinates. Test-only plumbing, but safe in production (an empty
+    /// plan injects nothing).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// The chunk-boundary hooks (budget + fault plan) operators hand to the
+    /// pool's fallible loops.
+    #[inline]
+    pub fn chunk_hooks(&self) -> ChunkHooks<'_> {
+        self.budget.chunk_hooks(self.fault.as_deref())
     }
 
     /// Attaches an observability sink; subsequent operator and enactor

@@ -19,9 +19,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use essentials_frontier::Frontier;
-use essentials_obs::{IterSpan, LoopKind, ObsSink};
+use essentials_obs::{AbortEvent, IterSpan, LoopKind, ObsSink};
+use essentials_parallel::{ExecError, FaultPlan, Progress, RunBudget};
 
 use crate::context::Context;
+
+/// Iteration cap applied to state-driven ([`Enactor::run_until`] /
+/// [`Enactor::try_run_until`]) loops that set no explicit cap: a
+/// non-converging fixpoint stops here instead of spinning forever. The
+/// fallible loop reports the hit as [`ExecError::Diverged`]; the infallible
+/// loop sets [`LoopStats::hit_iteration_cap`]. Frontier-driven loops
+/// terminate structurally (the frontier empties) and are not defaulted.
+pub const DEFAULT_ITERATION_CAP: usize = 100_000;
 
 /// Statistics recorded by an enacted loop.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -69,6 +78,8 @@ impl IterProgress {
 pub struct Enactor {
     max_iterations: Option<usize>,
     obs: Option<Arc<dyn ObsSink>>,
+    budget: RunBudget,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for Enactor {
@@ -76,6 +87,7 @@ impl std::fmt::Debug for Enactor {
         f.debug_struct("Enactor")
             .field("max_iterations", &self.max_iterations)
             .field("obs", &self.obs.as_ref().map(|_| "Arc<dyn ObsSink>"))
+            .field("budget", &self.budget)
             .finish()
     }
 }
@@ -87,12 +99,17 @@ impl Enactor {
     }
 
     /// An enactor wired to `ctx`'s observability sink (if any): every
-    /// iteration emits an [`IterSpan`]. Algorithms construct their enactor
-    /// this way so `Context::with_obs` reaches loop-level telemetry.
+    /// iteration emits an [`IterSpan`]. It also inherits the context's
+    /// [`RunBudget`] and fault plan, which the fallible loops
+    /// ([`Enactor::try_run`] / [`Enactor::try_run_until`]) check at
+    /// iteration boundaries. Algorithms construct their enactor this way so
+    /// `Context::with_obs` and `Context::with_budget` reach loop level.
     pub fn for_ctx(ctx: &Context) -> Self {
         Enactor {
             max_iterations: None,
             obs: ctx.obs().cloned(),
+            budget: ctx.budget().clone(),
+            fault: ctx.fault_plan().cloned(),
         }
     }
 
@@ -106,6 +123,49 @@ impl Enactor {
     #[inline]
     fn cap(&self) -> usize {
         self.max_iterations.unwrap_or(usize::MAX)
+    }
+
+    /// The fixpoint-loop cap: the explicit cap if set, otherwise
+    /// [`DEFAULT_ITERATION_CAP`].
+    #[inline]
+    fn fixpoint_cap(&self) -> usize {
+        self.max_iterations.unwrap_or(DEFAULT_ITERATION_CAP)
+    }
+
+    /// Publishes the iteration to the fault plan (fault coordinates are
+    /// keyed by `(iteration, chunk)`) and checks the run budget. On a
+    /// budget stop, emits the abort event and builds the typed error with
+    /// the progress gathered so far.
+    #[inline]
+    fn check_budget(&self, stats: &LoopStats) -> Result<(), ExecError> {
+        if let Some(plan) = &self.fault {
+            plan.set_iteration(stats.iterations);
+        }
+        if self.budget.is_unlimited() {
+            return Ok(());
+        }
+        match self.budget.check_iteration(stats.iterations) {
+            Ok(()) => Ok(()),
+            Err(reason) => {
+                let err = ExecError::Budget {
+                    reason,
+                    progress: progress_of(stats),
+                };
+                self.emit_abort(&err, stats.iterations);
+                Err(err)
+            }
+        }
+    }
+
+    /// Emits an [`AbortEvent`] when a sink is attached.
+    #[inline]
+    fn emit_abort(&self, err: &ExecError, iteration: usize) {
+        if let Some(sink) = &self.obs {
+            sink.on_abort(&AbortEvent {
+                kind: err.kind(),
+                iteration,
+            });
+        }
     }
 
     /// Emits an iteration span when a sink is attached. Timing is only
@@ -164,14 +224,16 @@ impl Enactor {
     /// State-driven loop: runs `step(iteration, &mut state, &mut progress)`
     /// until it returns `true` (converged). Returns the state and stats;
     /// each iteration's [`IterProgress`] report lands in
-    /// [`LoopStats::frontier_trace`].
+    /// [`LoopStats::frontier_trace`]. With no explicit cap,
+    /// [`DEFAULT_ITERATION_CAP`] applies (reported via
+    /// [`LoopStats::hit_iteration_cap`]).
     pub fn run_until<T, F>(&self, mut state: T, mut step: F) -> (T, LoopStats)
     where
         F: FnMut(usize, &mut T, &mut IterProgress) -> bool,
     {
         let mut stats = LoopStats::default();
         loop {
-            if stats.iterations >= self.cap() {
+            if stats.iterations >= self.fixpoint_cap() {
                 stats.hit_iteration_cap = true;
                 break;
             }
@@ -192,6 +254,114 @@ impl Enactor {
             }
         }
         (state, stats)
+    }
+
+    /// Fallible frontier-driven loop: like [`Enactor::run`], but the step
+    /// returns `Result` (typically from a `try_*` operator), the context's
+    /// [`RunBudget`] is checked before every iteration, and the current
+    /// iteration is published to the fault plan. Budget errors carry the
+    /// partial-progress stats gathered so far; errors raised by the step
+    /// pass through with their progress enriched.
+    pub fn try_run<S, F>(&self, init: S, mut step: F) -> Result<(S, LoopStats), ExecError>
+    where
+        S: Frontier,
+        F: FnMut(usize, S) -> Result<S, ExecError>,
+    {
+        let mut frontier = init;
+        let mut stats = LoopStats::default();
+        while !frontier.is_empty() {
+            if stats.iterations >= self.cap() {
+                stats.hit_iteration_cap = true;
+                break;
+            }
+            self.check_budget(&stats)?;
+            let frontier_in = frontier.len();
+            let started = self.obs.as_ref().map(|_| Instant::now());
+            frontier = match step(stats.iterations, frontier) {
+                Ok(next) => next,
+                Err(e) => {
+                    let e = e.with_progress(progress_of(&stats));
+                    self.emit_abort(&e, stats.iterations);
+                    return Err(e);
+                }
+            };
+            self.emit_span(
+                stats.iterations,
+                started,
+                frontier_in,
+                frontier.len(),
+                LoopKind::Frontier,
+            );
+            stats.iterations += 1;
+            stats.frontier_trace.push(frontier.len());
+        }
+        Ok((frontier, stats))
+    }
+
+    /// Fallible state-driven loop: like [`Enactor::run_until`], with the
+    /// budget checked at iteration boundaries and the iteration published
+    /// to the fault plan. A fixpoint that reaches [`DEFAULT_ITERATION_CAP`]
+    /// without an explicit cap is reported as [`ExecError::Diverged`] — a
+    /// loop that was *given* a cap hits it normally
+    /// ([`LoopStats::hit_iteration_cap`], algorithms decide what that
+    /// means).
+    pub fn try_run_until<T, F>(
+        &self,
+        mut state: T,
+        mut step: F,
+    ) -> Result<(T, LoopStats), ExecError>
+    where
+        F: FnMut(usize, &mut T, &mut IterProgress) -> Result<bool, ExecError>,
+    {
+        let mut stats = LoopStats::default();
+        loop {
+            if stats.iterations >= self.fixpoint_cap() {
+                if self.max_iterations.is_none() {
+                    let err = ExecError::Diverged {
+                        iteration: stats.iterations,
+                        detail: format!(
+                            "fixpoint loop did not converge within the default cap of {DEFAULT_ITERATION_CAP} iterations"
+                        ),
+                    };
+                    self.emit_abort(&err, stats.iterations);
+                    return Err(err);
+                }
+                stats.hit_iteration_cap = true;
+                break;
+            }
+            self.check_budget(&stats)?;
+            let mut progress = IterProgress::default();
+            let started = self.obs.as_ref().map(|_| Instant::now());
+            let converged = match step(stats.iterations, &mut state, &mut progress) {
+                Ok(done) => done,
+                Err(e) => {
+                    let e = e.with_progress(progress_of(&stats));
+                    self.emit_abort(&e, stats.iterations);
+                    return Err(e);
+                }
+            };
+            self.emit_span(
+                stats.iterations,
+                started,
+                progress.work(),
+                progress.work(),
+                LoopKind::Fixpoint,
+            );
+            stats.iterations += 1;
+            stats.frontier_trace.push(progress.work());
+            if converged {
+                break;
+            }
+        }
+        Ok((state, stats))
+    }
+}
+
+/// The partial-progress view of a [`LoopStats`] attached to budget errors.
+fn progress_of(stats: &LoopStats) -> Progress {
+    Progress {
+        iterations: stats.iterations,
+        work_trace: stats.frontier_trace.clone(),
     }
 }
 

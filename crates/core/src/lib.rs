@@ -27,7 +27,7 @@ pub mod scratch;
 pub mod slot;
 
 pub use context::{resolve_threads, Context};
-pub use enactor::{Enactor, IterProgress, LoopStats};
+pub use enactor::{Enactor, IterProgress, LoopStats, DEFAULT_ITERATION_CAP};
 pub use scratch::AdvanceScratch;
 pub use slot::SwapSlot;
 
@@ -38,18 +38,20 @@ pub use essentials_obs as obs;
 /// Everything a typical algorithm needs, in one import.
 pub mod prelude {
     pub use crate::context::{resolve_threads, Context};
-    pub use crate::enactor::{Enactor, IterProgress, LoopStats};
+    pub use crate::enactor::{Enactor, IterProgress, LoopStats, DEFAULT_ITERATION_CAP};
     pub use crate::load_balance::{for_each_edge_balanced, for_each_vertex_balanced};
     pub use crate::operators::advance::{
         advance_edges, expand_pull, expand_pull_counted, expand_pull_masked, expand_push_dense,
         expand_to_edges, neighbors_expand, neighbors_expand_mutex, neighbors_expand_unique,
-        PullConfig,
+        try_neighbors_expand, try_neighbors_expand_unique, PullConfig,
     };
-    pub use crate::operators::compute::{fill_indexed, foreach_active, foreach_vertex};
+    pub use crate::operators::compute::{
+        fill_indexed, foreach_active, foreach_vertex, try_foreach_vertex,
+    };
     pub use crate::operators::direction::{
         advance_adaptive, AdaptiveAdvance, AdaptiveConfig, Direction, DirectionPolicy,
     };
-    pub use crate::operators::filter::{filter, uniquify, uniquify_with_bitmap};
+    pub use crate::operators::filter::{filter, try_filter, uniquify, uniquify_with_bitmap};
     pub use crate::operators::intersect::{intersect_count, intersect_count_gallop};
     pub use crate::operators::reduce::{count_if, reduce};
     pub use crate::scratch::AdvanceScratch;
@@ -65,6 +67,7 @@ pub mod prelude {
         CounterTotals, CountersSink, NullSink, ObsSink, Summary, TeeSink, TraceSink,
     };
     pub use essentials_parallel::{
-        execution, ExecutionPolicy, Par, ParNosync, Schedule, Seq, ThreadPool,
+        execution, BudgetReason, CancelToken, ExecError, ExecutionPolicy, FaultPlan, Par,
+        ParNosync, Progress, RunBudget, Schedule, Seq, ThreadPool,
     };
 }

@@ -9,7 +9,7 @@
 //! binary search (the CPU analogue of GPU merge-path load balancing).
 
 use essentials_graph::{EdgeId, OutNeighbors, VertexId};
-use essentials_parallel::{parallel_scan_with, Schedule};
+use essentials_parallel::{parallel_scan_with, ChunkHooks, ExecError, Schedule};
 
 use crate::context::Context;
 
@@ -59,6 +59,36 @@ pub(crate) fn for_each_edge_balanced_with<G, F>(
     G: OutNeighbors + Sync,
     F: Fn(usize, VertexId, EdgeId) + Sync,
 {
+    if let Err(e) = try_for_each_edge_balanced_with(
+        ctx,
+        g,
+        frontier,
+        offsets,
+        chunk_sums,
+        ChunkHooks::none(),
+        f,
+    ) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible edge-balanced iteration: `hooks` are consulted at every
+/// work-chunk boundary (the chunk id is the edge-chunk ordinal, stable for
+/// a given frontier regardless of thread count), and a panic in `f` is
+/// captured as [`ExecError::WorkerPanic`] after the remaining chunks drain.
+pub(crate) fn try_for_each_edge_balanced_with<G, F>(
+    ctx: &Context,
+    g: &G,
+    frontier: &[VertexId],
+    offsets: &mut Vec<usize>,
+    chunk_sums: &mut Vec<usize>,
+    hooks: ChunkHooks<'_>,
+    f: F,
+) -> Result<(), ExecError>
+where
+    G: OutNeighbors + Sync,
+    F: Fn(usize, VertexId, EdgeId) + Sync,
+{
     // Prefix-sum the degrees in parallel: offsets[i] = first global work
     // item of frontier[i].
     let total = parallel_scan_with(
@@ -69,7 +99,7 @@ pub(crate) fn for_each_edge_balanced_with<G, F>(
         chunk_sums,
     );
     if total == 0 {
-        return;
+        return Ok(());
     }
     let offsets: &[usize] = offsets;
     let threads = ctx.num_threads();
@@ -77,7 +107,7 @@ pub(crate) fn for_each_edge_balanced_with<G, F>(
     let chunks = total.div_ceil(grain);
 
     ctx.pool()
-        .parallel_for_with(0..chunks, Schedule::Dynamic(1), |tid, c| {
+        .try_parallel_for_with(0..chunks, Schedule::Dynamic(1), hooks, |tid, c| {
             let work_lo = c * grain;
             let work_hi = ((c + 1) * grain).min(total);
             // First frontier index whose edge range intersects [work_lo, ..).
@@ -95,7 +125,7 @@ pub(crate) fn for_each_edge_balanced_with<G, F>(
                 w += take;
                 fi += 1;
             }
-        });
+        })
 }
 
 #[cfg(test)]

@@ -13,16 +13,26 @@
 //! direction of §III-C, and [`expand_push_dense`] emits a bitmap frontier so
 //! direction-optimizing algorithms can switch representations mid-run.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use essentials_frontier::{Collector, DenseFrontier, EdgeFrontier, SparseFrontier};
 use essentials_graph::{EdgeId, EdgeValue, EdgeWeights, InEdgeWeights, OutNeighbors, VertexId};
 use essentials_obs::{AdvanceEvent, OpKind};
 use essentials_parallel::atomics::Counter;
-use essentials_parallel::{run_async, ExecutionPolicy, Schedule};
+use essentials_parallel::{
+    exec::panic_payload_string, try_run_async, ChunkAction, ExecError, ExecutionPolicy, Progress,
+    Schedule,
+};
 use parking_lot::Mutex;
 
 use crate::context::Context;
-use crate::load_balance::{for_each_edge_balanced, for_each_edge_balanced_with};
+use crate::load_balance::{for_each_edge_balanced, try_for_each_edge_balanced_with};
 use crate::scratch::AdvanceScratch;
+
+/// Vertices per hook-checked chunk on the sequential expansion path. Small
+/// enough that cancellation latency stays low, large enough that the hook
+/// check amortizes to noise.
+const SERIAL_CHUNK: usize = 256;
 
 /// Sum of out-degrees over a frontier — the edges a push expansion
 /// inspects. Only evaluated when a sink wants operator detail.
@@ -105,18 +115,90 @@ where
     expand_impl::<P, _, _, _, true>(ctx, g, f, condition)
 }
 
-/// Shared body of [`neighbors_expand`] / [`neighbors_expand_unique`].
-///
-/// All transient memory — degree prefix sums, per-worker output buffers,
-/// the dedup bitmap, and the output vector itself — is checked out of the
-/// context's [`AdvanceScratch`], so steady-state calls perform no heap
-/// allocation and acquire no shared lock on the push path.
+/// Fallible [`neighbors_expand`]: checks the context's
+/// [`RunBudget`](essentials_parallel::RunBudget) and fault plan at chunk
+/// boundaries and captures panics in `condition` as
+/// [`ExecError::WorkerPanic`]. On any error the context's scratch
+/// invariants are fully restored — buffers drained, dedup bits cleared,
+/// output storage returned to the pool — so the same context runs the next
+/// algorithm unaffected.
+pub fn try_neighbors_expand<P, G, W, F>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> Result<SparseFrontier, ExecError>
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let _ = policy;
+    try_expand_impl::<P, _, _, _, false>(ctx, g, f, condition)
+}
+
+/// Fallible [`neighbors_expand_unique`] — see [`try_neighbors_expand`] for
+/// the error contract; the dedup bitmap is additionally guaranteed clear
+/// after an error (partial admissions are swept by walking the drained
+/// partial output).
+pub fn try_neighbors_expand_unique<P, G, W, F>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> Result<SparseFrontier, ExecError>
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let _ = policy;
+    try_expand_impl::<P, _, _, _, true>(ctx, g, f, condition)
+}
+
+/// Infallible body of [`neighbors_expand`] / [`neighbors_expand_unique`]:
+/// the fallible core with the error re-raised as a panic on the caller.
 fn expand_impl<P, G, W, F, const UNIQUE: bool>(
     ctx: &Context,
     g: &G,
     f: &SparseFrontier,
     condition: F,
 ) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: EdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    match try_expand_impl::<P, _, _, _, UNIQUE>(ctx, g, f, condition) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Shared fallible body of the push expansions.
+///
+/// All transient memory — degree prefix sums, per-worker output buffers,
+/// the dedup bitmap, and the output vector itself — is checked out of the
+/// context's [`AdvanceScratch`], so steady-state calls perform no heap
+/// allocation and acquire no shared lock on the push path.
+///
+/// On *any* error — a captured panic in `condition`, a budget stop, or an
+/// injected fault — the scratch invariants are restored before the error
+/// returns: worker buffers are drained and discarded, every dedup bit set
+/// by the partial expansion is cleared, the output vector goes back to the
+/// pool, and the scratch is returned to the context. The context is fully
+/// reusable afterwards (`tests/resilience.rs` proves it bit-for-bit).
+fn try_expand_impl<P, G, W, F, const UNIQUE: bool>(
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> Result<SparseFrontier, ExecError>
 where
     P: ExecutionPolicy,
     G: EdgeWeights<W> + Sync,
@@ -165,30 +247,87 @@ where
     };
 
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        let hooks = ctx.chunk_hooks();
         let mut out = scratch.take_vec();
-        for v in f.iter() {
-            for e in g.out_edges(v) {
-                let n = g.edge_dest(e);
-                let w = g.edge_weight(e);
-                // The condition runs for every edge even when the
-                // destination is already marked; the bitmap only gates
-                // output insertion.
-                if condition(v, n, e, w) && (!UNIQUE || scratch.seen.set(n as usize)) {
-                    out.push(n); // alloc-ok: pooled output vec, capacity retained across iterations
+        let verts = f.as_slice();
+        let seen = &scratch.seen;
+        let mut failure: Option<ExecError> = None;
+        let mut lo = 0usize;
+        let mut chunk = 0usize;
+        while lo < verts.len() {
+            let hi = (lo + SERIAL_CHUNK).min(verts.len());
+            match hooks.before_chunk(chunk) {
+                ChunkAction::Run => {}
+                ChunkAction::Stop(reason) => {
+                    failure = Some(ExecError::Budget {
+                        reason,
+                        progress: Progress::default(),
+                    });
+                    break;
+                }
+                ChunkAction::Panic {
+                    iteration,
+                    chunk: at,
+                } => {
+                    // The injected fault takes the same capture path a real
+                    // panic would, so the restore logic below is exercised.
+                    let payload = catch_unwind(AssertUnwindSafe(|| {
+                        panic!("injected fault at (iteration {iteration}, chunk {at})")
+                    }))
+                    .unwrap_err();
+                    failure = Some(ExecError::WorkerPanic {
+                        payload: panic_payload_string(&*payload),
+                        chunk,
+                    });
+                    break;
                 }
             }
+            let out_ref = &mut out;
+            let body = catch_unwind(AssertUnwindSafe(|| {
+                for &v in &verts[lo..hi] {
+                    for e in g.out_edges(v) {
+                        let n = g.edge_dest(e);
+                        let w = g.edge_weight(e);
+                        // The condition runs for every edge even when the
+                        // destination is already marked; the bitmap only
+                        // gates output insertion.
+                        if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
+                            out_ref.push(n); // alloc-ok: pooled output vec, capacity retained across iterations
+                        }
+                    }
+                }
+            }));
+            if let Err(payload) = body {
+                failure = Some(ExecError::WorkerPanic {
+                    payload: panic_payload_string(&*payload),
+                    chunk,
+                });
+                break;
+            }
+            lo = hi;
+            chunk += 1;
         }
         if UNIQUE {
+            // A dedup bit is only ever set after its vertex was pushed into
+            // `out` (the `&&` short-circuits before `seen.set` on a
+            // panicking condition), so walking the partial output restores
+            // full bitmap clearness on the error path too.
             for &v in &out {
                 scratch.seen.clear(v as usize);
             }
         }
+        if let Some(e) = failure {
+            out.clear();
+            scratch.put_vec(out);
+            ctx.put_scratch(scratch);
+            return Err(e);
+        }
         emit(ctx, f.len(), out.len(), &[]);
         ctx.put_scratch(scratch);
-        return SparseFrontier::from_vec(out);
+        return Ok(SparseFrontier::from_vec(out));
     }
 
-    {
+    let result: Result<(), ExecError> = {
         let AdvanceScratch {
             offsets,
             chunk_sums,
@@ -199,25 +338,35 @@ where
         buffers.ensure_workers(ctx.num_threads());
         let seen = &*seen;
         let view = buffers.view();
+        let hooks = ctx.chunk_hooks();
         if P::IS_SYNCHRONIZED {
             // Bulk-synchronous: edge-balanced division, barrier at the end
-            // of the parallel-for.
-            for_each_edge_balanced_with(ctx, g, f.as_slice(), offsets, chunk_sums, |tid, v, e| {
-                let n = g.edge_dest(e);
-                let w = g.edge_weight(e);
-                if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
-                    // SAFETY: `tid` is this worker's own id; the pool runs
-                    // each worker id on exactly one thread per region.
-                    unsafe { view.push(tid, n) }; // alloc-ok: worker buffer keeps its capacity; steady state is alloc-free (tests/zero_alloc.rs)
-                }
-            });
+            // of the parallel-for. Hooks fire at work-chunk boundaries; a
+            // captured panic drains the remaining chunks before surfacing.
+            try_for_each_edge_balanced_with(
+                ctx,
+                g,
+                f.as_slice(),
+                offsets,
+                chunk_sums,
+                hooks,
+                |tid, v, e| {
+                    let n = g.edge_dest(e);
+                    let w = g.edge_weight(e);
+                    if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
+                        // SAFETY: `tid` is this worker's own id; the pool runs
+                        // each worker id on exactly one thread per region.
+                        unsafe { view.push(tid, n) }; // alloc-ok: worker buffer keeps its capacity; steady state is alloc-free (tests/zero_alloc.rs)
+                    }
+                },
+            )
         } else {
             // Asynchronous: vertices drain through the work-queue engine;
             // no barrier other than final quiescence. The seed vec makes
             // this the dynamic-scheduling comparison path, not the BSP hot
             // loop.
             let seeds: Vec<VertexId> = f.iter().collect(); // alloc-ok: async seed vec
-            run_async(ctx.pool(), seeds, |v: VertexId, pusher| {
+            try_run_async(ctx.pool(), seeds, hooks, |v: VertexId, pusher| {
                 for e in g.out_edges(v) {
                     let n = g.edge_dest(e);
                     let w = g.edge_weight(e);
@@ -227,18 +376,23 @@ where
                         unsafe { view.push(pusher.worker(), n) }; // alloc-ok: worker buffer keeps its capacity across iterations
                     }
                 }
-            });
+            })
+            .map(|_| ())
         }
-    }
+    };
 
     // Per-worker push distribution, read between the parallel region and
     // the drain (which empties the slots). Allocates only when a sink asked
     // for detail.
-    let per_worker = if detail && ctx.obs().is_some() {
+    let per_worker = if result.is_ok() && detail && ctx.obs().is_some() {
         scratch.buffers.slot_lens()
     } else {
         Vec::new() // alloc-ok: Vec::new never allocates; detail collection is gated above
     };
+    // Drain and bitmap restore run on the error path too: whatever the
+    // partial expansion pushed is exactly the set of dedup bits it set (a
+    // worker that panics does so in `condition`, *before* `seen.set`), so
+    // draining into `out` and clearing by that walk restores clearness.
     let mut out = scratch.take_vec();
     scratch.buffers.drain_into(&mut out);
     if UNIQUE {
@@ -251,9 +405,19 @@ where
                 seen.clear(out_ref[i] as usize);
             });
     }
-    emit(ctx, f.len(), out.len(), &per_worker);
-    ctx.put_scratch(scratch);
-    SparseFrontier::from_vec(out)
+    match result {
+        Ok(()) => {
+            emit(ctx, f.len(), out.len(), &per_worker);
+            ctx.put_scratch(scratch);
+            Ok(SparseFrontier::from_vec(out))
+        }
+        Err(e) => {
+            out.clear();
+            scratch.put_vec(out);
+            ctx.put_scratch(scratch);
+            Err(e)
+        }
+    }
 }
 
 /// Literal port of Listing 3: a single mutex guards `output.add_vertex`.

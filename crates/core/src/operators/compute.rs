@@ -5,10 +5,14 @@
 //! builds a fresh value per vertex in parallel, the pattern algorithms use
 //! to initialize property arrays.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use essentials_frontier::SparseFrontier;
 use essentials_graph::VertexId;
 use essentials_obs::{ComputeEvent, OpKind};
-use essentials_parallel::{ExecutionPolicy, Schedule};
+use essentials_parallel::{
+    exec::panic_payload_string, ChunkAction, ExecError, ExecutionPolicy, Progress, Schedule,
+};
 
 use crate::context::Context;
 
@@ -25,20 +29,78 @@ fn emit(ctx: &Context, kind: OpKind, policy: &'static str, items: usize) {
 }
 
 /// Applies `f` to every vertex id in `0..n`.
-pub fn foreach_vertex<P, F>(_policy: P, ctx: &Context, n: usize, f: F)
+pub fn foreach_vertex<P, F>(policy: P, ctx: &Context, n: usize, f: F)
 where
     P: ExecutionPolicy,
     F: Fn(VertexId) + Sync,
 {
+    if let Err(e) = try_foreach_vertex(policy, ctx, n, f) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`foreach_vertex`]: budget/fault hooks at chunk boundaries, a
+/// panicking vertex program captured as [`ExecError::WorkerPanic`].
+/// Vertex programs mutate caller state in place, so on an error some
+/// vertices have been processed and others not — callers that need
+/// all-or-nothing semantics re-initialize their property arrays.
+pub fn try_foreach_vertex<P, F>(_policy: P, ctx: &Context, n: usize, f: F) -> Result<(), ExecError>
+where
+    P: ExecutionPolicy,
+    F: Fn(VertexId) + Sync,
+{
+    let hooks = ctx.chunk_hooks();
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
-        for v in 0..n as VertexId {
-            f(v);
+        if hooks.is_empty() {
+            for v in 0..n as VertexId {
+                f(v);
+            }
+        } else {
+            let mut lo = 0usize;
+            let mut chunk = 0usize;
+            while lo < n {
+                let hi = (lo + 512).min(n);
+                match hooks.before_chunk(chunk) {
+                    ChunkAction::Run => {}
+                    ChunkAction::Stop(reason) => {
+                        return Err(ExecError::Budget {
+                            reason,
+                            progress: Progress::default(),
+                        });
+                    }
+                    ChunkAction::Panic {
+                        iteration,
+                        chunk: at,
+                    } => {
+                        let payload = catch_unwind(AssertUnwindSafe(|| {
+                            panic!("injected fault at (iteration {iteration}, chunk {at})")
+                        }))
+                        .unwrap_err();
+                        return Err(ExecError::WorkerPanic {
+                            payload: panic_payload_string(&*payload),
+                            chunk,
+                        });
+                    }
+                }
+                catch_unwind(AssertUnwindSafe(|| {
+                    for v in lo as VertexId..hi as VertexId {
+                        f(v);
+                    }
+                }))
+                .map_err(|payload| ExecError::WorkerPanic {
+                    payload: panic_payload_string(&*payload),
+                    chunk,
+                })?;
+                lo = hi;
+                chunk += 1;
+            }
         }
     } else {
         ctx.pool()
-            .parallel_for(0..n, Schedule::Dynamic(512), |i| f(i as VertexId));
+            .try_parallel_for(0..n, Schedule::Dynamic(512), hooks, |i| f(i as VertexId))?;
     }
     emit(ctx, OpKind::ForeachVertex, P::NAME, n);
+    Ok(())
 }
 
 /// Applies `f` to every active vertex of a sparse frontier (duplicates

@@ -237,7 +237,7 @@ impl AdaptiveAdvance {
             }
             self.unvisited = Some(mask);
         }
-        self.unvisited.as_ref().unwrap()
+        self.unvisited.as_ref().unwrap() // unwrap-ok: set to Some directly above
     }
 }
 
@@ -378,7 +378,7 @@ where
                 // The mask reflects candidacy at iteration entry; outputs
                 // retire from it below, keeping it exact.
                 engine.ensure_unvisited(ctx, &pull_candidate);
-                let mask = engine.unvisited.as_ref().unwrap();
+                let mask = engine.unvisited.as_ref().unwrap(); // unwrap-ok: ensure_unvisited filled it
                 expand_pull_masked(policy, ctx, g, &dense, mask, pull_cfg, &pull_condition)
             } else {
                 expand_pull_counted(

@@ -4,10 +4,14 @@
 //! (already-visited, out of scope) and collapse duplicates left behind by a
 //! push expansion.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use essentials_frontier::{Collector, DenseFrontier, SparseFrontier};
 use essentials_graph::VertexId;
 use essentials_obs::{FilterEvent, OpKind};
-use essentials_parallel::{ExecutionPolicy, Schedule};
+use essentials_parallel::{
+    exec::panic_payload_string, ChunkAction, ExecError, ExecutionPolicy, Progress, Schedule,
+};
 
 use crate::context::Context;
 
@@ -27,27 +31,97 @@ fn emit(ctx: &Context, kind: OpKind, policy: &'static str, input_len: usize, out
 /// Keeps the active vertices for which `pred` returns `true`. Input order
 /// is preserved in the `Seq` path; parallel paths preserve per-worker order
 /// only (frontiers are sets — callers needing canonical order uniquify).
-pub fn filter<P, F>(_policy: P, ctx: &Context, f: &SparseFrontier, pred: F) -> SparseFrontier
+pub fn filter<P, F>(policy: P, ctx: &Context, f: &SparseFrontier, pred: F) -> SparseFrontier
 where
     P: ExecutionPolicy,
     F: Fn(VertexId) -> bool + Sync,
 {
+    match try_filter(policy, ctx, f, pred) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`filter`]: the context's budget and fault plan are consulted
+/// at chunk boundaries, and a panicking predicate surfaces as
+/// [`ExecError::WorkerPanic`] with the partial output discarded. The
+/// context stays fully reusable after an error.
+pub fn try_filter<P, F>(
+    _policy: P,
+    ctx: &Context,
+    f: &SparseFrontier,
+    pred: F,
+) -> Result<SparseFrontier, ExecError>
+where
+    P: ExecutionPolicy,
+    F: Fn(VertexId) -> bool + Sync,
+{
+    let hooks = ctx.chunk_hooks();
     if !P::IS_PARALLEL || ctx.num_threads() == 1 {
-        let out: SparseFrontier = f.iter().filter(|&v| pred(v)).collect();
+        if hooks.is_empty() {
+            // Fast path: a panic in `pred` unwinds through the caller
+            // untouched, exactly as before the fallible layer existed.
+            let out: SparseFrontier = f.iter().filter(|&v| pred(v)).collect();
+            emit(ctx, OpKind::Filter, P::NAME, f.len(), out.len());
+            return Ok(out);
+        }
+        let verts = f.as_slice();
+        let mut out = SparseFrontier::new();
+        let mut lo = 0usize;
+        let mut chunk = 0usize;
+        while lo < verts.len() {
+            let hi = (lo + 256).min(verts.len());
+            match hooks.before_chunk(chunk) {
+                ChunkAction::Run => {}
+                ChunkAction::Stop(reason) => {
+                    return Err(ExecError::Budget {
+                        reason,
+                        progress: Progress::default(),
+                    });
+                }
+                ChunkAction::Panic {
+                    iteration,
+                    chunk: at,
+                } => {
+                    let payload = catch_unwind(AssertUnwindSafe(|| {
+                        panic!("injected fault at (iteration {iteration}, chunk {at})")
+                    }))
+                    .unwrap_err();
+                    return Err(ExecError::WorkerPanic {
+                        payload: panic_payload_string(&*payload),
+                        chunk,
+                    });
+                }
+            }
+            let out_ref = &mut out;
+            catch_unwind(AssertUnwindSafe(|| {
+                for &v in &verts[lo..hi] {
+                    if pred(v) {
+                        out_ref.add_vertex(v);
+                    }
+                }
+            }))
+            .map_err(|payload| ExecError::WorkerPanic {
+                payload: panic_payload_string(&*payload),
+                chunk,
+            })?;
+            lo = hi;
+            chunk += 1;
+        }
         emit(ctx, OpKind::Filter, P::NAME, f.len(), out.len());
-        return out;
+        return Ok(out);
     }
     let collector = Collector::new(ctx.num_threads());
     ctx.pool()
-        .parallel_for_with(0..f.len(), Schedule::Dynamic(256), |tid, i| {
+        .try_parallel_for_with(0..f.len(), Schedule::Dynamic(256), hooks, |tid, i| {
             let v = f.get_active_vertex(i);
             if pred(v) {
                 collector.push(tid, v);
             }
-        });
+        })?;
     let out = collector.into_frontier();
     emit(ctx, OpKind::Filter, P::NAME, f.len(), out.len());
-    out
+    Ok(out)
 }
 
 /// Sort-based uniquify: returns the frontier as a sorted duplicate-free

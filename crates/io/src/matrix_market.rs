@@ -38,10 +38,11 @@ pub struct MmHeader {
 /// Reads a coordinate MatrixMarket stream into a weighted edge list
 /// (pattern entries get weight 1.0). Returns the header alongside.
 pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<(Coo<f32>, MmHeader), IoError> {
-    let mut lines = reader.lines();
+    let mut lines = reader.lines().enumerate();
     let banner = lines
         .next()
-        .ok_or_else(|| IoError::Parse("empty file".into()))??;
+        .ok_or_else(|| IoError::Parse("empty file".into()))?
+        .1?;
     let lower = banner.to_ascii_lowercase();
     let toks: Vec<&str> = lower.split_whitespace().collect();
     if toks.len() < 5 || !toks[0].starts_with("%%matrixmarket") || toks[1] != "matrix" {
@@ -68,52 +69,61 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<(Coo<f32>, MmHeader),
         }
     };
 
-    // Size line: first non-comment line.
-    let size_line = loop {
-        let line = lines
+    // Size line: first non-comment line. Line numbers in errors are
+    // 1-based, matching what editors and `head -n` show.
+    let (size_lineno, size_line) = loop {
+        let (no, line) = lines
             .next()
-            .ok_or_else(|| IoError::Parse("missing size line".into()))??;
+            .ok_or_else(|| IoError::Parse("missing size line".into()))?;
+        let line = line?;
         let t = line.trim();
         if !t.is_empty() && !t.starts_with('%') {
-            break line;
+            break (no + 1, line);
         }
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
         .map(|t| t.parse::<usize>())
         .collect::<Result<_, _>>()
-        .map_err(|e| IoError::Parse(format!("bad size line '{size_line}': {e}")))?;
+        .map_err(|e| {
+            IoError::Parse(format!(
+                "line {size_lineno}: bad size line '{size_line}': {e}"
+            ))
+        })?;
     if dims.len() != 3 {
         return Err(IoError::Parse(format!(
-            "size line needs 3 numbers: {size_line}"
+            "line {size_lineno}: size line needs 3 numbers: {size_line}"
         )));
     }
     let (rows, cols, entries) = (dims[0], dims[1], dims[2]);
     let n = rows.max(cols);
     let mut coo = Coo::new(n);
     let mut seen = 0usize;
-    for line in lines {
+    for (no, line) in lines {
         let line = line?;
+        let lineno = no + 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
         let mut it = t.split_whitespace();
-        let r: usize = parse_tok(it.next(), t)?;
-        let c: usize = parse_tok(it.next(), t)?;
+        let r: usize = parse_tok(it.next(), lineno, t)?;
+        let c: usize = parse_tok(it.next(), lineno, t)?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(IoError::Parse(format!("index out of range: {t}")));
+            return Err(IoError::Parse(format!(
+                "line {lineno}: index out of range: {t}"
+            )));
         }
         let w: f32 = if pattern {
             1.0
         } else {
             it.next()
-                .ok_or_else(|| IoError::Parse(format!("missing value: {t}")))?
+                .ok_or_else(|| IoError::Parse(format!("line {lineno}: missing value: {t}")))?
                 .parse()
-                .map_err(|e| IoError::Parse(format!("bad value in '{t}': {e}")))?
+                .map_err(|e| IoError::Parse(format!("line {lineno}: bad value in '{t}': {e}")))?
         };
         if w.is_nan() {
-            return Err(IoError::Parse(format!("NaN value: {t}")));
+            return Err(IoError::Parse(format!("line {lineno}: NaN value: {t}")));
         }
         let (src, dst) = ((r - 1) as VertexId, (c - 1) as VertexId);
         coo.push(src, dst, w);
@@ -139,10 +149,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<(Coo<f32>, MmHeader),
     ))
 }
 
-fn parse_tok(tok: Option<&str>, line: &str) -> Result<usize, IoError> {
-    tok.ok_or_else(|| IoError::Parse(format!("truncated line: {line}")))?
+fn parse_tok(tok: Option<&str>, lineno: usize, line: &str) -> Result<usize, IoError> {
+    tok.ok_or_else(|| IoError::Parse(format!("line {lineno}: truncated line: {line}")))?
         .parse()
-        .map_err(|e| IoError::Parse(format!("bad index in '{line}': {e}")))
+        .map_err(|e| IoError::Parse(format!("line {lineno}: bad index in '{line}': {e}")))
 }
 
 /// Writes an edge list as a general real coordinate MatrixMarket file.
@@ -213,6 +223,17 @@ mod tests {
         assert!(err.to_string().contains("declared 2"));
         let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        // Banner is line 1, size line 2; the bad entry sits on line 4.
+        let input = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n1 2 bogus\n";
+        let err = read_matrix_market(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+        let bad_size = "%%MatrixMarket matrix coordinate real general\n% note\ntwo 2 1\n";
+        let err = read_matrix_market(bad_size.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
     }
 
     #[test]

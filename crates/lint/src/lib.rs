@@ -51,6 +51,7 @@ pub fn run_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
         }
         rules::check_hot_path_allocs(&path, &m, &mut out);
         rules::check_scratch_pairing(&path, &m, &mut out);
+        rules::check_unwraps(&path, &m, &mut out);
     }
     rules::check_table_staleness(&table, &seen_orderings, &mut out);
     out.sort();

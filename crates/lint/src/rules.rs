@@ -9,6 +9,7 @@
 //! | EL012 | the ordering table carries no stale entries                      |
 //! | EL020 | hot-path modules don't allocate without an `alloc-ok:` waiver    |
 //! | EL030 | `take_scratch`/`put_scratch` are paired per function             |
+//! | EL040 | resilience-audited crates don't `unwrap()`/`expect()` unwaived   |
 //!
 //! Diagnostics are `path:line: ELxxx message` — one line each, sorted, no
 //! colors, no fix-ups — so CI output diffs cleanly against a previous run.
@@ -49,6 +50,25 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/parallel/src/scan.rs",
     "crates/frontier/src/worker_buffers.rs",
 ];
+
+/// Crates whose *library* code must not `unwrap()`/`expect()` a fallible
+/// value without a same-line waiver (EL040). With the resilient execution
+/// layer turning worker panics into typed [`ExecError`]s, an unwrap on
+/// these paths is a latent panic that bypasses the error taxonomy: the
+/// hot-path crates sit inside `catch_unwind` regions, and the io readers
+/// return line-numbered errors instead of panicking on malformed input.
+/// Test files and `#[cfg(test)]` regions are exempt.
+pub const NO_UNWRAP_CRATES: &[&str] = &[
+    "crates/parallel/src/",
+    "crates/core/src/",
+    "crates/frontier/src/",
+    "crates/io/src/",
+];
+
+/// Panic-shaped method calls flagged by EL040. `.unwrap_or*`,
+/// `.unwrap_err(…)` and `.expect_err(…)` do not match — they are either
+/// infallible or themselves assertions about errors.
+const UNWRAP_PATTERNS: &[&str] = &[".unwrap()", ".expect("];
 
 /// Allocation-shaped constructs flagged in hot-path modules.
 const ALLOC_PATTERNS: &[&str] = &[
@@ -276,6 +296,35 @@ pub fn check_hot_path_allocs(path: &str, m: &FileModel, out: &mut Vec<Diagnostic
                          same-line `// alloc-ok: <reason>` waiver or hoist it \
                          out of the hot path",
                         pat.trim_end_matches('(')
+                    ),
+                ));
+                break; // one diagnostic per line
+            }
+        }
+    }
+}
+
+/// EL040: unwaived `unwrap()`/`expect()` in library code of the
+/// resilience-audited crates.
+pub fn check_unwraps(path: &str, m: &FileModel, out: &mut Vec<Diagnostic>) {
+    if is_test_file(path) || !NO_UNWRAP_CRATES.iter().any(|p| path.starts_with(p)) {
+        return;
+    }
+    for (i, line) in m.lines.iter().enumerate() {
+        if m.in_test[i] || line.comment.contains("unwrap-ok:") {
+            continue;
+        }
+        for pat in UNWRAP_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(diag(
+                    path,
+                    i,
+                    "EL040",
+                    format!(
+                        "`{}` in library code of a resilience-audited crate — return \
+                         a typed error instead, or justify the invariant with a \
+                         same-line `// unwrap-ok: <reason>` waiver",
+                        pat.trim_start_matches('.').trim_end_matches('(')
                     ),
                 ));
                 break; // one diagnostic per line

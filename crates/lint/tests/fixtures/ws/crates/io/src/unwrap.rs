@@ -1,0 +1,28 @@
+//! Seeded EL040 violations: unwaived `unwrap()`/`expect()` in library code
+//! of a resilience-audited crate. The waived, infallible, and test-region
+//! uses below must stay silent.
+
+pub fn naked_unwrap(r: Result<u32, ()>) -> u32 {
+    r.unwrap()
+}
+
+pub fn naked_expect(r: Result<u32, ()>) -> u32 {
+    r.expect("should have parsed")
+}
+
+pub fn waived(r: Result<u32, ()>) -> u32 {
+    r.unwrap() // unwrap-ok: caller validated the input above
+}
+
+pub fn fallback(r: Result<u32, ()>) -> u32 {
+    r.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let r: Result<u32, ()> = Ok(1);
+        assert_eq!(r.unwrap(), 1);
+    }
+}

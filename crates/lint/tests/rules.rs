@@ -22,6 +22,8 @@ fn every_rule_fires_with_stable_diagnostics() {
         "LINT_ORDERINGS.toml:9: EL012",  // src/gone.rs is not a file
         "LINT_ORDERINGS.toml:14: EL012", // Acquire allowed but unused
         "crates/core/src/operators/advance.rs:4: EL020", // Vec::new in a hot path
+        "crates/io/src/unwrap.rs:6: EL040", // naked unwrap
+        "crates/io/src/unwrap.rs:10: EL040", // naked expect
         "crates/parallel/src/no_safety.rs:4: EL001", // unsafe without SAFETY
         "src/bad_ordering.rs:10: EL011", // SeqCst outside the set
         "src/stray_unsafe.rs:6: EL002",  // unsafe outside allowlist
@@ -90,4 +92,5 @@ fn messages_carry_the_fix_hint() {
     assert!(find("EL012").msg.contains("stale"));
     assert!(find("EL020").msg.contains("alloc-ok"));
     assert!(find("EL030").msg.contains("take_scratch"));
+    assert!(find("EL040").msg.contains("unwrap-ok"));
 }

@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::event::{AdvanceEvent, ComputeEvent, FilterEvent, IterSpan};
+use crate::event::{AbortEvent, AdvanceEvent, ComputeEvent, FilterEvent, IterSpan};
 use crate::sink::ObsSink;
 
 /// One counter on its own cache line (the per-worker array is indexed by
@@ -32,6 +32,7 @@ pub struct CountersSink {
     filter_calls: AtomicU64,
     compute_calls: AtomicU64,
     iterations: AtomicU64,
+    aborts: AtomicU64,
     per_worker: Box<[PaddedU64]>,
 }
 
@@ -59,6 +60,8 @@ pub struct CounterTotals {
     pub compute_calls: u64,
     /// Enacted-loop iterations observed.
     pub iterations: u64,
+    /// Abnormal loop stops observed (panic / budget / divergence).
+    pub aborts: u64,
     /// Per-worker push counts (length = worker slots configured at
     /// construction).
     pub per_worker_pushes: Vec<u64>,
@@ -95,6 +98,7 @@ impl CountersSink {
             filter_calls: AtomicU64::new(0),
             compute_calls: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
             per_worker: (0..workers.max(1)).map(|_| PaddedU64::default()).collect(),
         }
     }
@@ -112,6 +116,7 @@ impl CountersSink {
             filter_calls: self.filter_calls.load(Ordering::Relaxed),
             compute_calls: self.compute_calls.load(Ordering::Relaxed),
             iterations: self.iterations.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
             per_worker_pushes: self
                 .per_worker
                 .iter()
@@ -132,6 +137,7 @@ impl CountersSink {
         self.filter_calls.store(0, Ordering::Relaxed);
         self.compute_calls.store(0, Ordering::Relaxed);
         self.iterations.store(0, Ordering::Relaxed);
+        self.aborts.store(0, Ordering::Relaxed);
         for c in self.per_worker.iter() {
             c.0.store(0, Ordering::Relaxed);
         }
@@ -174,6 +180,10 @@ impl ObsSink for CountersSink {
 
     fn on_iteration(&self, _ev: &IterSpan) {
         self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_abort(&self, _ev: &AbortEvent) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
     }
 }
 

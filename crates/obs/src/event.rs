@@ -133,6 +133,19 @@ pub struct IterSpan {
     pub loop_kind: LoopKind,
 }
 
+/// An enacted loop stopped abnormally: a worker panicked, a run-budget
+/// limit fired, or a convergence watchdog detected divergence. Emitted by
+/// the enactor's fallible loops just before the typed error is returned,
+/// so sinks see partial runs too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortEvent {
+    /// Stable error-kind label (`"worker-panic"`, `"cancelled"`,
+    /// `"deadline-expired"`, `"iteration-cap"`, `"diverged"`).
+    pub kind: &'static str,
+    /// Iteration at which the loop stopped (completed iterations).
+    pub iteration: usize,
+}
+
 /// One direction-optimizing traversal decision (Beamer α/β heuristic).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DirectionEvent {

@@ -31,7 +31,8 @@ fn push_json_str(out: &mut String, s: &str) {
 /// Renders one record as a single JSON object (no trailing newline).
 ///
 /// Every object carries a `"type"` discriminator:
-/// `"iteration" | "advance" | "filter" | "compute" | "direction" | "mark"`.
+/// `"iteration" | "advance" | "filter" | "compute" | "direction" | "abort" |
+/// "mark"`.
 pub fn record_to_json(rec: &Record) -> String {
     let mut s = String::with_capacity(128);
     match rec {
@@ -84,6 +85,12 @@ pub fn record_to_json(rec: &Record) -> String {
                 "{{\"type\":\"direction\",\"iteration\":{},\"frontier_len\":{},\"frontier_edges\":{},\"unexplored_edges\":{},\"growing\":{},\"pull\":{}}}",
                 ev.iteration, ev.frontier_len, ev.frontier_edges, ev.unexplored_edges,
                 ev.growing, ev.pull,
+            ));
+        }
+        Record::Abort(ev) => {
+            s.push_str(&format!(
+                "{{\"type\":\"abort\",\"kind\":\"{}\",\"iteration\":{}}}",
+                ev.kind, ev.iteration,
             ));
         }
         Record::Mark(label) => {

@@ -40,7 +40,7 @@ pub mod trace;
 
 pub use counters::{CounterTotals, CountersSink};
 pub use event::{
-    AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, LoopKind, OpKind,
+    AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, LoopKind, OpKind,
 };
 pub use export::write_jsonl;
 pub use sink::{NullSink, ObsSink, TeeSink};

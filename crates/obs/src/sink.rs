@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use crate::event::{AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan};
+use crate::event::{AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan};
 
 /// Receiver for observability events.
 ///
@@ -45,6 +45,10 @@ pub trait ObsSink: Send + Sync {
     /// A direction-optimizing traversal chose its direction.
     #[inline]
     fn on_direction(&self, _ev: &DirectionEvent) {}
+
+    /// An enacted loop stopped abnormally (panic, budget, divergence).
+    #[inline]
+    fn on_abort(&self, _ev: &AbortEvent) {}
 
     /// Whether producers should pay for per-edge admission counts and
     /// per-worker push tallies. Return `false` to keep instrumented hot
@@ -116,6 +120,12 @@ impl ObsSink for TeeSink {
     fn on_direction(&self, ev: &DirectionEvent) {
         for s in &self.sinks {
             s.on_direction(ev);
+        }
+    }
+
+    fn on_abort(&self, ev: &AbortEvent) {
+        for s in &self.sinks {
+            s.on_abort(ev);
         }
     }
 

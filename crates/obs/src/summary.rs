@@ -56,7 +56,7 @@ impl Summary {
                         *slot += n as u64;
                     }
                 }
-                Record::Filter(_) | Record::Compute(_) | Record::Mark(_) => {}
+                Record::Filter(_) | Record::Compute(_) | Record::Mark(_) | Record::Abort(_) => {}
                 Record::Direction(ev) => {
                     s.direction_decisions += 1;
                     if ev.pull {

@@ -7,7 +7,9 @@
 
 use parking_lot::Mutex;
 
-use crate::event::{AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, OpKind};
+use crate::event::{
+    AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, OpKind,
+};
 use crate::sink::ObsSink;
 
 /// One owned trace record. Borrowed event payloads are copied into owned
@@ -41,6 +43,8 @@ pub enum Record {
     Compute(ComputeEvent),
     /// A direction-optimizing switch decision.
     Direction(DirectionEvent),
+    /// An abnormal loop stop (panic / budget / divergence).
+    Abort(AbortEvent),
     /// A user-inserted label (phase boundaries in the harness).
     Mark(String),
 }
@@ -118,6 +122,10 @@ impl ObsSink for TraceSink {
 
     fn on_direction(&self, ev: &DirectionEvent) {
         self.records.lock().push(Record::Direction(*ev));
+    }
+
+    fn on_abort(&self, ev: &AbortEvent) {
+        self.records.lock().push(Record::Abort(*ev));
     }
 }
 

@@ -17,10 +17,12 @@
 //! the handler that produced it.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
+use crate::exec::{panic_payload_string, ChunkAction, ChunkHooks, ExecError, Progress};
 use crate::pool::ThreadPool;
 
 /// Handle through which a handler enqueues newly activated work items.
@@ -89,28 +91,89 @@ where
     T: Send,
     F: Fn(T, &Pusher<'_, T>) + Sync,
 {
+    match try_run_async(pool, seeds, ChunkHooks::none(), handler) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`run_async`]: a panic in `handler` is captured at item
+/// granularity (every other worker drains or exits cleanly — the old
+/// behavior left quiescence unreachable) and `hooks` are consulted once per
+/// item a worker processes, so budgeted runs stop cooperatively. The
+/// "chunk" coordinate handed to the hooks is the worker-local item
+/// ordinal — deterministic only on a single-thread pool.
+pub fn try_run_async<T, F>(
+    pool: &ThreadPool,
+    seeds: Vec<T>,
+    hooks: ChunkHooks<'_>,
+    handler: F,
+) -> Result<AsyncStats, ExecError>
+where
+    T: Send,
+    F: Fn(T, &Pusher<'_, T>) + Sync,
+{
     let n = pool.num_threads();
     let mut shards: Vec<Mutex<VecDeque<T>>> = (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
     let in_flight = AtomicUsize::new(seeds.len());
     let processed = AtomicUsize::new(0);
     let steals = AtomicUsize::new(0);
     let pushes = AtomicUsize::new(0);
+    // First failure wins; `poisoned` is the advisory fast-exit flag sibling
+    // workers poll (Relaxed: the error itself travels through the mutex and
+    // the region join).
+    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
+    let poisoned = AtomicBool::new(false);
+    let record = |e: ExecError| {
+        let mut slot = failure.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        poisoned.store(true, Ordering::Relaxed);
+    };
 
     for (i, seed) in seeds.into_iter().enumerate() {
         shards[i % n].get_mut().push_back(seed);
     }
     if in_flight.load(Ordering::Relaxed) == 0 {
-        return AsyncStats::default();
+        return Ok(AsyncStats::default());
     }
 
-    pool.run(|tid| {
+    pool.try_run(|tid| {
         let pusher = Pusher {
             shards: &shards,
             in_flight: &in_flight,
             pushes: &pushes,
             tid,
         };
+        let mut ordinal = 0usize;
         loop {
+            if poisoned.load(Ordering::Relaxed) {
+                break;
+            }
+            match hooks.before_chunk(ordinal) {
+                ChunkAction::Run => {}
+                ChunkAction::Stop(reason) => {
+                    record(ExecError::Budget {
+                        reason,
+                        progress: Progress::default(),
+                    });
+                    break;
+                }
+                ChunkAction::Panic { iteration, chunk } => {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        panic!("injected fault at (iteration {iteration}, chunk {chunk})");
+                    }));
+                    if let Err(payload) = result {
+                        record(ExecError::WorkerPanic {
+                            payload: panic_payload_string(&*payload),
+                            chunk: ordinal,
+                        });
+                    }
+                    break;
+                }
+            }
+            ordinal += 1;
             // 1. Local pop (LIFO: depth-first locality).
             let mut item = shards[tid].lock().pop_back();
             // 2. Steal round-robin (FIFO from the victim).
@@ -126,9 +189,16 @@ where
             }
             match item {
                 Some(item) => {
-                    handler(item, &pusher);
+                    let result = catch_unwind(AssertUnwindSafe(|| handler(item, &pusher)));
                     processed.fetch_add(1, Ordering::Relaxed);
                     in_flight.fetch_sub(1, Ordering::AcqRel);
+                    if let Err(payload) = result {
+                        record(ExecError::WorkerPanic {
+                            payload: panic_payload_string(&*payload),
+                            chunk: ordinal - 1,
+                        });
+                        break;
+                    }
                 }
                 None => {
                     // Quiescent only when nothing is queued anywhere *and*
@@ -140,13 +210,16 @@ where
                 }
             }
         }
-    });
+    })?;
 
-    AsyncStats {
+    if let Some(e) = failure.into_inner() {
+        return Err(e);
+    }
+    Ok(AsyncStats {
         processed: processed.into_inner(),
         steals: steals.into_inner(),
         pushes: pushes.into_inner(),
-    }
+    })
 }
 
 /// Sequential reference semantics for the engine: same contract as
@@ -229,6 +302,43 @@ mod tests {
             }
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn panicking_handler_terminates_engine_with_typed_error() {
+        use crate::exec::CancelToken;
+        let pool = ThreadPool::new(4);
+        let err = try_run_async(
+            &pool,
+            (0..256usize).collect(),
+            ChunkHooks::none(),
+            |item, _| {
+                if item == 100 {
+                    panic!("handler down at {item}");
+                }
+            },
+        )
+        .unwrap_err();
+        match &err {
+            ExecError::WorkerPanic { payload, .. } => {
+                assert!(
+                    payload.contains("handler down at 100"),
+                    "payload: {payload}"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The pool survives and the engine runs again cleanly.
+        let stats = run_async(&pool, vec![1usize, 2, 3], |_, _| {});
+        assert_eq!(stats.processed, 3);
+
+        // Cooperative cancellation stops the drain without a panic.
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = crate::exec::RunBudget::unlimited().with_cancel(token);
+        let err =
+            try_run_async(&pool, vec![1usize], budget.chunk_hooks(None), |_, _| {}).unwrap_err();
+        assert!(matches!(err, ExecError::Budget { .. }));
     }
 
     #[test]

@@ -22,20 +22,27 @@
 //!   vertex programs (Listing 4's `atomic::min`).
 //! * [`policy`] — the `ExecutionPolicy` marker types (`seq`, `par`,
 //!   `par_nosync`) mirroring the paper's C++ `execution::` namespace.
+//! * [`exec`] — typed execution errors, cooperative run budgets
+//!   (cancellation, deadlines, iteration caps), and deterministic fault
+//!   injection; the vocabulary of the resilient execution layer.
 
 #![warn(missing_docs)]
 
 pub mod async_engine;
 pub mod atomics;
 pub mod barrier;
+pub mod exec;
 pub mod policy;
 pub mod pool;
 pub mod scan;
 pub mod schedule;
 pub mod scope;
 
-pub use async_engine::{run_async, run_async_seq, AsyncStats, Pusher};
+pub use async_engine::{run_async, run_async_seq, try_run_async, AsyncStats, Pusher};
 pub use barrier::SpinBarrier;
+pub use exec::{
+    BudgetReason, CancelToken, ChunkAction, ChunkHooks, ExecError, FaultPlan, Progress, RunBudget,
+};
 pub use policy::{execution, ExecutionPolicy, Par, ParNosync, Seq};
 pub use pool::ThreadPool;
 pub use scan::{parallel_scan, parallel_scan_with, serial_scan};

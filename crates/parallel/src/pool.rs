@@ -10,14 +10,25 @@
 //! worker has finished the region — this is the guarantee that makes the
 //! internal lifetime erasure sound (the region closure may borrow the
 //! caller's stack).
+//!
+//! Panics are *captured, not fatal*: workers run region closures under
+//! `catch_unwind`, the fallible loops additionally catch per chunk so a
+//! panicking chunk drains the rest of the iteration space, and the first
+//! panic surfaces to the caller as [`ExecError::WorkerPanic`] (or a caller
+//! panic through the infallible wrappers). The pool itself stays usable
+//! afterwards.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::exec::{
+    panic_payload_string, BudgetReason, ChunkAction, ChunkHooks, ExecError, Progress,
+};
 use crate::schedule::Schedule;
 
 /// A region closure as seen by the workers: called with the worker id.
@@ -40,6 +51,9 @@ struct RegionSlot {
     job: Option<&'static RegionFn>,
     /// Workers that have not yet finished the current region.
     remaining: usize,
+    /// First panic that escaped a region closure this epoch: stringified
+    /// payload + worker id. Taken by `try_run` after the region completes.
+    panic: Option<(String, usize)>,
     shutdown: bool,
 }
 
@@ -79,6 +93,7 @@ impl ThreadPool {
                 epoch: 0,
                 job: None,
                 remaining: 0,
+                panic: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -90,7 +105,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("essentials-worker-{tid}"))
                     .spawn(move || worker_loop(&shared, tid))
-                    .expect("failed to spawn pool worker")
+                    .expect("failed to spawn pool worker") // unwrap-ok: startup resource failure, no run to fail
             })
             .collect();
         ThreadPool {
@@ -125,10 +140,25 @@ impl ThreadPool {
     /// # Panics
     ///
     /// Panics if called from inside a region (nested regions would deadlock
-    /// the fixed-size pool, so they are rejected). Panics in `f` abort the
-    /// process (workers have no unwind recovery) — operator bodies are
-    /// expected not to panic.
+    /// the fixed-size pool, so they are rejected). A panic in `f` does
+    /// *not* abort the process: the worker captures it with
+    /// `catch_unwind`, every other worker still runs the region to
+    /// completion, and the first panic is re-raised on the calling thread
+    /// with its payload. Use [`ThreadPool::try_run`] to receive it as a
+    /// typed [`ExecError::WorkerPanic`] instead.
     pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if let Err(e) = self.try_run(f) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`ThreadPool::run`]: a panic in `f` is captured and
+    /// returned as [`ExecError::WorkerPanic`] (with `chunk` = worker id)
+    /// after all workers have finished the region. The pool remains usable.
+    pub fn try_run<F>(&self, f: F) -> Result<(), ExecError>
     where
         F: Fn(usize) + Sync,
     {
@@ -142,7 +172,9 @@ impl ThreadPool {
         // SAFETY: we erase the lifetime of `f_ref` to store it in the shared
         // slot. The reference is only dereferenced by workers between the
         // epoch bump below and the `remaining == 0` wakeup, and this function
-        // does not return (keeping `f` alive) until `remaining == 0`.
+        // does not return (keeping `f` alive) until `remaining == 0` — the
+        // per-worker `catch_unwind` guarantees every worker reaches its
+        // decrement even when `f` panics.
         let job: &'static RegionFn = unsafe { std::mem::transmute(f_ref) };
 
         let mut slot = self.shared.slot.lock();
@@ -154,12 +186,22 @@ impl ThreadPool {
             self.shared.done_cv.wait(&mut slot);
         }
         slot.job = None;
+        match slot.panic.take() {
+            Some((payload, worker)) => Err(ExecError::WorkerPanic {
+                payload,
+                chunk: worker,
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Data-parallel loop over `range` with the given [`Schedule`].
     ///
     /// Falls back to a plain sequential loop when the pool has one worker or
-    /// the range is too small to be worth distributing.
+    /// the range is too small to be worth distributing. A panic in `f` is
+    /// captured at chunk granularity — every other chunk still runs exactly
+    /// once — and re-raised on the calling thread; use
+    /// [`ThreadPool::try_parallel_for`] for a typed error instead.
     pub fn parallel_for<F>(&self, range: Range<usize>, schedule: Schedule, f: F)
     where
         F: Fn(usize) + Sync,
@@ -170,51 +212,124 @@ impl ThreadPool {
     /// Like [`ThreadPool::parallel_for`], but the closure also receives the
     /// worker id executing the index — the hook for per-thread output
     /// buffers (frontier collectors) without a shared lock. Sequential
-    /// fallbacks report worker id 0.
+    /// fallbacks report worker id 0. Same capture-and-report panic
+    /// semantics as [`ThreadPool::parallel_for`].
     pub fn parallel_for_with<F>(&self, range: Range<usize>, schedule: Schedule, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if let Err(e) = self.try_parallel_for_with(range, schedule, ChunkHooks::none(), f) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`ThreadPool::parallel_for`]: budget hooks are
+    /// consulted at chunk boundaries and a panic in `f` becomes
+    /// [`ExecError::WorkerPanic`].
+    pub fn try_parallel_for<F>(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        hooks: ChunkHooks<'_>,
+        f: F,
+    ) -> Result<(), ExecError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.try_parallel_for_with(range, schedule, hooks, |_tid, i| f(i))
+    }
+
+    /// Fallible data-parallel loop: the workhorse behind both the
+    /// infallible wrappers and the operators' `try_*` paths.
+    ///
+    /// Before each chunk the `hooks` are consulted (one branch per
+    /// configured hook, relaxed loads, deadline probe amortized): on a
+    /// budget stop workers take no further chunks and the call returns
+    /// [`ExecError::Budget`]. A panic inside a chunk — organic or injected
+    /// by a fault plan — is captured by a per-chunk `catch_unwind`; the
+    /// *remaining* chunks still run exactly once (the iteration space is
+    /// drained) and the first panic is reported as
+    /// [`ExecError::WorkerPanic`] naming the failing chunk.
+    ///
+    /// Chunk ids are schedule-specific: `Dynamic(g)` numbers chunks
+    /// `(lo - range.start) / g` (stable across thread counts), `Static`
+    /// uses the worker id, `Guided` a claim ordinal. Sequential fallbacks
+    /// chunk by the dynamic grain (one chunk for `Static`) so `Dynamic`
+    /// fault coordinates stay meaningful at every thread count.
+    pub fn try_parallel_for_with<F>(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        hooks: ChunkHooks<'_>,
+        f: F,
+    ) -> Result<(), ExecError>
     where
         F: Fn(usize, usize) + Sync,
     {
         let len = range.end.saturating_sub(range.start);
         if len == 0 {
-            return;
+            return Ok(());
         }
+        let outcome = RegionOutcome::default();
+        let f = &f;
         if self.num_threads == 1 || len < schedule.sequential_cutoff() {
-            for i in range {
-                f(0, i);
+            let grain = match schedule {
+                Schedule::Dynamic(g) | Schedule::Guided(g) => g.max(1),
+                Schedule::Static => len,
+            };
+            let mut lo = range.start;
+            let mut chunk = 0usize;
+            while lo < range.end {
+                let hi = (lo + grain).min(range.end);
+                if !run_chunk(&outcome, &hooks, f, 0, chunk, lo, hi) {
+                    break;
+                }
+                lo = hi;
+                chunk += 1;
             }
-            return;
+            return outcome.into_result();
         }
         let n = self.num_threads;
         match schedule {
             Schedule::Static => {
                 let chunk = len.div_ceil(n);
-                self.run(|tid| {
+                self.try_run(|tid| {
+                    if outcome.should_stop() {
+                        return;
+                    }
                     let lo = range.start + tid * chunk;
                     let hi = (lo + chunk).min(range.end);
-                    for i in lo..hi.max(lo) {
-                        f(tid, i);
+                    if lo < hi {
+                        run_chunk(&outcome, &hooks, f, tid, tid, lo, hi);
                     }
-                });
+                })?;
             }
             Schedule::Dynamic(grain) => {
                 let grain = grain.max(1);
                 let next = AtomicUsize::new(range.start);
-                self.run(|tid| loop {
+                self.try_run(|tid| loop {
+                    if outcome.should_stop() {
+                        break;
+                    }
                     let lo = next.fetch_add(grain, Ordering::Relaxed);
                     if lo >= range.end {
                         break;
                     }
                     let hi = (lo + grain).min(range.end);
-                    for i in lo..hi {
-                        f(tid, i);
+                    let chunk = (lo - range.start) / grain;
+                    if !run_chunk(&outcome, &hooks, f, tid, chunk, lo, hi) {
+                        break;
                     }
-                });
+                })?;
             }
             Schedule::Guided(min_grain) => {
                 let min_grain = min_grain.max(1);
                 let next = AtomicUsize::new(range.start);
-                self.run(|tid| loop {
+                let claims = AtomicUsize::new(0);
+                self.try_run(|tid| loop {
+                    if outcome.should_stop() {
+                        break;
+                    }
                     let mut lo = next.load(Ordering::Relaxed);
                     let hi = loop {
                         if lo >= range.end {
@@ -233,12 +348,14 @@ impl ThreadPool {
                             Err(seen) => lo = seen,
                         }
                     };
-                    for i in lo..hi {
-                        f(tid, i);
+                    let chunk = claims.fetch_add(1, Ordering::Relaxed);
+                    if !run_chunk(&outcome, &hooks, f, tid, chunk, lo, hi) {
+                        break;
                     }
-                });
+                })?;
             }
         }
+        outcome.into_result()
     }
 
     /// Parallel reduction: maps every index through `map`, combining results
@@ -299,6 +416,101 @@ impl ThreadPool {
     }
 }
 
+/// Shared failure state of one fallible loop: the first captured panic,
+/// the first budget stop, and a region-local flag telling sibling workers
+/// to stop claiming chunks.
+#[derive(Default)]
+struct RegionOutcome {
+    panic: Mutex<Option<(String, usize)>>,
+    stop: Mutex<Option<BudgetReason>>,
+    stopped: AtomicBool,
+}
+
+impl RegionOutcome {
+    fn record_panic(&self, payload: String, chunk: usize) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some((payload, chunk));
+        }
+    }
+
+    fn record_stop(&self, reason: BudgetReason) {
+        let mut slot = self.stop.lock();
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        self.stopped.store(true, Ordering::Relaxed);
+    }
+
+    fn should_stop(&self) -> bool {
+        self.stopped.load(Ordering::Relaxed)
+    }
+
+    fn into_result(self) -> Result<(), ExecError> {
+        if let Some((payload, chunk)) = self.panic.into_inner() {
+            return Err(ExecError::WorkerPanic { payload, chunk });
+        }
+        if let Some(reason) = self.stop.into_inner() {
+            return Err(ExecError::Budget {
+                reason,
+                progress: Progress::default(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Runs one chunk of a fallible loop under its hooks and a per-chunk
+/// `catch_unwind`. Returns `false` when the worker should stop claiming
+/// chunks (budget stop); a *panicking* chunk returns `true` so siblings and
+/// the worker itself keep draining the iteration space.
+fn run_chunk<F>(
+    outcome: &RegionOutcome,
+    hooks: &ChunkHooks<'_>,
+    f: &F,
+    tid: usize,
+    chunk: usize,
+    lo: usize,
+    hi: usize,
+) -> bool
+where
+    F: Fn(usize, usize) + Sync,
+{
+    match hooks.before_chunk(chunk) {
+        ChunkAction::Run => {}
+        ChunkAction::Stop(reason) => {
+            outcome.record_stop(reason);
+            return false;
+        }
+        ChunkAction::Panic {
+            iteration,
+            chunk: at,
+        } => {
+            // Injected faults go through the real panic machinery so the
+            // capture path under test is the production path.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                panic!("injected fault at (iteration {iteration}, chunk {at})");
+            }));
+            if let Err(payload) = result {
+                outcome.record_panic(panic_payload_string(&*payload), chunk);
+            }
+            return true;
+        }
+    }
+    // The closure only touches state that is valid at every intermediate
+    // step (atomics, worker-owned buffer slots), so observing it after a
+    // panic is sound; the panic is reported, never swallowed.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        for i in lo..hi {
+            f(tid, i);
+        }
+    }));
+    if let Err(payload) = result {
+        outcome.record_panic(panic_payload_string(&*payload), chunk);
+    }
+    true
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
@@ -323,15 +535,26 @@ fn worker_loop(shared: &Shared, tid: usize) {
                 }
                 if slot.epoch != seen_epoch {
                     seen_epoch = slot.epoch;
-                    break slot.job.expect("region epoch bumped without a job");
+                    break slot.job.expect("epoch bumped without a job"); // unwrap-ok: protocol invariant
                 }
                 shared.work_cv.wait(&mut slot);
             }
         };
         IN_REGION.with(|c| c.set(true));
-        job(tid);
+        // Capture panics so `remaining` always reaches zero: the old
+        // behavior (worker unwinds, region never completes) deadlocked the
+        // caller. Region closures only touch state valid at every
+        // intermediate step (atomics, mutexes, worker-owned slots), and the
+        // panic is reported to the caller, never swallowed.
+        let result = catch_unwind(AssertUnwindSafe(|| job(tid)));
         IN_REGION.with(|c| c.set(false));
         let mut slot = shared.slot.lock();
+        if let Err(payload) = result {
+            let payload = panic_payload_string(&*payload);
+            if slot.panic.is_none() {
+                slot.panic = Some((payload, tid));
+            }
+        }
         slot.remaining -= 1;
         if slot.remaining == 0 {
             shared.done_cv.notify_all();
@@ -392,8 +615,188 @@ mod tests {
 
     #[test]
     fn parallel_for_empty_range_is_noop() {
+        // With capture-and-report semantics a panic would surface as an
+        // error, so assert the closure is simply never called.
         let pool = ThreadPool::new(2);
-        pool.parallel_for(5..5, Schedule::Static, |_| panic!("must not run"));
+        let calls = AtomicUsize::new(0);
+        let result =
+            pool.try_parallel_for_with(5..5, Schedule::Static, ChunkHooks::none(), |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        assert!(result.is_ok());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn panicking_chunk_drains_all_other_chunks_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let grain = 64;
+        let bad = 4321; // inside chunk 4321/64 = 67 (indices 4288..4352)
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let err = pool
+            .try_parallel_for_with(
+                0..n,
+                Schedule::Dynamic(grain),
+                ChunkHooks::none(),
+                |_, i| {
+                    if i == bad {
+                        panic!("boom at {i}");
+                    }
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .unwrap_err();
+        match &err {
+            ExecError::WorkerPanic { payload, chunk } => {
+                assert!(payload.contains("boom at 4321"), "payload: {payload}");
+                assert_eq!(*chunk, bad / grain);
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        let chunk_lo = (bad / grain) * grain;
+        let chunk_hi = chunk_lo + grain;
+        for (i, h) in hits.iter().enumerate() {
+            let count = h.load(Ordering::Relaxed);
+            if i < chunk_lo || i >= chunk_hi {
+                assert_eq!(count, 1, "index {i} outside the panicking chunk");
+            } else if i < bad {
+                assert_eq!(count, 1, "index {i} before the panic point");
+            } else {
+                assert_eq!(count, 0, "index {i} at/after the panic point");
+            }
+        }
+        // The pool stays usable after a captured panic.
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(0..1000, Schedule::Dynamic(32), |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 499_500);
+    }
+
+    #[test]
+    fn try_run_reports_worker_panic_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let err = pool
+            .try_run(|tid| {
+                if tid == 2 {
+                    panic!("worker {tid} down");
+                }
+            })
+            .unwrap_err();
+        match &err {
+            ExecError::WorkerPanic { payload, chunk } => {
+                assert!(payload.contains("worker 2 down"), "payload: {payload}");
+                assert_eq!(*chunk, 2);
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // All workers completed the region and the pool is reusable.
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 4);
+    }
+
+    #[test]
+    fn cancelled_hooks_stop_before_any_chunk() {
+        let pool = ThreadPool::new(4);
+        let token = crate::exec::CancelToken::new();
+        token.cancel();
+        let budget = crate::exec::RunBudget::unlimited().with_cancel(token);
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .try_parallel_for_with(
+                0..100_000,
+                Schedule::Dynamic(64),
+                budget.chunk_hooks(None),
+                |_, _| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Budget {
+                reason: BudgetReason::Cancelled,
+                ..
+            }
+        ));
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn injected_fault_panics_at_exact_chunk() {
+        let pool = ThreadPool::new(4);
+        let plan = crate::exec::FaultPlan::new().panic_at(0, 5);
+        let budget = crate::exec::RunBudget::unlimited();
+        let hooks = budget.chunk_hooks(Some(&plan));
+        let n = 64 * 100;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let err = pool
+            .try_parallel_for_with(0..n, Schedule::Dynamic(64), hooks, |_, i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        match &err {
+            ExecError::WorkerPanic { payload, chunk } => {
+                assert!(payload.contains("injected fault"), "payload: {payload}");
+                assert_eq!(*chunk, 5);
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // Every chunk except the injected one ran exactly once.
+        for (i, h) in hits.iter().enumerate() {
+            let expected = usize::from(i / 64 != 5);
+            assert_eq!(h.load(Ordering::Relaxed), expected, "index {i}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_budget_error() {
+        let pool = ThreadPool::new(2);
+        let budget = crate::exec::RunBudget::unlimited()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = pool
+            .try_parallel_for_with(
+                0..100_000,
+                Schedule::Dynamic(64),
+                budget.chunk_hooks(None),
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Budget {
+                reason: BudgetReason::DeadlineExpired,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sequential_fallback_has_same_capture_semantics() {
+        // Small range -> runs on the calling thread; the panic must still
+        // be captured per chunk and the rest of the range drained.
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let err = pool
+            .try_parallel_for_with(0..100, Schedule::Dynamic(10), ChunkHooks::none(), |_, i| {
+                if i == 55 {
+                    panic!("mid-range");
+                }
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        match &err {
+            ExecError::WorkerPanic { chunk, .. } => assert_eq!(*chunk, 5),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        for (i, h) in hits.iter().enumerate() {
+            let expected = usize::from(!(55..60).contains(&i));
+            assert_eq!(h.load(Ordering::Relaxed), expected, "index {i}");
+        }
     }
 
     #[test]

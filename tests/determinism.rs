@@ -31,6 +31,7 @@
 use essentials::prelude::*;
 use essentials_algos::{bfs, pagerank, sssp};
 use essentials_gen as gen;
+use std::sync::Arc;
 
 const THREADS: [usize; 3] = [1, 2, 8];
 
@@ -121,6 +122,61 @@ fn pagerank_pull_bit_identical_at_fixed_iteration_count() {
         // identical float operations in identical order.
         let a = pagerank::pagerank_adaptive(execution::par, &ctx, &g, cfg, Default::default());
         assert_eq!(a.rank, reference, "adaptive ranks diverged at {t} threads");
+    }
+}
+
+#[test]
+fn budget_stops_are_thread_count_deterministic_for_bsp_runs() {
+    // The resilient layer extends the determinism contract: BSP frontier
+    // sizes are thread-count independent, and the budget's deterministic
+    // limits (iteration cap, fault-plan cancellation) are checked *before*
+    // the wall clock — so a budget stop at iteration k yields bit-identical
+    // partial progress at every thread count.
+    let g = sym(gen::rmat(8, 8, gen::RmatParams::default(), 11));
+
+    let progress_at = |threads: usize| {
+        let ctx = Context::new(threads).with_budget(RunBudget::unlimited().with_max_iterations(2));
+        match bfs::try_bfs(execution::par, &ctx, &g, 0) {
+            Err(ExecError::Budget { reason, progress }) => {
+                assert_eq!(reason, BudgetReason::IterationCap);
+                progress
+            }
+            other => panic!("expected Budget(IterationCap), got {other:?}"),
+        }
+    };
+    let reference = progress_at(1);
+    assert_eq!(reference.iterations, 2);
+    assert_eq!(reference.work_trace.len(), 2);
+    for &t in &THREADS[1..] {
+        assert_eq!(
+            progress_at(t),
+            reference,
+            "budget-stop progress diverged at {t} threads"
+        );
+    }
+
+    // Same for a fault-plan cancellation at an exact (iteration, chunk)
+    // coordinate: the BSP edge balancer numbers chunks identically at
+    // every thread count.
+    let cancel_progress_at = |threads: usize| {
+        let plan = Arc::new(FaultPlan::new().cancel_at(1, 0));
+        let ctx = Context::new(threads).with_fault_plan(plan);
+        match bfs::try_bfs(execution::par, &ctx, &g, 0) {
+            Err(ExecError::Budget { reason, progress }) => {
+                assert_eq!(reason, BudgetReason::Cancelled);
+                progress
+            }
+            other => panic!("expected Budget(Cancelled), got {other:?}"),
+        }
+    };
+    let reference = cancel_progress_at(1);
+    assert_eq!(reference.iterations, 1);
+    for &t in &THREADS[1..] {
+        assert_eq!(
+            cancel_progress_at(t),
+            reference,
+            "fault-cancel progress diverged at {t} threads"
+        );
     }
 }
 

@@ -1,0 +1,300 @@
+//! The resilient execution layer, end to end: injected worker panics,
+//! cooperative cancellation, deadline expiry, and forced divergence must
+//! each surface as the matching typed [`ExecError`] — never a process
+//! abort — and must leave the `Context` fully reusable: the next run on
+//! the same context matches the serial oracle bit for bit and the
+//! steady-state zero-allocation contract still holds.
+//!
+//! Fault points are driven by the deterministic [`FaultPlan`], keyed by
+//! `(iteration, chunk)`: the enactor publishes the iteration, the pool's
+//! chunk hooks consult the plan before every chunk, and an injected panic
+//! goes through the *real* `catch_unwind` capture path — these tests
+//! exercise production recovery code, not a parallel test-only path.
+//!
+//! This file is its own test binary with a counting `#[global_allocator]`
+//! so the post-recovery allocation audit is not polluted by other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use essentials::prelude::*;
+use essentials_algos::{bfs, pagerank, sssp};
+use essentials_gen as gen;
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: defers every allocator duty to `System` verbatim; the only
+// addition is a Relaxed counter bump, which cannot violate GlobalAlloc's
+// contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: `System` upholds the layout contract; counting is side-effect-free.
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: forwarding the caller's layout unchanged to System.
+        unsafe { System.alloc(l) }
+    }
+
+    // SAFETY: `System` upholds the layout contract; counting is side-effect-free.
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: forwarding the caller's pointer and layouts unchanged.
+        unsafe { System.realloc(p, l, new_size) }
+    }
+
+    // SAFETY: `System` upholds the layout contract.
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        // SAFETY: forwarding the caller's pointer and layout unchanged.
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `iteration` once with allocation counting on; returns the count.
+fn count_allocs(iteration: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    iteration();
+    COUNTING.store(false, Ordering::Relaxed);
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Silences the default panic hook for *injected* panics only, so the test
+/// log is not flooded by the fault plan doing its job. Installed once per
+/// test binary; every real panic still prints.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let injected = p
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected fault"))
+                .or_else(|| {
+                    p.downcast_ref::<String>()
+                        .map(|s| s.contains("injected fault"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn sym_graph(seed: u64) -> Graph<()> {
+    GraphBuilder::from_coo(gen::rmat(10, 8, gen::RmatParams::default(), seed))
+        .remove_self_loops()
+        .symmetrize()
+        .deduplicate()
+        .build()
+}
+
+fn weighted_graph(seed: u64) -> Graph<f32> {
+    let mut coo = gen::rmat(10, 8, gen::RmatParams::default(), seed);
+    coo.remove_self_loops();
+    coo.symmetrize();
+    coo.sort_and_dedup();
+    Graph::from_coo(&gen::hash_weights(&coo, 0.1, 2.0, 42))
+}
+
+// ---- fault class 1: worker panic mid-advance ----------------------------
+
+#[test]
+fn worker_panic_mid_advance_is_isolated_and_the_context_recovers() {
+    quiet_injected_panics();
+    let g = sym_graph(11);
+    let ctx = Context::new(4);
+    let oracle = bfs::bfs_sequential(&g, 0).level;
+
+    // Panic inside chunk 0 of BFS iteration 1's edge-balanced advance.
+    let plan = Arc::new(FaultPlan::new().panic_at(1, 0));
+    let faulty = ctx.clone().with_fault_plan(plan);
+    match bfs::try_bfs(execution::par, &faulty, &g, 0) {
+        Err(ExecError::WorkerPanic { payload, .. }) => {
+            assert!(payload.contains("injected fault"), "payload: {payload}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+
+    // The clone shares pool and scratch with `ctx`: if the panic leaked a
+    // scratch buffer, a worker slot, or dirty dedup-bitmap bits, this run
+    // would see it. It must match the serial oracle bit for bit.
+    let r = bfs::bfs(execution::par, &ctx, &g, 0);
+    assert_eq!(r.level, oracle, "post-panic run diverged from the oracle");
+    assert!(bfs::verify_bfs(&g, 0, &r.level));
+}
+
+// ---- fault class 2: cancellation mid-iteration --------------------------
+
+#[test]
+fn cancellation_mid_iteration_returns_budget_error_with_progress() {
+    let g = sym_graph(12);
+    let ctx = Context::new(4);
+    let oracle = bfs::bfs_sequential(&g, 0).level;
+
+    // A fault-driven cancellation observed at (iteration 1, chunk 0): one
+    // iteration completed, the second stopped at its first chunk.
+    let plan = Arc::new(FaultPlan::new().cancel_at(1, 0));
+    let cancelled = ctx.clone().with_fault_plan(plan);
+    match bfs::try_bfs(execution::par, &cancelled, &g, 0) {
+        Err(ExecError::Budget { reason, progress }) => {
+            assert_eq!(reason, BudgetReason::Cancelled);
+            assert_eq!(progress.iterations, 1, "one iteration completed");
+            assert_eq!(progress.work_trace.len(), 1);
+        }
+        other => panic!("expected Budget(Cancelled), got {other:?}"),
+    }
+
+    // A real, already-fired CancelToken stops at the first iteration
+    // boundary with zero completed iterations.
+    let token = CancelToken::new();
+    token.cancel();
+    let budgeted = ctx
+        .clone()
+        .with_budget(RunBudget::unlimited().with_cancel(token));
+    match bfs::try_bfs(execution::par, &budgeted, &g, 0) {
+        Err(ExecError::Budget { reason, progress }) => {
+            assert_eq!(reason, BudgetReason::Cancelled);
+            assert_eq!(progress.iterations, 0);
+        }
+        other => panic!("expected Budget(Cancelled), got {other:?}"),
+    }
+
+    let r = bfs::bfs(execution::par, &ctx, &g, 0);
+    assert_eq!(r.level, oracle, "post-cancel run diverged from the oracle");
+}
+
+// ---- fault class 3: deadline expiry --------------------------------------
+
+#[test]
+fn deadline_expiry_returns_budget_error_and_the_context_stays_reusable() {
+    let g = weighted_graph(13);
+    let ctx = Context::new(4);
+    let oracle = sssp::sssp(execution::seq, &Context::sequential(), &g, 0).dist;
+
+    let expired = ctx
+        .clone()
+        .with_budget(RunBudget::unlimited().with_timeout(Duration::ZERO));
+    match sssp::try_sssp(execution::par, &expired, &g, 0) {
+        Err(ExecError::Budget { reason, .. }) => {
+            assert_eq!(reason, BudgetReason::DeadlineExpired);
+        }
+        other => panic!("expected Budget(DeadlineExpired), got {other:?}"),
+    }
+
+    // Monotone fetch_min relaxation lands on the schedule-independent least
+    // fixpoint — bit-identical to the sequential run.
+    let r = sssp::sssp(execution::par, &ctx, &g, 0);
+    assert_eq!(r.dist, oracle, "post-deadline run diverged from the oracle");
+    assert!(sssp::verify_sssp(&g, 0, &r.dist, 1e-4));
+}
+
+// ---- fault class 4: forced divergence ------------------------------------
+
+#[test]
+fn forced_divergence_trips_the_convergence_watchdogs() {
+    let g = GraphBuilder::from_coo(gen::gnm(200, 1200, 5))
+        .remove_self_loops()
+        .symmetrize()
+        .deduplicate()
+        .with_csc()
+        .build();
+    let ctx = Context::new(4);
+
+    // damping > 1 makes the residual grow geometrically: the rising-streak
+    // watchdog must fire long before the iteration cap.
+    let cfg = pagerank::PrConfig {
+        damping: 3.0,
+        tolerance: 1e-9,
+        max_iterations: 200,
+    };
+    match pagerank::try_pagerank_pull(execution::par, &ctx, &g, cfg) {
+        Err(ExecError::Diverged { iteration, detail }) => {
+            assert!(detail.contains("residual rose"), "detail: {detail}");
+            assert!(iteration < 50, "watchdog too slow: iteration {iteration}");
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+
+    // An absurd damping factor overflows to ±inf within two iterations:
+    // the non-finite check fires before the streak counter can.
+    let cfg = pagerank::PrConfig {
+        damping: 1e155,
+        tolerance: 1e-9,
+        max_iterations: 200,
+    };
+    match pagerank::try_pagerank_pull(execution::par, &ctx, &g, cfg) {
+        Err(ExecError::Diverged { detail, .. }) => {
+            assert!(detail.contains("non-finite"), "detail: {detail}");
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+
+    // The context is untouched by the failed runs: a sane configuration
+    // still converges to a probability distribution.
+    let r = pagerank::pagerank_pull(execution::par, &ctx, &g, pagerank::PrConfig::default());
+    assert!(!r.stats.hit_iteration_cap);
+    assert!(r.final_error < pagerank::PrConfig::default().tolerance);
+    let mass: f64 = r.rank.iter().sum();
+    assert!((mass - 1.0).abs() < 1e-6, "rank mass {mass}");
+}
+
+// ---- recovery keeps the zero-allocation steady state --------------------
+
+#[test]
+fn recovered_context_keeps_the_zero_allocation_steady_state() {
+    quiet_injected_panics();
+    let g: Graph<()> = Graph::from_coo(&gen::rmat(12, 8, gen::RmatParams::default(), 7));
+    let n = g.num_vertices();
+    let ctx = Context::new(4);
+    let frontier: SparseFrontier = (0..n as VertexId).step_by(2).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+
+    let iteration = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+        let out = neighbors_expand(execution::par, &ctx, &g, &frontier, |_s, d, _e, _w| {
+            levels[d as usize]
+                .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        });
+        ctx.recycle_frontier(out);
+    };
+
+    // Warm-up: scratch buffers grown, frontier pool primed.
+    for _ in 0..3 {
+        iteration();
+    }
+
+    // Inject a worker panic straight into the steady-state advance (no
+    // enactor here, so the plan's iteration coordinate stays 0).
+    let plan = Arc::new(FaultPlan::new().panic_at(0, 0));
+    let faulty = ctx.clone().with_fault_plan(plan);
+    let err = bfs::try_bfs(execution::par, &faulty, &g, 0).unwrap_err();
+    assert!(
+        matches!(err, ExecError::WorkerPanic { .. }),
+        "expected WorkerPanic, got {err:?}"
+    );
+
+    // The error path must have returned every pooled buffer: the very next
+    // steady-state iteration allocates nothing.
+    let allocs = count_allocs(iteration);
+    assert_eq!(
+        allocs, 0,
+        "steady-state advance hit the allocator {allocs} times after a recovered panic"
+    );
+}

@@ -10,6 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use essentials::prelude::*;
 use essentials_gen as gen;
@@ -223,6 +224,103 @@ fn steady_state_dense_and_pull_iterations_do_not_allocate() {
     assert_eq!(
         pull_counted_allocs, 0,
         "steady-state pull iteration hit the allocator {pull_counted_allocs} times"
+    );
+}
+
+#[test]
+fn budget_checks_preserve_the_zero_allocation_guarantee() {
+    // The resilient layer's overhead contract: with a full (but unfired)
+    // RunBudget attached — cancel token, far deadline, iteration cap — the
+    // operators route through the hooked chunk loops, and those checks are
+    // a branch plus a relaxed load each: the steady state must stay
+    // allocation-free.
+    let g: Graph<()> = Graph::from_coo(&gen::rmat(12, 8, gen::RmatParams::default(), 7));
+    let n = g.num_vertices();
+    let budget = RunBudget::unlimited()
+        .with_cancel(CancelToken::new())
+        .with_timeout(Duration::from_secs(3600))
+        .with_max_iterations(1_000_000);
+    let ctx = Context::new(4).with_budget(budget);
+    let frontier: SparseFrontier = (0..n as VertexId).step_by(2).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+
+    let iteration = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+        let out = neighbors_expand(execution::par, &ctx, &g, &frontier, |_s, d, _e, _w| {
+            levels[d as usize]
+                .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        });
+        ctx.recycle_frontier(out);
+    };
+
+    for _ in 0..3 {
+        iteration();
+    }
+
+    let allocs = count_allocs(iteration);
+    assert_eq!(
+        allocs, 0,
+        "budget-checked advance iteration hit the allocator {allocs} times"
+    );
+}
+
+#[test]
+fn cancelled_then_reused_context_stays_allocation_free() {
+    // A cancellation mid-run must hand every pooled buffer back: after the
+    // typed error, steady-state iterations on the shared context still
+    // allocate nothing.
+    let g: Graph<()> = Graph::from_coo(&gen::rmat(12, 8, gen::RmatParams::default(), 7));
+    let n = g.num_vertices();
+    let ctx = Context::new(4);
+    let frontier: SparseFrontier = (0..n as VertexId).step_by(2).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+
+    let iteration = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+        let out = neighbors_expand(execution::par, &ctx, &g, &frontier, |_s, d, _e, _w| {
+            levels[d as usize]
+                .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        });
+        ctx.recycle_frontier(out);
+    };
+
+    for _ in 0..3 {
+        iteration();
+    }
+
+    // Cancel an advance on a budgeted clone (shared pool + scratch).
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = ctx
+        .clone()
+        .with_budget(RunBudget::unlimited().with_cancel(token));
+    let err = try_neighbors_expand(
+        execution::par,
+        &cancelled,
+        &g,
+        &frontier,
+        |_s, d, _e, _w| {
+            levels[d as usize]
+                .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, ExecError::Budget { .. }),
+        "expected Budget error, got {err:?}"
+    );
+
+    let allocs = count_allocs(iteration);
+    assert_eq!(
+        allocs, 0,
+        "steady-state advance hit the allocator {allocs} times after a cancelled run"
     );
 }
 
