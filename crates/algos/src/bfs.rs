@@ -226,6 +226,7 @@ pub fn bfs_with_policy<P: ExecutionPolicy, W: EdgeValue>(
             // in-edge settles a pull destination.
             early_exit: true,
             settle: true,
+            bins: BlockedConfig::default(),
         },
     );
     let mut trace = Vec::new();

@@ -97,6 +97,7 @@ pub fn cc_adaptive<P: ExecutionPolicy, W: EdgeValue>(
             policy: DirectionPolicy::default(),
             early_exit: false,
             settle: false,
+            bins: BlockedConfig::default(),
         },
     );
     let mut trace = Vec::new();

@@ -162,6 +162,7 @@ pub fn sssp_adaptive<P: ExecutionPolicy>(
             policy: DirectionPolicy::default(),
             early_exit: false,
             settle: false,
+            bins: BlockedConfig::default(),
         },
     );
     let mut trace = Vec::new();

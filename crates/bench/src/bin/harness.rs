@@ -4,7 +4,7 @@
 //! (default scale 12 ⇒ ~4k-vertex graphs; scale 14–16 for longer runs).
 //!
 //! With `--json FILE` the harness writes the machine-readable benchmark
-//! snapshot (schema `essentials-bench/v2`, see EXPERIMENTS.md). The
+//! snapshot (schema `essentials-bench/v3`, see EXPERIMENTS.md). The
 //! resilience flags `--deadline-ms N` and `--max-iters N` attach a
 //! `RunBudget` to a dedicated budget experiment in that session: the
 //! flagship algorithms run through their fallible `try_*` entry points and
@@ -33,8 +33,8 @@ use essentials_core::prelude::*;
 use essentials_mp::algorithms::{mp_bfs, mp_pagerank, mp_sssp, mp_sssp_combined};
 use essentials_mp::async_mp::{async_mp_bfs, async_mp_sssp};
 use essentials_partition::{
-    balance, contiguous_partition, edge_cut, multilevel_partition, random_partition,
-    MultilevelConfig, PartitionedGraph,
+    balance, contiguous_partition, degree_balanced_placement, edge_cut, multilevel_partition,
+    random_partition, MultilevelConfig, PartitionedGraph,
 };
 
 fn main() {
@@ -439,6 +439,98 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
         }
     }
 
+    // --- locality: naive vs blocked vs blocked+placement pull PageRank ---
+    // The memory-locality ablation (DESIGN.md §12), measured at iteration
+    // granularity: the blocked layout is built once per run (as the
+    // algorithms use it), so the timed region is the steady-state gather
+    // iteration — the thing PageRank repeats until convergence. Arithmetic
+    // is identical across variants (the differential suite pins the
+    // results to ≤1e-12); the mteps column is pure iteration throughput.
+    // The naive pull random-reads the rank vector per edge, the blocked
+    // variant streams a destination-binned layout through cache-resident
+    // windows, and the placement arm additionally installs a
+    // degree-balanced worker→vertex-range map on a dedicated pool so
+    // dynamic loops drain their local segment before stealing.
+    {
+        let g = Workload::Rmat.symmetric(scale);
+        let n = g.get_num_vertices();
+        let m = g.get_num_edges();
+        let bins = BlockedConfig::default();
+        let damping = 0.85;
+        let base = (1.0 - damping) / n as f64;
+        let iters = 10usize;
+        let seq_ctx = Context::sequential();
+        let mut inv = vec![0.0f64; n];
+        fill_indexed_into(execution::seq, &seq_ctx, &mut inv, |v| {
+            let d = g.out_degree(v as VertexId);
+            if d == 0 {
+                0.0
+            } else {
+                (d as f64).recip()
+            }
+        });
+        let mut rank = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0f64; n];
+        for &t in &[1usize, 4] {
+            let plain = Context::new(t);
+            let placed = {
+                let pool = Arc::new(ThreadPool::new(t));
+                pool.set_placement(Some(Arc::new(degree_balanced_placement(&g, t))));
+                Context::with_pool(pool)
+            };
+            let mut push_row = |variant: &str, ms: f64| {
+                let work = m * iters;
+                rows.push(JsonRow {
+                    experiment: "locality",
+                    workload: "rmat",
+                    algo: "pagerank",
+                    variant: variant.to_string(),
+                    threads: t,
+                    ms,
+                    iterations: iters,
+                    work,
+                    mteps: mteps(work, ms),
+                    outcome: "ok",
+                });
+            };
+
+            let ms = median_ms(3, || {
+                for _ in 0..iters {
+                    let (r_now, inv_d) = (&rank, &inv);
+                    fill_indexed_into(execution::par, &plain, &mut next, |v| {
+                        let s: f64 = g
+                            .in_neighbors(v as VertexId)
+                            .iter()
+                            .map(|&u| r_now[u as usize] * inv_d[u as usize])
+                            .sum();
+                        base + damping * s
+                    });
+                    std::mem::swap(&mut rank, &mut next);
+                }
+            });
+            push_row("naive", ms);
+
+            for (variant, ctx) in [("blocked", &plain), ("blocked+placement", &placed)] {
+                let mut gather = BlockedGather::over_out_edges(execution::par, ctx, &g, bins);
+                let ms = median_ms(3, || {
+                    for _ in 0..iters {
+                        let (r_now, inv_d) = (&rank, &inv);
+                        gather.gather(
+                            execution::par,
+                            ctx,
+                            |u| r_now[u] * inv_d[u],
+                            |_, acc| base + damping * acc,
+                            &mut next,
+                        );
+                        std::mem::swap(&mut rank, &mut next);
+                    }
+                });
+                gather.finish(ctx);
+                push_row(variant, ms);
+            }
+        }
+    }
+
     // --- budget: fallible entry points under the CLI RunBudget -----------
     // One row per flagship algorithm, run through try_* with the budget
     // from --deadline-ms/--max-iters attached to the context. A stopped
@@ -535,7 +627,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
     // --- serialize -------------------------------------------------------
     let mut out = String::with_capacity(rows.len() * 160 + 128);
     out.push_str(&format!(
-        "{{\n  \"schema\": \"essentials-bench/v2\",\n  \"scale\": {scale},\n  \"rows\": [\n"
+        "{{\n  \"schema\": \"essentials-bench/v3\",\n  \"scale\": {scale},\n  \"rows\": [\n"
     ));
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    ");

@@ -178,6 +178,24 @@ impl Context {
     pub fn take_dense_frontier(&self, n: usize) -> DenseFrontier {
         self.scratch.take_dense(n, self.num_threads())
     }
+
+    /// A cleared `f64` buffer from the numeric pool — the rank
+    /// double-buffers of the fixpoint algorithms and the blocked gather's
+    /// value arrays draw from here, so steady-state iterations reuse
+    /// capacity instead of allocating (DESIGN.md §5, §12).
+    pub fn take_f64_buffer(&self) -> Vec<f64> {
+        let mut s = self.take_scratch();
+        let v = s.take_f64();
+        self.put_scratch(s);
+        v
+    }
+
+    /// Returns an `f64` buffer to the numeric pool.
+    pub fn recycle_f64_buffer(&self, v: Vec<f64>) {
+        let mut s = self.take_scratch();
+        s.put_f64(v);
+        self.put_scratch(s);
+    }
 }
 
 impl Default for Context {

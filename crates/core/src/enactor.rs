@@ -191,6 +191,17 @@ impl Enactor {
         }
     }
 
+    /// Pre-sizes the work trace for capped fixpoint loops so the
+    /// per-iteration `push` never reallocates mid-run — part of the
+    /// steady-state zero-allocation contract (DESIGN.md §12). Bounded so a
+    /// pathological explicit cap cannot demand an absurd reservation.
+    #[inline]
+    fn reserve_trace(&self, stats: &mut LoopStats) {
+        if let Some(k) = self.max_iterations {
+            stats.frontier_trace.reserve(k.min(4096)); // alloc-ok: once per run
+        }
+    }
+
     /// Frontier-driven loop: runs `step(iteration, frontier)` until the
     /// frontier is empty. Returns the final (empty) frontier and stats.
     pub fn run<S, F>(&self, init: S, mut step: F) -> (S, LoopStats)
@@ -232,6 +243,7 @@ impl Enactor {
         F: FnMut(usize, &mut T, &mut IterProgress) -> bool,
     {
         let mut stats = LoopStats::default();
+        self.reserve_trace(&mut stats);
         loop {
             if stats.iterations >= self.fixpoint_cap() {
                 stats.hit_iteration_cap = true;
@@ -314,6 +326,7 @@ impl Enactor {
         F: FnMut(usize, &mut T, &mut IterProgress) -> Result<bool, ExecError>,
     {
         let mut stats = LoopStats::default();
+        self.reserve_trace(&mut stats);
         loop {
             if stats.iterations >= self.fixpoint_cap() {
                 if self.max_iterations.is_none() {

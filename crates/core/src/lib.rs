@@ -45,15 +45,19 @@ pub mod prelude {
         expand_to_edges, neighbors_expand, neighbors_expand_mutex, neighbors_expand_unique,
         try_neighbors_expand, try_neighbors_expand_unique, PullConfig,
     };
+    pub use crate::operators::blocked::{
+        expand_blocked_pull, BlockedConfig, BlockedGather, GatherDirection,
+    };
     pub use crate::operators::compute::{
-        fill_indexed, foreach_active, foreach_vertex, try_foreach_vertex,
+        fill_indexed, fill_indexed_into, foreach_active, foreach_vertex, try_foreach_vertex,
     };
     pub use crate::operators::direction::{
-        advance_adaptive, AdaptiveAdvance, AdaptiveConfig, Direction, DirectionPolicy,
+        advance_adaptive, AdaptiveAdvance, AdaptiveConfig, BlockedPullPolicy, Direction,
+        DirectionPolicy,
     };
     pub use crate::operators::filter::{filter, try_filter, uniquify, uniquify_with_bitmap};
     pub use crate::operators::intersect::{intersect_count, intersect_count_gallop};
-    pub use crate::operators::reduce::{count_if, reduce};
+    pub use crate::operators::reduce::{count_if, max_f64, reduce, sum_f64};
     pub use crate::scratch::AdvanceScratch;
     pub use essentials_frontier::{
         Collector, DenseFrontier, EdgeFrontier, Frontier, QueueFrontier, SparseFrontier,

@@ -169,6 +169,47 @@ where
     unsafe { std::mem::transmute::<Vec<std::mem::MaybeUninit<T>>, Vec<T>>(out) }
 }
 
+/// In-place sibling of [`fill_indexed`]: overwrites slot `i` of `out` with
+/// `f(i)`, computed in parallel. This is the zero-allocation path the
+/// fixpoint algorithms use to refill a pooled buffer each iteration
+/// instead of collecting a fresh `Vec` (DESIGN.md §12).
+pub fn fill_indexed_into<P, T, F>(_policy: P, ctx: &Context, out: &mut [T], f: F)
+where
+    P: ExecutionPolicy,
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = out.len();
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        emit(ctx, OpKind::FillIndexed, P::NAME, n);
+        return;
+    }
+    struct SendPtr<T>(*mut T);
+    impl<T> SendPtr<T> {
+        fn get(&self) -> *mut T {
+            self.0
+        }
+    }
+    // SAFETY: the pointer is only used to write disjoint indices from the
+    // parallel loop; the borrow of `out` outlives the loop (parallel_for
+    // joins before this function returns).
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    let ptr = SendPtr(out.as_mut_ptr());
+    let ptr = &ptr;
+    ctx.pool().parallel_for(0..n, Schedule::Dynamic(512), |i| {
+        // SAFETY: i is visited exactly once across all workers
+        // (parallel_for contract), so this write is unaliased; the slot is
+        // initialized, so the overwritten value drops normally.
+        unsafe {
+            *ptr.get().add(i) = f(i);
+        }
+    });
+    emit(ctx, OpKind::FillIndexed, P::NAME, n);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +254,26 @@ mod tests {
         let ctx = Context::new(2);
         let v: Vec<u8> = fill_indexed(execution::par, &ctx, 0, |_| 1);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn fill_indexed_into_overwrites_in_place() {
+        let ctx = Context::new(4);
+        let mut buf = vec![0usize; 10_000];
+        fill_indexed_into(execution::par, &ctx, &mut buf, |i| i * 3);
+        let seq: Vec<usize> = (0..10_000).map(|i| i * 3).collect();
+        assert_eq!(buf, seq);
+        // Sequential policy takes the plain loop and agrees.
+        let mut buf2 = vec![0usize; 10_000];
+        fill_indexed_into(execution::seq, &ctx, &mut buf2, |i| i * 3);
+        assert_eq!(buf2, seq);
+    }
+
+    #[test]
+    fn fill_indexed_into_drops_old_values() {
+        let ctx = Context::new(4);
+        let mut buf: Vec<String> = (0..4000).map(|i| format!("old{i}")).collect();
+        fill_indexed_into(execution::par, &ctx, &mut buf, |i| format!("new{i}"));
+        assert_eq!(buf[3999], "new3999");
     }
 }

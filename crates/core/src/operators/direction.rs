@@ -32,6 +32,7 @@ use crate::context::Context;
 use crate::operators::advance::{
     expand_pull_counted, expand_pull_masked, expand_push_dense, neighbors_expand_unique, PullConfig,
 };
+use crate::operators::blocked::{expand_blocked_pull, BlockedConfig};
 
 /// Traversal direction (and output representation) of one iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,15 +45,21 @@ pub enum Direction {
     DensePush,
     /// Candidates gather over in-edges (dense input and output).
     Pull,
+    /// Pull routed through destination-binned propagation blocking
+    /// ([`expand_blocked_pull`]) — same semantics as [`Direction::Pull`],
+    /// chosen when the frontier is dense enough that binning's streaming
+    /// passes beat the CSC scan's random candidate probes.
+    BlockedPull,
 }
 
 impl Direction {
     /// Push-family (scatter over out-edges) vs. pull. The α/β hysteresis
     /// flips between *families*; the sparse/dense push split inside the push
-    /// family is a pure representation choice.
+    /// family — and the plain/blocked split inside the pull family — are
+    /// pure execution choices.
     #[inline]
     pub fn is_pull(self) -> bool {
-        matches!(self, Direction::Pull)
+        matches!(self, Direction::Pull | Direction::BlockedPull)
     }
 }
 
@@ -104,6 +111,34 @@ pub struct DirectionPolicy {
     pub gamma: usize,
     /// Minimum iterations between push↔pull flips (1 = flip freely).
     pub dwell: usize,
+    /// Cost model for upgrading pull iterations to the propagation-blocked
+    /// kernel. `None` (the default) never blocks, preserving the historic
+    /// three-direction behavior.
+    pub blocked: Option<BlockedPullPolicy>,
+}
+
+/// The blocked-pull upgrade thresholds — a second α/β pair *inside* the
+/// pull family, with its own hysteresis.
+///
+/// Binning pays two streaming passes over the frontier's out-edges to
+/// replace the CSC scan's random destination probes; that trade wins only
+/// when the active set covers a sizeable fraction of the universe. Enter
+/// blocked pull when `frontier_len >= n / alpha`; once blocked, stay until
+/// `frontier_len < n / beta`. `beta > alpha` makes the exit threshold
+/// lower than the entry threshold, so a frontier hovering at the boundary
+/// does not thrash between layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedPullPolicy {
+    /// Pull→blocked-pull when `frontier_len >= n / alpha`.
+    pub alpha: usize,
+    /// Blocked-pull→pull when `frontier_len < n / beta`.
+    pub beta: usize,
+}
+
+impl Default for BlockedPullPolicy {
+    fn default() -> Self {
+        BlockedPullPolicy { alpha: 8, beta: 16 }
+    }
 }
 
 impl Default for DirectionPolicy {
@@ -113,6 +148,7 @@ impl Default for DirectionPolicy {
             beta: 24,
             gamma: 4,
             dwell: 1,
+            blocked: None,
         }
     }
 }
@@ -136,6 +172,13 @@ impl DirectionPolicy {
             pulling
         };
         if pull {
+            if let Some(bp) = self.blocked {
+                let blocked_now = s.current == Direction::BlockedPull;
+                let threshold = if blocked_now { bp.beta } else { bp.alpha };
+                if s.frontier_len >= s.n / threshold.max(1) {
+                    return Direction::BlockedPull;
+                }
+            }
             Direction::Pull
         } else if s.n > 0 && s.frontier_len.saturating_mul(self.gamma.max(1)) >= s.n {
             Direction::DensePush
@@ -159,6 +202,9 @@ pub struct AdaptiveConfig {
     /// the masked word-parallel scan, and each iteration's output is retired
     /// from the mask 64 bits at a time.
     pub settle: bool,
+    /// Bin sizing for [`Direction::BlockedPull`] iterations (only consulted
+    /// when the policy's blocked-pull upgrade is enabled).
+    pub bins: BlockedConfig,
 }
 
 /// Cross-iteration state of one adaptive traversal: the policy inputs that
@@ -290,7 +336,7 @@ where
         }
     };
 
-    let dir = engine.cfg.policy.decide(&PolicyInputs {
+    let mut dir = engine.cfg.policy.decide(&PolicyInputs {
         n,
         frontier_len: len,
         frontier_edges,
@@ -299,6 +345,12 @@ where
         current: engine.current,
         since_switch: engine.since_switch,
     });
+    // The blocked kernel flushes against a candidate *bitmap*; without
+    // settle mode there is none (candidacy is a predicate), so the upgrade
+    // quietly degrades to the plain CSC pull.
+    if dir == Direction::BlockedPull && !engine.cfg.settle {
+        dir = Direction::Pull;
+    }
     if dir.is_pull() != engine.current.is_pull() {
         engine.since_switch = 1;
     } else {
@@ -359,7 +411,7 @@ where
             ctx.recycle_frontier(sparse);
             out
         }
-        Direction::Pull => {
+        Direction::Pull | Direction::BlockedPull => {
             let dense = match frontier {
                 VertexFrontier::Sparse(s) => {
                     let d = ctx.take_dense_frontier(n);
@@ -374,7 +426,21 @@ where
             let pull_cfg = PullConfig {
                 early_exit: engine.cfg.early_exit,
             };
-            let (out, scanned) = if engine.cfg.settle {
+            let (out, scanned) = if dir == Direction::BlockedPull {
+                // Settle mode is guaranteed here (see the downgrade above).
+                engine.ensure_unvisited(ctx, &pull_candidate);
+                let mask = engine.unvisited.as_ref().unwrap(); // unwrap-ok: ensure_unvisited filled it
+                expand_blocked_pull(
+                    policy,
+                    ctx,
+                    g,
+                    &dense,
+                    mask,
+                    pull_cfg,
+                    engine.cfg.bins,
+                    &pull_condition,
+                )
+            } else if engine.cfg.settle {
                 // The mask reflects candidacy at iteration entry; outputs
                 // retire from it below, keeping it exact.
                 engine.ensure_unvisited(ctx, &pull_candidate);
@@ -473,10 +539,49 @@ mod tests {
             beta: 0,
             gamma: 0,
             dwell: 0,
+            blocked: Some(BlockedPullPolicy { alpha: 0, beta: 0 }),
         };
         let s = inputs(Direction::Push);
         let _ = p.decide(&s); // must not panic
         let s = inputs(Direction::Pull);
         let _ = p.decide(&s);
+    }
+
+    #[test]
+    fn blocked_upgrade_fires_only_above_its_alpha_threshold() {
+        let p = DirectionPolicy {
+            blocked: Some(BlockedPullPolicy { alpha: 8, beta: 16 }),
+            ..DirectionPolicy::default()
+        };
+        let mut s = inputs(Direction::Pull);
+        s.frontier_len = 200; // >= 1000/8: dense enough to bin
+        assert_eq!(p.decide(&s), Direction::BlockedPull);
+        s.frontier_len = 100; // pull keeps running (>= n/24) but below n/8
+        assert_eq!(p.decide(&s), Direction::Pull);
+        // Without the upgrade policy the same inputs never block.
+        let plain = DirectionPolicy::default();
+        s.frontier_len = 200;
+        assert_eq!(plain.decide(&s), Direction::Pull);
+    }
+
+    #[test]
+    fn blocked_exit_has_hysteresis() {
+        let p = DirectionPolicy {
+            blocked: Some(BlockedPullPolicy { alpha: 8, beta: 16 }),
+            ..DirectionPolicy::default()
+        };
+        // Between n/16 and n/8: stays blocked if already blocked, stays
+        // plain if not — the two thresholds straddle the boundary.
+        let mut s = inputs(Direction::BlockedPull);
+        s.frontier_len = 80;
+        assert_eq!(p.decide(&s), Direction::BlockedPull);
+        let mut s = inputs(Direction::Pull);
+        s.frontier_len = 80;
+        assert_eq!(p.decide(&s), Direction::Pull);
+        // Below n/16 the β rule of the outer pair still rules first: 80 >=
+        // 1000/24 keeps pulling, 30 < 1000/24 leaves the pull family.
+        let mut s = inputs(Direction::BlockedPull);
+        s.frontier_len = 30;
+        assert_eq!(p.decide(&s), Direction::Push);
     }
 }

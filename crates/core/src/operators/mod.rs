@@ -9,6 +9,7 @@
 //! bulk-synchronous parallel-for to barrier-free asynchronous draining.
 
 pub mod advance;
+pub mod blocked;
 pub mod compute;
 pub mod direction;
 pub mod filter;

@@ -1,5 +1,8 @@
 //! Reduction operators over vertex ranges.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use essentials_parallel::atomics::AtomicF64;
 use essentials_parallel::{ExecutionPolicy, Schedule};
 
 use crate::context::Context;
@@ -52,12 +55,51 @@ where
 /// Sum of `map(i)` over `0..n`. Parallel summation reassociates, so
 /// floating-point results may differ from sequential by rounding; callers
 /// compare with tolerances.
-pub fn sum_f64<P, M>(policy: P, ctx: &Context, n: usize, map: M) -> f64
+///
+/// Unlike the generic [`reduce`], the parallel path is allocation-free:
+/// workers claim fixed chunks from a stack-resident counter, accumulate
+/// locally, and merge once per worker into an atomic total. The fixpoint
+/// algorithms call this twice per iteration (dangling mass, residual), so
+/// it must not disturb their steady-state zero-allocation contract
+/// (DESIGN.md §12). Inputs below the default schedule's sequential cutoff
+/// take the exact sequential loop, preserving seq/par bit-equality for
+/// small graphs.
+pub fn sum_f64<P, M>(_policy: P, ctx: &Context, n: usize, map: M) -> f64
 where
     P: ExecutionPolicy,
     M: Fn(usize) -> f64 + Sync,
 {
-    reduce(policy, ctx, n, 0.0, map, |a, b| a + b)
+    const GRAIN: usize = 1024;
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 || n < Schedule::default().sequential_cutoff() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += map(i);
+        }
+        return acc;
+    }
+    let nchunks = n.div_ceil(GRAIN);
+    let next = AtomicUsize::new(0);
+    let total = AtomicF64::new(0.0);
+    ctx.pool().run(|_tid| {
+        let mut local = 0.0;
+        loop {
+            let chunk = next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= nchunks {
+                break;
+            }
+            let lo = chunk * GRAIN;
+            let hi = (lo + GRAIN).min(n);
+            for i in lo..hi {
+                local += map(i);
+            }
+        }
+        // All-zero partials (e.g. dangling sums on dangling-free graphs)
+        // skip the contended merge entirely.
+        if local != 0.0 {
+            total.fetch_add(local, Ordering::AcqRel);
+        }
+    });
+    total.into_inner()
 }
 
 #[cfg(test)]
@@ -99,6 +141,19 @@ mod tests {
         assert_eq!(max_f64(execution::par, &ctx, 1000, |i| i as f64), 999.0);
         let s = sum_f64(execution::par, &ctx, 1000, |_| 0.5);
         assert!((s - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_f64_parallel_path_matches_sequential_within_tolerance() {
+        let ctx = Context::new(4);
+        // n well past the sequential cutoff so the chunk-claiming path runs.
+        let n = 100_000;
+        let seq = sum_f64(execution::seq, &ctx, n, |i| 1.0 / (i + 1) as f64);
+        let par = sum_f64(execution::par, &ctx, n, |i| 1.0 / (i + 1) as f64);
+        assert!((seq - par).abs() < 1e-9, "{seq} vs {par}");
+        // Integer-valued maps reassociate exactly.
+        let exact = sum_f64(execution::par, &ctx, n, |i| (i % 7) as f64);
+        assert_eq!(exact, (0..n).map(|i| (i % 7) as f64).sum::<f64>());
     }
 
     #[test]

@@ -28,6 +28,12 @@ const MAX_SPARE_FRONTIERS: usize = 4;
 /// a current, a next, and possibly an unvisited-candidates bitmap.
 const MAX_SPARE_DENSE: usize = 4;
 
+/// Bound on each pooled numeric-buffer kind (`f64` rank vectors, `u32`
+/// bin-entry arrays, `usize` offset/cursor tables). The blocked gather
+/// holds a handful of each across a run; six covers every concurrent
+/// holder plus one spare.
+const MAX_SPARE_NUMERIC: usize = 6;
+
 /// All reusable memory one advance/filter iteration needs.
 pub struct AdvanceScratch {
     /// Degree prefix-sum of the input frontier (load balancer).
@@ -46,6 +52,12 @@ pub struct AdvanceScratch {
     /// bitmap is only handed out for the vertex universe it was built for,
     /// so reuse is exact and clearing stays O(n/64) word stores.
     spare_dense: Vec<DenseFrontier>,
+    /// Recycled `f64` buffers (rank double-buffers, blocked-gather values).
+    spare_f64: Vec<Vec<f64>>,
+    /// Recycled `u32` buffers (blocked-gather destination/source entries).
+    spare_u32: Vec<Vec<u32>>,
+    /// Recycled `usize` buffers (blocked-gather offsets and cursors).
+    spare_usize: Vec<Vec<usize>>,
 }
 
 impl AdvanceScratch {
@@ -58,7 +70,43 @@ impl AdvanceScratch {
             seen: AtomicBitset::new(0),
             spare: Vec::new(),       // alloc-ok: see above
             spare_dense: Vec::new(), // alloc-ok: see above
+            spare_f64: Vec::new(),   // alloc-ok: see above
+            spare_u32: Vec::new(),   // alloc-ok: see above
+            spare_usize: Vec::new(), // alloc-ok: see above
         }
+    }
+
+    /// A cleared `f64` buffer, reusing the largest pooled capacity. The
+    /// caller resizes to its working length; steady state (same graph, same
+    /// operator) always finds a buffer that already fits.
+    pub(crate) fn take_f64(&mut self) -> Vec<f64> {
+        take_spare(&mut self.spare_f64)
+    }
+
+    /// Returns an `f64` buffer to the pool (dropped when the pool is full).
+    pub(crate) fn put_f64(&mut self, v: Vec<f64>) {
+        put_spare(&mut self.spare_f64, v);
+    }
+
+    /// A cleared `u32` buffer from the pool ([`Self::take_f64`] semantics).
+    pub(crate) fn take_u32(&mut self) -> Vec<u32> {
+        take_spare(&mut self.spare_u32)
+    }
+
+    /// Returns a `u32` buffer to the pool.
+    pub(crate) fn put_u32(&mut self, v: Vec<u32>) {
+        put_spare(&mut self.spare_u32, v);
+    }
+
+    /// A cleared `usize` buffer from the pool ([`Self::take_f64`]
+    /// semantics).
+    pub(crate) fn take_usize(&mut self) -> Vec<usize> {
+        take_spare(&mut self.spare_usize)
+    }
+
+    /// Returns a `usize` buffer to the pool.
+    pub(crate) fn put_usize(&mut self, v: Vec<usize>) {
+        put_spare(&mut self.spare_usize, v);
     }
 
     /// Makes the dedup bitmap cover at least `n` vertices. All bits of the
@@ -105,6 +153,32 @@ impl AdvanceScratch {
         if self.spare_dense.len() < MAX_SPARE_DENSE && d.capacity() > 0 {
             self.spare_dense.push(d); // alloc-ok: cold pool-return; spine bounded by MAX_SPARE_DENSE
         }
+    }
+}
+
+/// Pops the largest-capacity pooled buffer (cleared), or an empty vector.
+/// Largest-first keeps one warm maximal buffer circulating per user even
+/// when differently sized temporaries share the pool.
+fn take_spare<T>(pool: &mut Vec<Vec<T>>) -> Vec<T> {
+    let best = pool
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, v)| v.capacity())
+        .map(|(i, _)| i);
+    match best {
+        Some(i) => {
+            let mut v = pool.swap_remove(i);
+            v.clear();
+            v
+        }
+        None => Vec::new(), // alloc-ok: Vec::new never allocates (cold miss)
+    }
+}
+
+/// Returns a buffer to a bounded pool (dropped when full or capacity-less).
+fn put_spare<T>(pool: &mut Vec<Vec<T>>, v: Vec<T>) {
+    if pool.len() < MAX_SPARE_NUMERIC && v.capacity() > 0 {
+        pool.push(v); // alloc-ok: cold pool-return; spine bounded by MAX_SPARE_NUMERIC
     }
 }
 
@@ -220,6 +294,28 @@ mod tests {
             s.put_dense(DenseFrontier::new(8));
         }
         assert!(s.spare_dense.len() <= MAX_SPARE_DENSE);
+    }
+
+    #[test]
+    fn numeric_pools_prefer_largest_capacity_and_stay_bounded() {
+        let mut s = AdvanceScratch::new(1);
+        s.put_f64(Vec::with_capacity(16));
+        let mut big = Vec::with_capacity(1024);
+        big.push(1.0);
+        let addr = big.as_ptr();
+        s.put_f64(big);
+        let got = s.take_f64();
+        assert_eq!(got.as_ptr(), addr, "largest pooled buffer comes back first");
+        assert!(got.is_empty());
+        for _ in 0..12 {
+            s.put_u32(Vec::with_capacity(4));
+            s.put_usize(Vec::with_capacity(4));
+        }
+        assert!(s.spare_u32.len() <= MAX_SPARE_NUMERIC);
+        assert!(s.spare_usize.len() <= MAX_SPARE_NUMERIC);
+        // A cold miss hands out an (allocation-free) empty vector.
+        let mut empty = AdvanceScratch::new(1);
+        assert_eq!(empty.take_usize().capacity(), 0);
     }
 
     #[test]

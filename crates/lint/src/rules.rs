@@ -39,12 +39,16 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[
     // The advance/compute operators that drive the buffers.
     "crates/core/src/operators/advance.rs",
     "crates/core/src/operators/compute.rs",
+    // The propagation-blocked gather: column-disjoint counting-sort writes
+    // and per-bin flush windows over pooled buffers (DESIGN.md §12).
+    "crates/core/src/operators/blocked.rs",
 ];
 
 /// Modules under the zero-allocation steady-state contract (EL020); see
 /// `tests/zero_alloc.rs` for the dynamic counterpart of this gate.
 pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/core/src/operators/advance.rs",
+    "crates/core/src/operators/blocked.rs",
     "crates/core/src/load_balance.rs",
     "crates/core/src/scratch.rs",
     "crates/parallel/src/scan.rs",

@@ -15,6 +15,12 @@ pub enum OpKind {
     AdvanceDense,
     /// `expand_pull` / `expand_pull_counted` — pull-direction expansion.
     Pull,
+    /// `expand_blocked_pull` — pull expansion routed through
+    /// destination-binned propagation blocking.
+    PullBlocked,
+    /// `BlockedGather` — full-frontier gather with destination-binned
+    /// propagation blocking.
+    GatherBlocked,
     /// `advance_edges` — edge-frontier advance.
     AdvanceEdges,
     /// `filter` — predicate contraction.
@@ -37,6 +43,8 @@ impl OpKind {
             OpKind::AdvanceUnique => "advance_unique",
             OpKind::AdvanceDense => "advance_dense",
             OpKind::Pull => "pull",
+            OpKind::PullBlocked => "pull_blocked",
+            OpKind::GatherBlocked => "gather_blocked",
             OpKind::AdvanceEdges => "advance_edges",
             OpKind::Filter => "filter",
             OpKind::Uniquify => "uniquify",

@@ -1,0 +1,71 @@
+//! Optional core affinity for pool workers.
+//!
+//! Placement-aware scheduling (DESIGN.md §12) assumes a worker keeps
+//! re-reading the same slice of the rank/label vectors, so its private
+//! caches stay warm across iterations. That only holds if the OS does not
+//! migrate the thread; pinning each worker to one core makes the stable
+//! worker id a stable *cache domain* too.
+//!
+//! Pinning is strictly best-effort and opt-in (`ThreadPool::new_pinned`
+//! or `ESSENTIALS_PIN=1`): on unsupported platforms, or when the kernel
+//! refuses (cpuset restrictions), workers simply run unpinned and
+//! [`pin_current_thread`] reports `false`. No dependency is vendored for
+//! this — on x86-64 Linux the `sched_setaffinity` syscall is issued
+//! directly.
+
+/// Size of the CPU mask passed to the kernel, in `u64` words (1024 CPUs —
+/// the glibc `cpu_set_t` default, ample for any host this runs on).
+const MASK_WORDS: usize = 16;
+
+/// Pins the calling thread to `core` (best effort). Returns `true` when
+/// the kernel accepted the new affinity mask.
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+pub fn pin_current_thread(core: usize) -> bool {
+    if core >= MASK_WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    let ret: i64;
+    // SAFETY: sched_setaffinity(2) is syscall 203 on x86-64 Linux; it
+    // reads `rsi` bytes from the pointer in `rdx` and writes no user
+    // memory. pid 0 targets the calling thread. `rcx`/`r11` are clobbered
+    // by the `syscall` instruction per the ABI and are declared as such;
+    // the mask array outlives the call.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret,
+            in("rdi") 0usize,
+            in("rsi") MASK_WORDS * 8,
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Fallback for platforms without a raw-syscall implementation: reports
+/// that the thread was not pinned.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", not(miri))))]
+pub fn pin_current_thread(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_is_best_effort_and_does_not_crash() {
+        // On Linux this should succeed for core 0 (every cpuset contains at
+        // least one core, and core 0 is the common case); elsewhere it must
+        // return false. Either way the thread keeps running.
+        let _ = pin_current_thread(0);
+        assert!(!pin_current_thread(MASK_WORDS * 64 + 1));
+        let sum: usize = (0..100).sum();
+        assert_eq!(sum, 4950);
+    }
+}

@@ -28,21 +28,25 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod async_engine;
 pub mod atomics;
 pub mod barrier;
 pub mod exec;
+pub mod placement;
 pub mod policy;
 pub mod pool;
 pub mod scan;
 pub mod schedule;
 pub mod scope;
 
+pub use affinity::pin_current_thread;
 pub use async_engine::{run_async, run_async_seq, try_run_async, AsyncStats, Pusher};
 pub use barrier::SpinBarrier;
 pub use exec::{
     BudgetReason, CancelToken, ChunkAction, ChunkHooks, ExecError, FaultPlan, Progress, RunBudget,
 };
+pub use placement::Placement;
 pub use policy::{execution, ExecutionPolicy, Par, ParNosync, Seq};
 pub use pool::ThreadPool;
 pub use scan::{parallel_scan, parallel_scan_with, serial_scan};

@@ -1,0 +1,151 @@
+//! Placement maps: which worker "owns" which slice of an iteration space.
+//!
+//! The memory-locality engine (DESIGN.md §12) needs one shared answer to
+//! "where does a vertex's data live?": the partitioner derives worker
+//! segments from graph structure, the pool's dynamic scheduler prefers a
+//! worker's own segment before stealing, and the blocked-gather operators
+//! size their destination bins against the same boundaries. A
+//! [`Placement`] is that answer — a monotone list of segment boundaries
+//! over `0..len`, one contiguous segment per worker.
+//!
+//! Placements describe *preference*, never correctness: every scheduler
+//! that consumes one still visits the whole iteration space, and chunk
+//! numbering stays identical to the placement-free schedule (fault-plan
+//! coordinates and determinism arguments are unaffected).
+
+use std::ops::Range;
+
+/// A contiguous assignment of an iteration space to workers.
+///
+/// `starts` has `workers + 1` entries with `starts[0] == 0`,
+/// `starts[workers] == len`, and `starts[w] <= starts[w + 1]`; worker `w`
+/// owns `starts[w]..starts[w + 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    starts: Vec<usize>,
+}
+
+impl Placement {
+    /// An even split of `0..len` into `workers` contiguous segments.
+    pub fn even(len: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let chunk = len.div_ceil(workers.max(1)).max(1);
+        let starts = (0..=workers).map(|w| (w * chunk).min(len)).collect();
+        Placement { starts }
+    }
+
+    /// Wraps explicit segment boundaries (`workers + 1` monotone values
+    /// starting at 0). The last boundary is the space's length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the boundary list is empty, does not start at 0, or is
+    /// not monotone non-decreasing.
+    pub fn from_boundaries(starts: Vec<usize>) -> Self {
+        assert!(starts.len() >= 2, "placement needs at least one segment");
+        assert_eq!(starts[0], 0, "placement must start at 0");
+        assert!(
+            starts.windows(2).all(|w| w[0] <= w[1]),
+            "placement boundaries must be monotone"
+        );
+        Placement { starts }
+    }
+
+    /// Number of worker segments.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Length of the iteration space this placement divides.
+    #[inline]
+    pub fn len(&self) -> usize {
+        *self.starts.last().unwrap_or(&0)
+    }
+
+    /// True when the placement covers an empty space.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Worker `w`'s segment of the original space.
+    #[inline]
+    pub fn segment(&self, w: usize) -> Range<usize> {
+        self.starts[w]..self.starts[w + 1]
+    }
+
+    /// Worker `w`'s segment rescaled onto a space of `n` items (chunk ids,
+    /// bitmap words, …) covering the same data proportionally. Boundaries
+    /// are `floor(start * n / len)`, so rescaled segments stay monotone,
+    /// disjoint, and jointly cover `0..n` exactly.
+    pub fn scaled_segment(&self, w: usize, n: usize) -> Range<usize> {
+        let len = self.len();
+        if len == 0 {
+            return if w == 0 { 0..n } else { 0..0 };
+        }
+        let scale = |b: usize| ((b as u128 * n as u128) / len as u128) as usize;
+        scale(self.starts[w])..scale(self.starts[w + 1])
+    }
+
+    /// The worker whose segment contains `i` (the last worker for
+    /// out-of-range `i`).
+    pub fn owner(&self, i: usize) -> usize {
+        // The owner is the first worker whose segment end exceeds `i`;
+        // equivalently, the count of segment ends at or below `i`.
+        let w = self.starts[1..].partition_point(|&end| end <= i);
+        w.min(self.workers() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_space() {
+        let p = Placement::even(10, 3);
+        assert_eq!(p.workers(), 3);
+        assert_eq!(p.len(), 10);
+        let total: usize = (0..3).map(|w| p.segment(w).len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(p.segment(0).start, 0);
+        assert_eq!(p.segment(2).end, 10);
+    }
+
+    #[test]
+    fn scaled_segments_partition_target_space() {
+        let p = Placement::from_boundaries(vec![0, 5, 5, 30]);
+        let n = 17;
+        let mut covered = 0;
+        for w in 0..p.workers() {
+            let s = p.scaled_segment(w, n);
+            assert_eq!(s.start, covered);
+            covered = s.end;
+        }
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn owner_matches_segments() {
+        let p = Placement::from_boundaries(vec![0, 4, 4, 9]);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(3), 0);
+        assert_eq!(p.owner(4), 2);
+        assert_eq!(p.owner(8), 2);
+        assert_eq!(p.owner(100), 2);
+    }
+
+    #[test]
+    fn empty_space_scales_to_one_segment() {
+        let p = Placement::even(0, 4);
+        assert_eq!(p.scaled_segment(0, 8), 0..8);
+        assert_eq!(p.scaled_segment(1, 8), 0..0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_non_monotone_boundaries() {
+        Placement::from_boundaries(vec![0, 5, 3]);
+    }
+}

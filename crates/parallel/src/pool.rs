@@ -29,10 +29,22 @@ use parking_lot::{Condvar, Mutex};
 use crate::exec::{
     panic_payload_string, BudgetReason, ChunkAction, ChunkHooks, ExecError, Progress,
 };
+use crate::placement::Placement;
 use crate::schedule::Schedule;
 
 /// A region closure as seen by the workers: called with the worker id.
 type RegionFn = dyn Fn(usize) + Sync;
+
+/// Most workers a segmented dynamic loop will track with per-worker claim
+/// cursors; larger pools fall back to the shared-counter schedule. The
+/// cursor array lives on the caller's stack (zero allocations on the hot
+/// path), so this also bounds that frame.
+const MAX_SEGMENTS: usize = 32;
+
+/// One per-worker claim cursor, padded to a cache line so local claims
+/// never false-share with a neighbor's.
+#[repr(align(64))]
+struct PaddedCursor(AtomicUsize);
 
 /// State shared between the pool handle and its workers.
 struct Shared {
@@ -76,6 +88,9 @@ pub struct ThreadPool {
     num_threads: usize,
     /// Serializes regions: one region at a time per pool.
     region_guard: Mutex<()>,
+    /// Optional locality hint consumed by `Schedule::Dynamic` loops: each
+    /// worker drains its own segment of the chunk space before stealing.
+    placement: Mutex<Option<Arc<Placement>>>,
 }
 
 thread_local! {
@@ -85,9 +100,28 @@ thread_local! {
 }
 
 impl ThreadPool {
-    /// Creates a pool with `num_threads` workers (minimum 1).
+    /// Creates a pool with `num_threads` workers (minimum 1). Workers are
+    /// additionally pinned to cores when `ESSENTIALS_PIN=1` is set.
     pub fn new(num_threads: usize) -> Self {
+        let pin = std::env::var("ESSENTIALS_PIN")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        Self::with_options(num_threads, pin)
+    }
+
+    /// Creates a pool whose workers are pinned to cores (worker `tid` →
+    /// core `tid mod hardware_parallelism`, best effort). Stable worker
+    /// ids then correspond to stable cache domains, which is what the
+    /// placement-aware schedule assumes (DESIGN.md §12).
+    pub fn new_pinned(num_threads: usize) -> Self {
+        Self::with_options(num_threads, true)
+    }
+
+    fn with_options(num_threads: usize, pin: bool) -> Self {
         let num_threads = num_threads.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let shared = Arc::new(Shared {
             slot: Mutex::new(RegionSlot {
                 epoch: 0,
@@ -104,7 +138,14 @@ impl ThreadPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("essentials-worker-{tid}"))
-                    .spawn(move || worker_loop(&shared, tid))
+                    .spawn(move || {
+                        if pin {
+                            // Best effort: a refused mask (cpuset limits,
+                            // non-Linux host) leaves the worker unpinned.
+                            let _ = crate::affinity::pin_current_thread(tid % cores);
+                        }
+                        worker_loop(&shared, tid)
+                    })
                     .expect("failed to spawn pool worker") // unwrap-ok: startup resource failure, no run to fail
             })
             .collect();
@@ -113,7 +154,20 @@ impl ThreadPool {
             handles,
             num_threads,
             region_guard: Mutex::new(()),
+            placement: Mutex::new(None),
         }
+    }
+
+    /// Installs (or clears) the locality hint consumed by dynamic loops.
+    /// The placement's segments are rescaled onto each loop's chunk space;
+    /// a placement whose worker count differs from the pool's is ignored.
+    pub fn set_placement(&self, placement: Option<Arc<Placement>>) {
+        *self.placement.lock() = placement;
+    }
+
+    /// The currently installed locality hint, if any.
+    pub fn placement(&self) -> Option<Arc<Placement>> {
+        self.placement.lock().clone()
     }
 
     /// A process-wide pool sized to the available hardware parallelism.
@@ -306,21 +360,71 @@ impl ThreadPool {
             }
             Schedule::Dynamic(grain) => {
                 let grain = grain.max(1);
-                let next = AtomicUsize::new(range.start);
-                self.try_run(|tid| loop {
-                    if outcome.should_stop() {
-                        break;
+                let nchunks = len.div_ceil(grain);
+                // Segmented claiming: each worker owns a contiguous slice
+                // of the *chunk id space* (its placement segment, or an
+                // even split), drains it through a private cursor, then
+                // steals from other segments. Chunk ids keep the exact
+                // `(lo - start) / grain` numbering of the shared-counter
+                // schedule, so fault-plan coordinates and the determinism
+                // argument are untouched — only the claim order (which the
+                // BSP contract already leaves free) changes.
+                if (2..=MAX_SEGMENTS).contains(&n) && nchunks >= 2 * n {
+                    let placement = self.placement();
+                    let mut bounds = [0usize; MAX_SEGMENTS + 1];
+                    match placement.as_deref() {
+                        Some(p) if p.workers() == n && !p.is_empty() => {
+                            for (w, b) in bounds.iter_mut().enumerate().take(n) {
+                                *b = p.scaled_segment(w, nchunks).start;
+                            }
+                            bounds[n] = nchunks;
+                        }
+                        _ => {
+                            let seg = nchunks.div_ceil(n);
+                            for (w, b) in bounds.iter_mut().enumerate().take(n + 1) {
+                                *b = (w * seg).min(nchunks);
+                            }
+                        }
                     }
-                    let lo = next.fetch_add(grain, Ordering::Relaxed);
-                    if lo >= range.end {
-                        break;
-                    }
-                    let hi = (lo + grain).min(range.end);
-                    let chunk = (lo - range.start) / grain;
-                    if !run_chunk(&outcome, &hooks, f, tid, chunk, lo, hi) {
-                        break;
-                    }
-                })?;
+                    let cursors: [PaddedCursor; MAX_SEGMENTS] =
+                        std::array::from_fn(|w| PaddedCursor(AtomicUsize::new(bounds[w])));
+                    self.try_run(|tid| {
+                        // Local segment first, then steal round-robin.
+                        for k in 0..n {
+                            let w = (tid + k) % n;
+                            loop {
+                                if outcome.should_stop() {
+                                    return;
+                                }
+                                let chunk = cursors[w].0.fetch_add(1, Ordering::Relaxed);
+                                if chunk >= bounds[w + 1] {
+                                    break;
+                                }
+                                let lo = range.start + chunk * grain;
+                                let hi = (lo + grain).min(range.end);
+                                if !run_chunk(&outcome, &hooks, f, tid, chunk, lo, hi) {
+                                    return;
+                                }
+                            }
+                        }
+                    })?;
+                } else {
+                    let next = AtomicUsize::new(range.start);
+                    self.try_run(|tid| loop {
+                        if outcome.should_stop() {
+                            break;
+                        }
+                        let lo = next.fetch_add(grain, Ordering::Relaxed);
+                        if lo >= range.end {
+                            break;
+                        }
+                        let hi = (lo + grain).min(range.end);
+                        let chunk = (lo - range.start) / grain;
+                        if !run_chunk(&outcome, &hooks, f, tid, chunk, lo, hi) {
+                            break;
+                        }
+                    })?;
+                }
             }
             Schedule::Guided(min_grain) => {
                 let min_grain = min_grain.max(1);
@@ -835,6 +939,59 @@ mod tests {
         let pool = ThreadPool::new(4);
         pool.run(|_| {});
         drop(pool);
+    }
+
+    #[test]
+    fn segmented_dynamic_covers_range_with_and_without_placement() {
+        let pool = ThreadPool::new(4);
+        let n = 50_000;
+        for placement in [
+            None,
+            Some(Arc::new(Placement::even(n, 4))),
+            Some(Arc::new(Placement::from_boundaries(vec![
+                0, 40_000, 45_000, 48_000, 50_000,
+            ]))),
+            // Mismatched worker count: ignored, even split used.
+            Some(Arc::new(Placement::even(n, 3))),
+        ] {
+            pool.set_placement(placement);
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(0..n, Schedule::Dynamic(64), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+        pool.set_placement(None);
+    }
+
+    #[test]
+    fn segmented_dynamic_keeps_chunk_ids_stable() {
+        // Fault coordinates name chunks by `(lo - start) / grain`; the
+        // segmented schedule must report the same ids as the shared
+        // counter did.
+        let pool = ThreadPool::new(4);
+        pool.set_placement(Some(Arc::new(Placement::even(6400, 4))));
+        let plan = crate::exec::FaultPlan::new().panic_at(0, 5);
+        let budget = crate::exec::RunBudget::unlimited();
+        let hooks = budget.chunk_hooks(Some(&plan));
+        let err = pool
+            .try_parallel_for_with(0..6400, Schedule::Dynamic(64), hooks, |_, _| {})
+            .unwrap_err();
+        match &err {
+            ExecError::WorkerPanic { chunk, .. } => assert_eq!(*chunk, 5),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        pool.set_placement(None);
+    }
+
+    #[test]
+    fn pinned_pool_still_runs_regions() {
+        let pool = ThreadPool::new_pinned(2);
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(0..10_000, Schedule::Dynamic(64), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 10_000);
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn print_trace(r: &essentials_algos::bfs::BfsResult, n: usize) {
             Direction::Push => "push",
             Direction::DensePush => "push·dense",
             Direction::Pull => "PULL",
+            Direction::BlockedPull => "PULL·blk",
         };
         println!("{i:>4}  {d:<10} {len:>8} {bar}");
     }

@@ -104,16 +104,27 @@ fn adaptive_sssp_cc_pagerank_match_their_fixed_variants() {
 }
 
 /// Policies spanning the decision space's corners: always-push, eager-pull,
-/// dense-early, sticky (high dwell), and the default.
+/// dense-early, sticky (high dwell), blocked-pull upgrades, and the default.
 fn arb_policy() -> impl Strategy<Value = DirectionPolicy> {
-    (1usize..40, 1usize..40, 1usize..64, 1usize..4).prop_map(|(alpha, beta, gamma, dwell)| {
-        DirectionPolicy {
-            alpha,
-            beta,
-            gamma,
-            dwell,
-        }
-    })
+    (
+        1usize..40,
+        1usize..40,
+        1usize..64,
+        1usize..4,
+        (0usize..2, 1usize..16, 1usize..32),
+    )
+        .prop_map(
+            |(alpha, beta, gamma, dwell, (on, ba, bb))| DirectionPolicy {
+                alpha,
+                beta,
+                gamma,
+                dwell,
+                blocked: (on == 1).then_some(BlockedPullPolicy {
+                    alpha: ba,
+                    beta: bb,
+                }),
+            },
+        )
 }
 
 proptest! {

@@ -29,7 +29,7 @@
 //!   so its ranks are only tolerance-equal, not bit-equal, across runs.
 
 use essentials::prelude::*;
-use essentials_algos::{bfs, pagerank, sssp};
+use essentials_algos::{bfs, hits, pagerank, sssp};
 use essentials_gen as gen;
 use std::sync::Arc;
 
@@ -122,6 +122,75 @@ fn pagerank_pull_bit_identical_at_fixed_iteration_count() {
         // identical float operations in identical order.
         let a = pagerank::pagerank_adaptive(execution::par, &ctx, &g, cfg, Default::default());
         assert_eq!(a.rank, reference, "adaptive ranks diverged at {t} threads");
+    }
+}
+
+#[test]
+fn blocked_gather_results_bit_identical_across_thread_counts() {
+    // The propagation-blocked gather extends the pull-side guarantee: each
+    // destination bin is flushed by exactly one worker, and within a bin
+    // the entries sit in source-ascending order — the same sequential sum
+    // the naive gather performs, so thread count never reassociates it.
+    let g = sym(gen::gnm(400, 2400, 5));
+    assert!(
+        g.vertices().all(|v| g.out_degree(v) > 0),
+        "graph has dangling vertices; pick a denser seed"
+    );
+    let bins = BlockedConfig { bin_bits: 6 };
+
+    let cfg = pagerank::PrConfig {
+        damping: 0.85,
+        tolerance: 0.0, // never trips: exactly max_iterations run
+        max_iterations: 25,
+    };
+    let pr_ref =
+        pagerank::pagerank_pull_blocked(execution::seq, &Context::sequential(), &g, cfg, bins).rank;
+    for &t in &THREADS {
+        let ctx = Context::new(t);
+        let r = pagerank::pagerank_pull_blocked(execution::par, &ctx, &g, cfg, bins);
+        assert_eq!(r.stats.iterations, 25);
+        assert_eq!(r.rank, pr_ref, "blocked ranks diverged at {t} threads");
+    }
+
+    let hcfg = hits::HitsConfig {
+        tolerance: 0.0,
+        max_iterations: 15,
+    };
+    let h_ref = hits::hits_blocked(execution::seq, &Context::sequential(), &g, hcfg, bins);
+    for &t in &THREADS {
+        let ctx = Context::new(t);
+        let r = hits::hits_blocked(execution::par, &ctx, &g, hcfg, bins);
+        assert_eq!(r.hub, h_ref.hub, "blocked hubs diverged at {t} threads");
+        assert_eq!(
+            r.authority, h_ref.authority,
+            "blocked authorities diverged at {t} threads"
+        );
+    }
+
+    // Through the direction engine: a policy with an eager blocked-pull
+    // upgrade (huge α ⇒ tiny n/α entry threshold, so every pull iteration
+    // upgrades) yields the same levels AND the same per-iteration direction
+    // trace at every thread count (the decision reads only frontier sizes).
+    let policy = DirectionPolicy {
+        blocked: Some(BlockedPullPolicy {
+            alpha: 1000,
+            beta: 1000,
+        }),
+        ..DirectionPolicy::default()
+    };
+    let b_ref = bfs::bfs_with_policy(execution::par, &Context::new(1), &g, 0, policy);
+    assert!(
+        b_ref.directions.contains(&Direction::BlockedPull),
+        "eager policy never took the blocked-pull path; the test is vacuous"
+    );
+    for &t in &THREADS {
+        let ctx = Context::new(t);
+        let r = bfs::bfs_with_policy(execution::par, &ctx, &g, 0, policy);
+        assert_eq!(r.level, b_ref.level, "blocked BFS diverged at {t} threads");
+        assert_eq!(
+            r.directions, b_ref.directions,
+            "direction trace diverged at {t} threads"
+        );
     }
 }
 

@@ -8,10 +8,11 @@
 //! checked against one thread-count-independent oracle per algorithm.
 
 use essentials::prelude::*;
-use essentials_algos::{bfs, pagerank, sssp};
+use essentials_algos::{bfs, cc, hits, pagerank, sssp};
 use essentials_gen as gen;
 use essentials_mp::algorithms::{mp_bfs, mp_pagerank, mp_sssp};
 use essentials_partition::{random_partition, PartitionedGraph};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 const SHM_THREADS: [usize; 3] = [1, 2, 8];
 const MP_PARTITIONS: [usize; 3] = [1, 2, 8];
@@ -102,6 +103,119 @@ fn sssp_distances_agree_across_backends() {
             assert!(
                 close_f32(&dist, &oracle),
                 "mp sssp diverged on {name} at {k} partitions"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocked_gather_agrees_with_naive_on_f64_ranks() {
+    // The propagation-blocked gather reorders memory traffic, not
+    // arithmetic: per destination the binned entries accumulate in
+    // source-ascending order — the same sequence the naive pull sums — so
+    // f64 ranks agree to 1e-12 L∞ (and in practice to the last ulp).
+    let iterations = 30;
+    let cfg = pagerank::PrConfig {
+        damping: 0.85,
+        tolerance: 0.0,
+        max_iterations: iterations,
+    };
+    let bins = BlockedConfig { bin_bits: 6 };
+    for (name, coo) in topologies() {
+        let g = sym(coo);
+        let pr_oracle =
+            pagerank::pagerank_pull(execution::seq, &Context::sequential(), &g, cfg).rank;
+        let hcfg = hits::HitsConfig {
+            tolerance: 0.0,
+            max_iterations: 20,
+        };
+        let hits_oracle = hits::hits(execution::seq, &Context::sequential(), &g, hcfg);
+        for &t in &SHM_THREADS {
+            let ctx = Context::new(t);
+            let r = pagerank::pagerank_pull_blocked(execution::par, &ctx, &g, cfg, bins);
+            assert_eq!(r.stats.iterations, iterations);
+            for (a, b) in r.rank.iter().zip(&pr_oracle) {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "blocked pr diverged on {name} at {t} threads: {a} vs {b}"
+                );
+            }
+            let h = hits::hits_blocked(execution::par, &ctx, &g, hcfg, bins);
+            for (a, b) in h
+                .hub
+                .iter()
+                .zip(&hits_oracle.hub)
+                .chain(h.authority.iter().zip(&hits_oracle.authority))
+            {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "blocked hits diverged on {name} at {t} threads: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_gather_is_exact_on_integer_payloads() {
+    // Integer payloads leave no room for tolerance: BFS levels through the
+    // direction engine's blocked-pull upgrade, and CC labels through a
+    // label-propagation loop driven directly by `expand_blocked_pull`, must
+    // equal the sequential oracles bit for bit.
+    let blocked_policy = DirectionPolicy {
+        // Huge α ⇒ tiny n/α entry threshold: every pull iteration upgrades.
+        blocked: Some(BlockedPullPolicy {
+            alpha: 1000,
+            beta: 1000,
+        }),
+        ..DirectionPolicy::default()
+    };
+    for (name, coo) in topologies() {
+        let g = sym(coo);
+        let n = g.get_num_vertices();
+
+        let bfs_oracle = bfs::bfs_sequential(&g, 0).level;
+        for &t in &SHM_THREADS {
+            let ctx = Context::new(t);
+            let r = bfs::bfs_with_policy(execution::par, &ctx, &g, 0, blocked_policy);
+            assert_eq!(
+                r.level, bfs_oracle,
+                "blocked bfs diverged on {name} at {t} threads"
+            );
+        }
+
+        // CC by min-label propagation, every iteration a blocked pull over
+        // the full candidate set. `fetch_min` is monotone, so the loop lands
+        // on the same per-component-minimum fixpoint as the union-find
+        // oracle no matter how the bins interleave.
+        let cc_oracle = cc::cc_union_find(&g).comp;
+        for &t in &SHM_THREADS {
+            let ctx = Context::new(t);
+            let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+            let candidates = DenseFrontier::new(n);
+            candidates.set_all();
+            let mut frontier = DenseFrontier::new(n);
+            frontier.set_all();
+            while !frontier.is_empty() {
+                let (next, _scanned) = expand_blocked_pull(
+                    execution::par,
+                    &ctx,
+                    &g,
+                    &frontier,
+                    &candidates,
+                    PullConfig { early_exit: false },
+                    BlockedConfig { bin_bits: 6 },
+                    |src, dst, _w| {
+                        let l = labels[src as usize].load(Ordering::Acquire);
+                        labels[dst as usize].fetch_min(l, Ordering::AcqRel) > l
+                    },
+                );
+                frontier = next;
+            }
+            let comp: Vec<VertexId> = labels.into_iter().map(AtomicU32::into_inner).collect();
+            assert_eq!(
+                comp, cc_oracle,
+                "blocked cc diverged on {name} at {t} threads"
             );
         }
     }

@@ -228,6 +228,83 @@ fn steady_state_dense_and_pull_iterations_do_not_allocate() {
 }
 
 #[test]
+fn steady_state_pagerank_pull_and_blocked_gather_do_not_allocate() {
+    // The rank-vector side of the contract: a pull PageRank iteration is a
+    // full-vector gather (`fill_indexed_into` into a pooled double-buffer)
+    // plus a swap, and the propagation-blocked variant streams a fixed
+    // destination-binned layout built once up front. After warm-up, neither
+    // iteration body may touch the allocator.
+    let g: Graph<()> = Graph::from_coo(&gen::rmat(12, 8, gen::RmatParams::default(), 7)).with_csc();
+    let n = g.num_vertices();
+    let ctx = Context::new(4).with_obs(Arc::new(NullSink) as Arc<dyn ObsSink>);
+    let damping = 0.85;
+    let base = (1.0 - damping) / n as f64;
+
+    // Persistent per-run state, as `pagerank_pull` holds it: the reciprocal
+    // out-degree vector and the two rank buffers that swap each iteration.
+    let mut inv = vec![0.0f64; n];
+    fill_indexed_into(execution::par, &ctx, &mut inv, |v| {
+        let d = g.out_degree(v as VertexId);
+        if d == 0 {
+            0.0
+        } else {
+            (d as f64).recip()
+        }
+    });
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+
+    // One naive pull iteration: indexed gather over in-neighbors, swap.
+    let inv_ref = &inv;
+    let g_ref = &g;
+    let ctx_ref = &ctx;
+    let pull_pr_iteration = |r: &mut Vec<f64>, next: &mut Vec<f64>| {
+        let r_now = &*r;
+        fill_indexed_into(execution::par, ctx_ref, next, |v| {
+            let sum: f64 = g_ref
+                .in_neighbors(v as VertexId)
+                .iter()
+                .map(|&u| r_now[u as usize] * inv_ref[u as usize])
+                .sum();
+            base + damping * sum
+        });
+        std::mem::swap(r, next);
+    };
+
+    // One blocked iteration: value fill + per-bin flush over the layout.
+    let mut gatherer =
+        BlockedGather::over_out_edges(execution::par, &ctx, &g, BlockedConfig::default());
+    let mut blocked_pr_iteration = |r: &mut Vec<f64>, next: &mut Vec<f64>| {
+        let r_now = &*r;
+        gatherer.gather(
+            execution::par,
+            ctx_ref,
+            |u| r_now[u] * inv_ref[u],
+            |_, acc| base + damping * acc,
+            next,
+        );
+        std::mem::swap(r, next);
+    };
+
+    for _ in 0..3 {
+        pull_pr_iteration(&mut rank, &mut next);
+        blocked_pr_iteration(&mut rank, &mut next);
+    }
+
+    let pr_allocs = count_allocs(|| pull_pr_iteration(&mut rank, &mut next));
+    assert_eq!(
+        pr_allocs, 0,
+        "steady-state pull PageRank iteration hit the allocator {pr_allocs} times"
+    );
+    let blocked_allocs = count_allocs(|| blocked_pr_iteration(&mut rank, &mut next));
+    assert_eq!(
+        blocked_allocs, 0,
+        "steady-state blocked gather iteration hit the allocator {blocked_allocs} times"
+    );
+    gatherer.finish(&ctx);
+}
+
+#[test]
 fn budget_checks_preserve_the_zero_allocation_guarantee() {
     // The resilient layer's overhead contract: with a full (but unfired)
     // RunBudget attached — cancel token, far deadline, iteration cap — the
