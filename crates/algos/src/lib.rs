@@ -13,7 +13,8 @@
 //!   independent quantities the experiment harness reports alongside time.
 //!
 //! The roster follows the Gunrock essentials suite, CPU edition: traversal
-//! ([`bfs`], [`sssp`], [`sswp`]), fixpoint ranking ([`pagerank`], [`hits`]),
+//! ([`bfs`], [`multi_source`], [`sssp`], [`sswp`]), fixpoint ranking
+//! ([`pagerank`], [`hits`]),
 //! structure ([`cc`], [`kcore`], [`tc`], [`mst`], [`color`], [`bc`],
 //! [`closeness`]), and
 //! the linear-algebra kernel ([`spmv`]).
@@ -29,6 +30,7 @@ pub mod diameter;
 pub mod hits;
 pub mod kcore;
 pub mod mst;
+pub mod multi_source;
 pub mod pagerank;
 pub mod paths;
 pub mod random_walk;

@@ -4,7 +4,7 @@
 //! (default scale 12 ⇒ ~4k-vertex graphs; scale 14–16 for longer runs).
 //!
 //! With `--json FILE` the harness writes the machine-readable benchmark
-//! snapshot (schema `essentials-bench/v3`, see EXPERIMENTS.md). The
+//! snapshot (schema `essentials-bench/v4`, see EXPERIMENTS.md). The
 //! resilience flags `--deadline-ms N` and `--max-iters N` attach a
 //! `RunBudget` to a dedicated budget experiment in that session: the
 //! flagship algorithms run through their fallible `try_*` entry points and
@@ -26,7 +26,9 @@
 
 use std::sync::Arc;
 
-use essentials_algos::{bfs, cc, color, hits, kcore, mst, pagerank, spmv, sssp, sswp, tc};
+use essentials_algos::{
+    bfs, cc, color, hits, kcore, mst, multi_source, pagerank, spmv, sssp, sswp, tc,
+};
 use essentials_bench::{median_ms, table_header, time_ms, Workload};
 use essentials_core::obs::write_jsonl;
 use essentials_core::prelude::*;
@@ -179,6 +181,11 @@ struct JsonRow {
     /// (`cancelled`, `deadline-expired`, `iteration-cap`, `worker-panic`,
     /// `diverged`) when a budgeted run stopped early.
     outcome: &'static str,
+    /// Schema-v4 extension point: extra experiment-specific JSON members,
+    /// pre-rendered as `,"key":value,...` (empty for plain rows). The
+    /// serving experiments carry latency percentiles and saturation flags
+    /// here so the core column set stays stable across schema versions.
+    extras: String,
 }
 
 impl JsonRow {
@@ -186,10 +193,10 @@ impl JsonRow {
         // All strings here are static identifiers or ASCII variant labels —
         // nothing needs escaping (same reasoning as the obs JSONL export).
         format!(
-            "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"algo\":\"{}\",\"variant\":\"{}\",\"threads\":{},\"ms\":{:.3},\"iterations\":{},\"work\":{},\"mteps\":{:.2},\"outcome\":\"{}\"}}",
+            "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"algo\":\"{}\",\"variant\":\"{}\",\"threads\":{},\"ms\":{:.3},\"iterations\":{},\"work\":{},\"mteps\":{:.2},\"outcome\":\"{}\"{}}}",
             self.experiment, self.workload, self.algo, self.variant,
             self.threads, self.ms, self.iterations, self.work, self.mteps,
-            self.outcome,
+            self.outcome, self.extras,
         )
     }
 }
@@ -252,6 +259,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                     work: r.edges_inspected,
                     mteps: mteps(r.edges_inspected, ms),
                     outcome: "ok",
+                    extras: String::new(),
                 });
             }
         }
@@ -291,6 +299,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                 work: r.relaxations,
                 mteps: mteps(r.relaxations, ms),
                 outcome: "ok",
+                extras: String::new(),
             });
         }
 
@@ -320,6 +329,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                 work: r.updates,
                 mteps: mteps(r.updates, ms),
                 outcome: "ok",
+                extras: String::new(),
             });
         }
 
@@ -361,6 +371,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                 work,
                 mteps: mteps(work, ms),
                 outcome: "ok",
+                extras: String::new(),
             });
         }
         let _ = n;
@@ -435,6 +446,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                 work: set,
                 mteps: mteps(set, ms),
                 outcome: "ok",
+                extras: String::new(),
             });
         }
     }
@@ -491,6 +503,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                     work,
                     mteps: mteps(work, ms),
                     outcome: "ok",
+                    extras: String::new(),
                 });
             };
 
@@ -603,6 +616,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                     work,
                     mteps: mteps(work, ms),
                     outcome: "ok",
+                    extras: String::new(),
                 },
                 Err(e) => JsonRow {
                     experiment: "budget",
@@ -619,7 +633,176 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                     work: 0,
                     mteps: 0.0,
                     outcome: e.kind(),
+                    extras: String::new(),
                 },
+            });
+        }
+    }
+
+    // --- multi-source: 64-wide batched BFS vs 64 dedicated traversals ----
+    // The serving engine's throughput claim, measured head-on: answering
+    // 64 reachability probes with one mask-word batch traversal versus 64
+    // independent single-source runs on the same context. The work column
+    // is edges inspected; the extras carry the aggregate source
+    // throughput, where the batch's amortization (one inspection relaxes
+    // up to 64 lanes) should yield ≥4× on power-law graphs.
+    {
+        let g = Workload::Rmat.symmetric(scale);
+        let n = g.get_num_vertices();
+        let ctx = Context::new(4);
+        let sources: Vec<VertexId> = (0..64)
+            .map(|i| ((i * 2_654_435_761usize) % n) as VertexId)
+            .collect();
+        // Pin correctness before timing anything.
+        let batch = multi_source::bfs_multi_source(execution::par, &ctx, &g, &sources);
+        let mut seq_edges = 0usize;
+        for (s, &src) in sources.iter().enumerate() {
+            let single = bfs::bfs(execution::par, &ctx, &g, src);
+            assert_eq!(
+                batch.source_levels(s),
+                single.level,
+                "multi-source lane {s} diverged"
+            );
+            seq_edges += single.edges_inspected;
+        }
+        let (batch_edges, batch_iters) = (batch.edges_inspected, batch.iterations);
+        batch.recycle(&ctx);
+        let batched_ms = median_ms(3, || {
+            multi_source::bfs_multi_source(execution::par, &ctx, &g, &sources).recycle(&ctx);
+        });
+        let sequential_ms = median_ms(3, || {
+            for &src in &sources {
+                bfs::bfs(execution::par, &ctx, &g, src);
+            }
+        });
+        for (variant, ms, iterations, work) in [
+            ("batched64", batched_ms, batch_iters, batch_edges),
+            ("sequential64", sequential_ms, 0, seq_edges),
+        ] {
+            rows.push(JsonRow {
+                experiment: "multi-source",
+                workload: "rmat",
+                algo: "bfs",
+                variant: variant.to_string(),
+                threads: 4,
+                ms,
+                iterations,
+                work,
+                mteps: mteps(work, ms),
+                outcome: "ok",
+                extras: format!(",\"sources\":64,\"sources_per_sec\":{:.1}", 64_000.0 / ms),
+            });
+        }
+    }
+
+    // --- query-mix: closed-loop serving sweep over client counts ---------
+    // The serving engine under a mixed light/heavy workload: C closed-loop
+    // clients, each cycling think → request → measure, with deterministic
+    // Poisson-ish think times (seeded LCG driving an exponential, mean
+    // 1 ms — arrival *pattern* is reproducible; wall-times are host
+    // facts). Every tenth request per client is a heavy PageRank; the rest
+    // are light single-source probes. Rows report aggregate throughput
+    // plus light-class latency percentiles, and the saturation point —
+    // the first client count whose throughput gain over the previous
+    // level drops below 10% (the sweep extends past the engine's permit
+    // count, so the knee always exists).
+    {
+        use essentials_serve::{Engine, EngineConfig};
+        let graph = Arc::new(Workload::Rmat.symmetric(scale));
+        let n = graph.get_num_vertices();
+        let engine = Engine::new(
+            graph,
+            EngineConfig {
+                threads: 4,
+                permits: 4,
+                heavy_permits: 1,
+            },
+        );
+        let pr_cfg = pagerank::PrConfig {
+            damping: 0.85,
+            tolerance: 0.0,
+            max_iterations: 5,
+        };
+        const REQS_PER_CLIENT: usize = 12;
+        let mut sweep: Vec<(usize, f64, Vec<f64>, usize)> = Vec::new();
+        for &clients in &[1usize, 2, 4, 8, 16] {
+            let latencies: std::sync::Mutex<Vec<f64>> = std::sync::Mutex::new(Vec::new());
+            let completed = std::sync::atomic::AtomicUsize::new(0);
+            let t0 = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let engine = &engine;
+                    let latencies = &latencies;
+                    let completed = &completed;
+                    scope.spawn(move || {
+                        // Deterministic per-client think-time stream.
+                        let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15 ^ (c as u64);
+                        for req in 0..REQS_PER_CLIENT {
+                            lcg = lcg
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let u = (lcg >> 11) as f64 / (1u64 << 53) as f64;
+                            let think_us = (-1000.0 * (1.0 - u).ln()) as u64;
+                            std::thread::sleep(std::time::Duration::from_micros(think_us));
+                            let source = ((c * 131 + req * 977) % n) as VertexId;
+                            let t = std::time::Instant::now();
+                            if req % 10 == 9 {
+                                engine
+                                    .pagerank(pr_cfg, RunBudget::unlimited())
+                                    .expect("pagerank served");
+                            } else {
+                                engine
+                                    .bfs(source, RunBudget::unlimited())
+                                    .expect("bfs served");
+                                let ms = t.elapsed().as_secs_f64() * 1e3;
+                                latencies.lock().expect("latency log").push(ms);
+                            }
+                            completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut lat = latencies.into_inner().expect("latency log");
+            lat.sort_by(|a, b| a.total_cmp(b));
+            let total = completed.load(std::sync::atomic::Ordering::Relaxed);
+            sweep.push((clients, wall_ms, lat, total));
+        }
+        let rps: Vec<f64> = sweep
+            .iter()
+            .map(|(_, wall_ms, _, total)| *total as f64 / (wall_ms / 1e3))
+            .collect();
+        // Saturation knee: <10% throughput gain over the previous level.
+        let knee = (1..rps.len())
+            .find(|&i| rps[i] < rps[i - 1] * 1.10)
+            .unwrap_or(rps.len() - 1);
+        let pct = |lat: &[f64], q: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            lat[(((lat.len() - 1) as f64) * q).round() as usize]
+        };
+        for (i, (clients, wall_ms, lat, total)) in sweep.iter().enumerate() {
+            rows.push(JsonRow {
+                experiment: "query-mix",
+                workload: "rmat",
+                algo: "serve",
+                variant: format!("mix/c{clients}"),
+                threads: 4,
+                ms: *wall_ms,
+                iterations: *total,
+                work: *total,
+                mteps: mteps(*total, *wall_ms),
+                outcome: "ok",
+                extras: format!(
+                    ",\"clients\":{},\"rps\":{:.1},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\"saturated\":{}",
+                    clients,
+                    rps[i],
+                    pct(lat, 0.50),
+                    pct(lat, 0.95),
+                    pct(lat, 0.99),
+                    i >= knee
+                ),
             });
         }
     }
@@ -627,7 +810,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
     // --- serialize -------------------------------------------------------
     let mut out = String::with_capacity(rows.len() * 160 + 128);
     out.push_str(&format!(
-        "{{\n  \"schema\": \"essentials-bench/v3\",\n  \"scale\": {scale},\n  \"rows\": [\n"
+        "{{\n  \"schema\": \"essentials-bench/v4\",\n  \"scale\": {scale},\n  \"rows\": [\n"
     ));
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    ");

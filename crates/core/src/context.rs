@@ -53,9 +53,20 @@ impl Context {
 
     /// Wraps an existing shared pool.
     pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        Context::with_parts(pool, Arc::new(ScratchSlot::new()))
+    }
+
+    /// Builds a context from an existing pool **and** an existing scratch
+    /// slot. This is the serving-layer constructor: a long-lived engine
+    /// keeps one pool plus a checkout pool of scratch slots, and gives each
+    /// admitted request a context sharing the pool but owning a leased
+    /// slot — so concurrent requests never contend on (or cross-pollute)
+    /// each other's scratch, while each request still reuses its slot's
+    /// warmed buffers allocation-free.
+    pub fn with_parts(pool: Arc<ThreadPool>, scratch: Arc<ScratchSlot>) -> Self {
         Context {
             pool,
-            scratch: Arc::new(ScratchSlot::new()),
+            scratch,
             obs: None,
             budget: RunBudget::unlimited(),
             fault: None,
@@ -194,6 +205,39 @@ impl Context {
     pub fn recycle_f64_buffer(&self, v: Vec<f64>) {
         let mut s = self.take_scratch();
         s.put_f64(v);
+        self.put_scratch(s);
+    }
+
+    /// A cleared `u32` buffer from the numeric pool — multi-source level
+    /// tables draw from here so a warm serving engine reruns queries
+    /// without touching the allocator.
+    pub fn take_u32_buffer(&self) -> Vec<u32> {
+        let mut s = self.take_scratch();
+        let v = s.take_u32();
+        self.put_scratch(s);
+        v
+    }
+
+    /// Returns a `u32` buffer to the numeric pool.
+    pub fn recycle_u32_buffer(&self, v: Vec<u32>) {
+        let mut s = self.take_scratch();
+        s.put_u32(v);
+        self.put_scratch(s);
+    }
+
+    /// A cleared `u64` buffer from the numeric pool — the multi-source
+    /// traversals' per-vertex visited/frontier mask words draw from here.
+    pub fn take_u64_buffer(&self) -> Vec<u64> {
+        let mut s = self.take_scratch();
+        let v = s.take_u64();
+        self.put_scratch(s);
+        v
+    }
+
+    /// Returns a `u64` buffer to the numeric pool.
+    pub fn recycle_u64_buffer(&self, v: Vec<u64>) {
+        let mut s = self.take_scratch();
+        s.put_u64(v);
         self.put_scratch(s);
     }
 }

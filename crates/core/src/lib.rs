@@ -28,7 +28,7 @@ pub mod slot;
 
 pub use context::{resolve_threads, Context};
 pub use enactor::{Enactor, IterProgress, LoopStats, DEFAULT_ITERATION_CAP};
-pub use scratch::AdvanceScratch;
+pub use scratch::{AdvanceScratch, ScratchSlot};
 pub use slot::SwapSlot;
 
 /// The observability layer the operators emit into (re-exported so
@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::operators::filter::{filter, try_filter, uniquify, uniquify_with_bitmap};
     pub use crate::operators::intersect::{intersect_count, intersect_count_gallop};
     pub use crate::operators::reduce::{count_if, max_f64, reduce, sum_f64};
-    pub use crate::scratch::AdvanceScratch;
+    pub use crate::scratch::{AdvanceScratch, ScratchSlot};
     pub use essentials_frontier::{
         Collector, DenseFrontier, EdgeFrontier, Frontier, QueueFrontier, SparseFrontier,
         VertexFrontier,

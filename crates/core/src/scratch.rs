@@ -54,8 +54,11 @@ pub struct AdvanceScratch {
     spare_dense: Vec<DenseFrontier>,
     /// Recycled `f64` buffers (rank double-buffers, blocked-gather values).
     spare_f64: Vec<Vec<f64>>,
-    /// Recycled `u32` buffers (blocked-gather destination/source entries).
+    /// Recycled `u32` buffers (blocked-gather destination/source entries,
+    /// multi-source level tables).
     spare_u32: Vec<Vec<u32>>,
+    /// Recycled `u64` buffers (multi-source visited/frontier mask words).
+    spare_u64: Vec<Vec<u64>>,
     /// Recycled `usize` buffers (blocked-gather offsets and cursors).
     spare_usize: Vec<Vec<usize>>,
 }
@@ -72,6 +75,7 @@ impl AdvanceScratch {
             spare_dense: Vec::new(), // alloc-ok: see above
             spare_f64: Vec::new(),   // alloc-ok: see above
             spare_u32: Vec::new(),   // alloc-ok: see above
+            spare_u64: Vec::new(),   // alloc-ok: see above
             spare_usize: Vec::new(), // alloc-ok: see above
         }
     }
@@ -96,6 +100,18 @@ impl AdvanceScratch {
     /// Returns a `u32` buffer to the pool.
     pub(crate) fn put_u32(&mut self, v: Vec<u32>) {
         put_spare(&mut self.spare_u32, v);
+    }
+
+    /// A cleared `u64` buffer from the pool ([`Self::take_f64`] semantics).
+    /// The multi-source traversals draw their per-vertex mask words from
+    /// here.
+    pub(crate) fn take_u64(&mut self) -> Vec<u64> {
+        take_spare(&mut self.spare_u64)
+    }
+
+    /// Returns a `u64` buffer to the pool.
+    pub(crate) fn put_u64(&mut self, v: Vec<u64>) {
+        put_spare(&mut self.spare_u64, v);
     }
 
     /// A cleared `usize` buffer from the pool ([`Self::take_f64`]
@@ -185,12 +201,24 @@ fn put_spare<T>(pool: &mut Vec<Vec<T>>, v: Vec<T>) {
 /// Lock-free single-slot exchanger for the scratch: scratch-specific policy
 /// (lazy construction, worker-count growth, replace-keeps-newest) layered on
 /// the generic [`SwapSlot`] protocol.
-pub(crate) struct ScratchSlot {
+///
+/// Public so a serving layer can keep a *pool* of slots and hand each
+/// admitted request its own via [`crate::Context::with_parts`]; the slot
+/// API itself stays crate-internal — outside code only creates slots and
+/// threads them through contexts.
+pub struct ScratchSlot {
     slot: SwapSlot<AdvanceScratch>,
 }
 
+impl Default for ScratchSlot {
+    fn default() -> Self {
+        ScratchSlot::new()
+    }
+}
+
 impl ScratchSlot {
-    pub(crate) fn new() -> Self {
+    /// An empty slot; the first `take` lazily builds the scratch.
+    pub fn new() -> Self {
         ScratchSlot {
             slot: SwapSlot::new(),
         }

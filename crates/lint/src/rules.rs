@@ -53,6 +53,10 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/core/src/scratch.rs",
     "crates/parallel/src/scan.rs",
     "crates/frontier/src/worker_buffers.rs",
+    // The serving engine's per-request checkout path: a lease must be one
+    // CAS, never an allocation (the zero-alloc serving test is the dynamic
+    // counterpart).
+    "crates/serve/src/pool.rs",
 ];
 
 /// Crates whose *library* code must not `unwrap()`/`expect()` a fallible
@@ -67,6 +71,7 @@ pub const NO_UNWRAP_CRATES: &[&str] = &[
     "crates/core/src/",
     "crates/frontier/src/",
     "crates/io/src/",
+    "crates/serve/src/",
 ];
 
 /// Panic-shaped method calls flagged by EL040. `.unwrap_or*`,

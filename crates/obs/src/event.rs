@@ -154,6 +154,31 @@ pub struct AbortEvent {
     pub iteration: usize,
 }
 
+/// One served request's span, emitted by the serving engine when the
+/// request leaves the system (completed, rejected, or failed). The queue
+/// and service components are separated so saturation shows up as queue
+/// growth, not as mysteriously slow algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestEvent {
+    /// Engine-assigned request id (monotonic per engine).
+    pub id: u64,
+    /// Admission class label (`"light"` / `"heavy"`).
+    pub class: &'static str,
+    /// Request kind label (`"bfs"`, `"bfs-batch"`, `"pagerank"`, …).
+    pub kind: &'static str,
+    /// Outcome label: `"ok"`, an [`crate::ObsSink::on_abort`]-style error
+    /// kind (`"cancelled"`, `"deadline-expired"`, …), or
+    /// `"queue-deadline"` when the request never got past admission.
+    pub outcome: &'static str,
+    /// Nanoseconds spent waiting for an admission permit.
+    pub queue_ns: u64,
+    /// Nanoseconds spent executing (zero if never admitted).
+    pub service_ns: u64,
+    /// Key of the scratch-pool slot the request leased (`usize::MAX` if it
+    /// never got one).
+    pub scratch_key: usize,
+}
+
 /// One direction-optimizing traversal decision (Beamer α/β heuristic).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DirectionEvent {

@@ -32,7 +32,7 @@ fn push_json_str(out: &mut String, s: &str) {
 ///
 /// Every object carries a `"type"` discriminator:
 /// `"iteration" | "advance" | "filter" | "compute" | "direction" | "abort" |
-/// "mark"`.
+/// "request" | "mark"`.
 pub fn record_to_json(rec: &Record) -> String {
     let mut s = String::with_capacity(128);
     match rec {
@@ -91,6 +91,13 @@ pub fn record_to_json(rec: &Record) -> String {
             s.push_str(&format!(
                 "{{\"type\":\"abort\",\"kind\":\"{}\",\"iteration\":{}}}",
                 ev.kind, ev.iteration,
+            ));
+        }
+        Record::Request(ev) => {
+            s.push_str(&format!(
+                "{{\"type\":\"request\",\"id\":{},\"class\":\"{}\",\"kind\":\"{}\",\"outcome\":\"{}\",\"queue_ns\":{},\"service_ns\":{},\"scratch_key\":{}}}",
+                ev.id, ev.class, ev.kind, ev.outcome, ev.queue_ns, ev.service_ns,
+                ev.scratch_key,
             ));
         }
         Record::Mark(label) => {

@@ -40,7 +40,8 @@ pub mod trace;
 
 pub use counters::{CounterTotals, CountersSink};
 pub use event::{
-    AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, LoopKind, OpKind,
+    AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, LoopKind,
+    OpKind, RequestEvent,
 };
 pub use export::write_jsonl;
 pub use sink::{NullSink, ObsSink, TeeSink};

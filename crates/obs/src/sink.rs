@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use crate::event::{AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan};
+use crate::event::{
+    AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, RequestEvent,
+};
 
 /// Receiver for observability events.
 ///
@@ -49,6 +51,10 @@ pub trait ObsSink: Send + Sync {
     /// An enacted loop stopped abnormally (panic, budget, divergence).
     #[inline]
     fn on_abort(&self, _ev: &AbortEvent) {}
+
+    /// A served request left the engine (completed, rejected, or failed).
+    #[inline]
+    fn on_request(&self, _ev: &RequestEvent) {}
 
     /// Whether producers should pay for per-edge admission counts and
     /// per-worker push tallies. Return `false` to keep instrumented hot
@@ -126,6 +132,12 @@ impl ObsSink for TeeSink {
     fn on_abort(&self, ev: &AbortEvent) {
         for s in &self.sinks {
             s.on_abort(ev);
+        }
+    }
+
+    fn on_request(&self, ev: &RequestEvent) {
+        for s in &self.sinks {
+            s.on_request(ev);
         }
     }
 

@@ -56,7 +56,11 @@ impl Summary {
                         *slot += n as u64;
                     }
                 }
-                Record::Filter(_) | Record::Compute(_) | Record::Mark(_) | Record::Abort(_) => {}
+                Record::Filter(_)
+                | Record::Compute(_)
+                | Record::Mark(_)
+                | Record::Abort(_)
+                | Record::Request(_) => {}
                 Record::Direction(ev) => {
                     s.direction_decisions += 1;
                     if ev.pull {

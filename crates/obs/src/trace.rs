@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 
 use crate::event::{
     AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, OpKind,
+    RequestEvent,
 };
 use crate::sink::ObsSink;
 
@@ -45,6 +46,8 @@ pub enum Record {
     Direction(DirectionEvent),
     /// An abnormal loop stop (panic / budget / divergence).
     Abort(AbortEvent),
+    /// A served request's span (queue wait + service time).
+    Request(RequestEvent),
     /// A user-inserted label (phase boundaries in the harness).
     Mark(String),
 }
@@ -126,6 +129,10 @@ impl ObsSink for TraceSink {
 
     fn on_abort(&self, ev: &AbortEvent) {
         self.records.lock().push(Record::Abort(*ev));
+    }
+
+    fn on_request(&self, ev: &RequestEvent) {
+        self.records.lock().push(Record::Request(*ev));
     }
 }
 

@@ -364,6 +364,32 @@ impl Counter {
     }
 }
 
+/// Reinterprets an exclusively borrowed `u64` slice as a shared slice of
+/// atomics, so a pooled plain buffer can serve as shared state inside one
+/// parallel region and go straight back to the pool afterwards — the
+/// multi-source traversals' visited/frontier mask words live this way.
+///
+/// The `&mut` requirement is the soundness core: for the lifetime of the
+/// returned reference the caller provably holds the *only* access path, so
+/// retyping the memory as atomic cannot conflict with any non-atomic use.
+#[inline]
+pub fn as_atomic_u64(words: &mut [u64]) -> &[AtomicU64] {
+    // SAFETY: `AtomicU64` has the same size and alignment as `u64`
+    // (guaranteed by std), and the exclusive borrow means no other
+    // reference — atomic or plain — aliases these words while the atomic
+    // view is live.
+    unsafe { &*(words as *mut [u64] as *const [AtomicU64]) }
+}
+
+/// The `u32` counterpart of [`as_atomic_u64`] — pooled level/label tables
+/// retyped for one region of concurrent claim-writes.
+#[inline]
+pub fn as_atomic_u32(words: &mut [u32]) -> &[AtomicU32] {
+    // SAFETY: same layout guarantee (`AtomicU32` ⟷ `u32`) and the same
+    // exclusive-borrow aliasing argument as `as_atomic_u64`.
+    unsafe { &*(words as *mut [u32] as *const [AtomicU32]) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -223,6 +223,19 @@ impl RunBudget {
         self.max_iterations
     }
 
+    /// The wall-clock deadline, if any. A serving layer applies the same
+    /// deadline to queue wait that the operators apply to execution, so a
+    /// request cannot spend its whole budget waiting for admission.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The attached cancellation token, if any (admission queues poll it
+    /// so a cancelled request stops waiting instead of occupying a slot).
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// Iteration-boundary check, called by the enactor before starting
     /// iteration `iteration` (0-based). Deterministic limits (cancellation
     /// observed, iteration cap) are checked before the wall clock, so

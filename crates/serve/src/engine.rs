@@ -1,0 +1,324 @@
+//! The long-lived serving engine: one immutable graph, one thread pool,
+//! N concurrent requests.
+//!
+//! An [`Engine`] is the composition of the three serving primitives:
+//!
+//! - an immutable `Arc<Graph>` shared by every request (graph analytics
+//!   queries are read-only, so the graph needs no locking — only the
+//!   per-request *working* state does),
+//! - the [`Admission`] gate bounding concurrency and keeping the light
+//!   class (probes) ahead of cap-blocked heavies (analytics),
+//! - the [`ScratchPool`], sized exactly to the permit count so every
+//!   admitted request leases a warm scratch slot and runs allocation-free
+//!   after warm-up.
+//!
+//! Every request flows through the same private pipeline
+//! ([`Engine::serve`]): acquire permit → lease scratch → build a
+//! request-scoped [`Context`] (shared pool + leased scratch + the
+//! request's own [`RunBudget`]) → run the algorithm → emit one
+//! [`RequestEvent`] with queue/service split. Deadlines and cancellation
+//! apply to the *whole* request: a deadline can expire in the queue
+//! (→ [`ServeError::Rejected`]) or mid-run (→ [`ServeError::Exec`]), and
+//! either way the permit and lease return on drop, so the engine is
+//! immediately reusable — the resilience contract of the `try_*`
+//! algorithms lifted to the serving layer.
+
+use crate::admission::{Admission, AdmissionError, Class};
+use crate::pool::ScratchPool;
+use essentials_algos::bfs::{try_bfs, BfsResult};
+use essentials_algos::multi_source::{try_bfs_multi_source, MsBfsResult};
+use essentials_algos::pagerank::{try_pagerank_push, PageRankResult, PrConfig};
+use essentials_core::prelude::*;
+use essentials_obs::{ObsSink, RequestEvent};
+use essentials_parallel::{ExecError, RunBudget, ThreadPool};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads in the shared pool (subject to the
+    /// [`resolve_threads`] environment override, like [`Context::new`]).
+    pub threads: usize,
+    /// Concurrent in-flight requests (= scratch-pool slots).
+    pub permits: usize,
+    /// Of those, how many may be heavy-class at once.
+    pub heavy_permits: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 4,
+            permits: 4,
+            heavy_permits: 2,
+        }
+    }
+}
+
+/// Why a request failed (see variants).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Never admitted: queued past its deadline or cancelled while queued.
+    Rejected(AdmissionError),
+    /// Admitted but the run failed (budget, worker panic, divergence).
+    Exec(ExecError),
+}
+
+impl ServeError {
+    /// Stable outcome label for observability rows.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Rejected(e) => e.kind(),
+            ServeError::Exec(e) => e.kind(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected(e) => write!(f, "rejected: {e}"),
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Rejected(e) => Some(e),
+            ServeError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<AdmissionError> for ServeError {
+    fn from(e: AdmissionError) -> Self {
+        ServeError::Rejected(e)
+    }
+}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+/// The concurrent query-serving engine (see module docs).
+pub struct Engine<W: EdgeValue = ()> {
+    graph: Arc<Graph<W>>,
+    pool: Arc<ThreadPool>,
+    scratch: ScratchPool,
+    admission: Admission,
+    obs: Option<Arc<dyn ObsSink>>,
+    ids: AtomicU64,
+}
+
+impl<W: EdgeValue> Engine<W> {
+    /// An engine serving `graph` with the given sizing.
+    pub fn new(graph: Arc<Graph<W>>, cfg: EngineConfig) -> Self {
+        let permits = cfg.permits.max(1);
+        Engine {
+            graph,
+            pool: Arc::new(ThreadPool::new(resolve_threads(cfg.threads.max(1)))),
+            scratch: ScratchPool::new(permits),
+            admission: Admission::new(permits, cfg.heavy_permits),
+            obs: None,
+            ids: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches an observability sink; every request emits one
+    /// [`RequestEvent`] into it, and run-level events (aborts, iteration
+    /// spans) flow through the request's context as usual.
+    pub fn with_obs(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.obs = Some(sink);
+        self
+    }
+
+    /// The graph this engine serves.
+    pub fn graph(&self) -> &Arc<Graph<W>> {
+        &self.graph
+    }
+
+    /// Admission snapshot `(in_flight, heavy_in_flight, queued)`.
+    pub fn load(&self) -> (usize, usize, usize) {
+        self.admission.snapshot()
+    }
+
+    /// Single-source BFS (light class).
+    pub fn bfs(&self, source: VertexId, budget: RunBudget) -> Result<BfsResult, ServeError> {
+        self.serve(Class::Light, "bfs", budget, |ctx| {
+            try_bfs(execution::par, ctx, &self.graph, source)
+        })
+    }
+
+    /// Multi-source batched BFS (light class): up to 64 sources in one
+    /// traversal — the engine's throughput lever. Recycle the result with
+    /// [`Engine::recycle_batch`] to keep the steady state allocation-free.
+    pub fn bfs_batch(
+        &self,
+        sources: &[VertexId],
+        budget: RunBudget,
+    ) -> Result<MsBfsResult, ServeError> {
+        self.serve(Class::Light, "bfs-batch", budget, |ctx| {
+            try_bfs_multi_source(execution::par, ctx, &self.graph, sources)
+        })
+    }
+
+    /// Push-direction PageRank (heavy class; works on CSR-only graphs).
+    pub fn pagerank(&self, cfg: PrConfig, budget: RunBudget) -> Result<PageRankResult, ServeError> {
+        self.serve(Class::Heavy, "pagerank", budget, |ctx| {
+            try_pagerank_push(execution::par, ctx, &self.graph, cfg)
+        })
+    }
+
+    /// Returns a batch result's level table to a scratch slot's pool so a
+    /// later request can reuse the storage. Bypasses admission — it is a
+    /// pointer hand-off, not work.
+    pub fn recycle_batch(&self, r: MsBfsResult) {
+        if let Some(lease) = self.scratch.checkout() {
+            let ctx = Context::with_parts(self.pool.clone(), lease.scratch().clone());
+            r.recycle(&ctx);
+        }
+        // Every slot busy: drop the buffer instead of blocking a real
+        // request — correctness never depends on recycling.
+    }
+
+    /// The shared request pipeline: admit, lease scratch, run, observe.
+    fn serve<T>(
+        &self,
+        class: Class,
+        kind: &'static str,
+        budget: RunBudget,
+        run: impl FnOnce(&Context) -> Result<T, ExecError>,
+    ) -> Result<T, ServeError> {
+        let id = self.ids.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let permit = match self
+            .admission
+            .acquire(class, budget.deadline(), budget.cancel_token())
+        {
+            Ok(p) => p,
+            Err(e) => {
+                self.emit(RequestEvent {
+                    id,
+                    class: class.name(),
+                    kind,
+                    outcome: e.kind(),
+                    queue_ns: t0.elapsed().as_nanos() as u64,
+                    service_ns: 0,
+                    scratch_key: usize::MAX,
+                });
+                return Err(ServeError::Rejected(e));
+            }
+        };
+        let queue_ns = t0.elapsed().as_nanos() as u64;
+        // Admission grants at most `permits` concurrent requests and the
+        // pool has exactly `permits` slots, so a free slot always exists.
+        let lease = self
+            .scratch
+            .checkout()
+            .expect("scratch pool sized to admission permits"); // unwrap-ok: invariant by construction
+        let mut ctx =
+            Context::with_parts(self.pool.clone(), lease.scratch().clone()).with_budget(budget);
+        if let Some(sink) = &self.obs {
+            ctx = ctx.with_obs(sink.clone());
+        }
+        let t1 = Instant::now();
+        let result = run(&ctx);
+        let service_ns = t1.elapsed().as_nanos() as u64;
+        self.emit(RequestEvent {
+            id,
+            class: class.name(),
+            kind,
+            outcome: match &result {
+                Ok(_) => "ok",
+                Err(e) => e.kind(),
+            },
+            queue_ns,
+            service_ns,
+            scratch_key: lease.key(),
+        });
+        drop(lease);
+        drop(permit);
+        result.map_err(ServeError::Exec)
+    }
+
+    fn emit(&self, ev: RequestEvent) {
+        if let Some(sink) = &self.obs {
+            sink.on_request(&ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essentials_graph::Coo;
+
+    fn chain_engine(cfg: EngineConfig) -> Engine {
+        // 0 → 1 → 2 → 3, plus 4 isolated.
+        let g = Graph::from_coo(&Coo::<()>::from_edges(
+            5,
+            [(0, 1, ()), (1, 2, ()), (2, 3, ())],
+        ));
+        Engine::new(Arc::new(g), cfg)
+    }
+
+    #[test]
+    fn bfs_and_batch_agree_through_the_engine() {
+        let eng = chain_engine(EngineConfig::default());
+        let single = eng.bfs(0, RunBudget::unlimited()).expect("bfs");
+        let batch = eng
+            .bfs_batch(&[0, 2], RunBudget::unlimited())
+            .expect("batch");
+        assert_eq!(batch.source_levels(0), single.level);
+        assert_eq!(
+            batch.source_levels(1),
+            vec![
+                essentials_algos::bfs::UNVISITED,
+                essentials_algos::bfs::UNVISITED,
+                0,
+                1,
+                essentials_algos::bfs::UNVISITED
+            ]
+        );
+        eng.recycle_batch(batch);
+    }
+
+    #[test]
+    fn pagerank_serves_on_heavy_class() {
+        let eng = chain_engine(EngineConfig::default());
+        let pr = eng
+            .pagerank(PrConfig::default(), RunBudget::unlimited())
+            .expect("pagerank");
+        assert_eq!(pr.rank.len(), 5);
+        let sum: f64 = pr.rank.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "ranks sum to 1, got {sum}");
+    }
+
+    #[test]
+    fn expired_deadline_rejects_and_engine_stays_usable() {
+        let eng = chain_engine(EngineConfig {
+            threads: 2,
+            permits: 1,
+            heavy_permits: 1,
+        });
+        // A deadline already in the past fails fast — in the queue if the
+        // permit is busy, mid-run otherwise — and either way the engine
+        // serves the next request normally.
+        let expired = RunBudget::unlimited().with_timeout(std::time::Duration::ZERO);
+        let err = eng.bfs(0, expired).expect_err("must miss the deadline");
+        assert!(
+            matches!(err.kind(), "deadline-expired" | "queue-deadline"),
+            "unexpected outcome {}",
+            err.kind()
+        );
+        let ok = eng.bfs(0, RunBudget::unlimited()).expect("engine reusable");
+        assert_eq!(ok.level[3], 3);
+    }
+}

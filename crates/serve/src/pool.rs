@@ -1,0 +1,172 @@
+//! The keyed scratch pool: N independent [`ScratchSlot`]s behind a
+//! lock-free checkout protocol.
+//!
+//! A single `Context` owns a single scratch slot — perfect for one
+//! algorithm at a time, but a serving engine runs N requests concurrently,
+//! and two requests rotating through *one* slot would constantly miss the
+//! swap and fall back to fresh allocations (the slot's documented
+//! contended-loser policy). The pool fixes the steady state: each admitted
+//! request leases a whole slot by key, so its take/put pairs always hit
+//! the scratch it warmed up on previous requests, and the zero-allocation
+//! contract of the frontier pipeline extends to concurrent serving
+//! (`tests/zero_alloc.rs`, `tests/serve_concurrency.rs`).
+//!
+//! Checkout is a CAS scan over per-slot `in_use` flags — no locks, no
+//! allocation, O(slots) worst case with slots sized to the admission
+//! permit count (a handful). The engine admits at most `slots` requests,
+//! so an admitted request always finds a free slot.
+
+use essentials_core::ScratchSlot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One slot of the pool: the scratch plus its checkout flag.
+struct PoolSlot {
+    /// Claimed by `compare_exchange(false → true, Acquire)`; released by a
+    /// `store(false, Release)` in [`ScratchLease::drop`]. The pair makes
+    /// every scratch write of the previous leaseholder visible to the
+    /// next.
+    in_use: AtomicBool,
+    scratch: Arc<ScratchSlot>,
+}
+
+/// Fixed-size pool of scratch slots, checked out one whole slot per
+/// request (see module docs).
+pub struct ScratchPool {
+    slots: Box<[PoolSlot]>,
+}
+
+impl ScratchPool {
+    /// A pool of `slots` independent scratch slots. Each starts empty and
+    /// warms up lazily on its first request.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "a scratch pool needs at least one slot");
+        ScratchPool {
+            slots: (0..slots)
+                .map(|_| PoolSlot {
+                    in_use: AtomicBool::new(false),
+                    scratch: Arc::new(ScratchSlot::new()), // alloc-ok: cold constructor
+                })
+                .collect(), // alloc-ok: cold constructor, one boxed slice for the engine's lifetime
+        }
+    }
+
+    /// Number of slots (the engine's admission permit count).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool has no slots (never true — the constructor
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Currently free slots (advisory snapshot; racy by nature).
+    pub fn available(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !s.in_use.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Claims the first free slot, or `None` when every slot is leased.
+    /// Lock-free: one successful CAS, no allocation, no waiting — the
+    /// admission layer guarantees a free slot for every admitted request,
+    /// so `None` here means the caller bypassed admission.
+    pub fn checkout(&self) -> Option<ScratchLease<'_>> {
+        for (key, slot) in self.slots.iter().enumerate() {
+            if slot
+                .in_use
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(ScratchLease { pool: self, key });
+            }
+        }
+        None
+    }
+}
+
+/// Exclusive lease on one pool slot; returns the slot on drop. The key
+/// identifies the slot for observability (cross-request aliasing shows up
+/// as two live leases with one key — impossible by the CAS protocol, and
+/// asserted by the concurrency stress test).
+pub struct ScratchLease<'a> {
+    pool: &'a ScratchPool,
+    key: usize,
+}
+
+impl ScratchLease<'_> {
+    /// The leased slot's key (stable for the pool's lifetime).
+    pub fn key(&self) -> usize {
+        self.key
+    }
+
+    /// The leased scratch slot, to thread into a request-scoped
+    /// [`essentials_core::Context::with_parts`].
+    pub fn scratch(&self) -> &Arc<ScratchSlot> {
+        &self.pool.slots[self.key].scratch
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        // Release pairs with the Acquire CAS in `checkout`: the next
+        // leaseholder of this key sees every write this request parked in
+        // the scratch.
+        self.pool.slots[self.key]
+            .in_use
+            .store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_exhausts_and_release_restores() {
+        let pool = ScratchPool::new(2);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.available(), 2);
+        let a = pool.checkout().expect("slot 0");
+        let b = pool.checkout().expect("slot 1");
+        assert_ne!(a.key(), b.key());
+        assert!(pool.checkout().is_none(), "pool must be exhausted");
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        let c = pool.checkout().expect("released slot comes back");
+        assert_eq!(c.key(), 0, "first free key is reclaimed");
+        drop(b);
+        drop(c);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn leased_scratch_is_slot_stable() {
+        use essentials_core::Context;
+        use essentials_parallel::ThreadPool;
+
+        let pool = ScratchPool::new(1);
+        let tp = Arc::new(ThreadPool::new(1));
+        let first = {
+            let lease = pool.checkout().expect("slot");
+            let ctx = Context::with_parts(tp.clone(), lease.scratch().clone());
+            let mut v = ctx.take_f64_buffer();
+            v.reserve(777);
+            let addr = v.as_ptr() as usize;
+            ctx.recycle_f64_buffer(v);
+            addr
+        };
+        let lease = pool.checkout().expect("slot again");
+        let ctx = Context::with_parts(tp, lease.scratch().clone());
+        let v = ctx.take_f64_buffer();
+        assert_eq!(
+            v.as_ptr() as usize,
+            first,
+            "same key, same warmed scratch allocation"
+        );
+        ctx.recycle_f64_buffer(v);
+    }
+}

@@ -13,6 +13,7 @@ pub use essentials_io as io;
 pub use essentials_mp as mp;
 pub use essentials_parallel as parallel;
 pub use essentials_partition as partition;
+pub use essentials_serve as serve;
 
 /// Convenience prelude: the names needed by a typical application.
 pub mod prelude {

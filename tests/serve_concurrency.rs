@@ -1,0 +1,211 @@
+//! Concurrency contract of the serving engine, written to run under
+//! ThreadSanitizer (this binary is in the TSan CI matrix).
+//!
+//! Eight client threads hammer one [`Engine`] with a mixed
+//! BFS / batched-BFS / PageRank workload and every response is checked
+//! against a sequential oracle computed up front — so any cross-request
+//! scratch aliasing, lost admission permit, or torn level table shows up
+//! as a wrong answer, not just as a sanitizer report. A separate
+//! poisoned-scratch canary leases raw pool slots from many threads and
+//! verifies both the CAS exclusivity of the lease protocol and the
+//! integrity of data parked in a leased slot. Finally, rejected requests
+//! (expired deadline, pre-cancelled token) must leave the engine fully
+//! reusable.
+
+use essentials::prelude::*;
+use essentials::serve::{Engine, EngineConfig, ScratchPool};
+use essentials_algos::bfs::bfs_sequential;
+use essentials_algos::pagerank::PrConfig;
+use essentials_gen as gen;
+use std::collections::HashSet;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 6;
+
+fn serving_graph() -> Arc<Graph<()>> {
+    Arc::new(Graph::from_coo(&gen::rmat(
+        9,
+        8,
+        gen::RmatParams::default(),
+        1234,
+    )))
+}
+
+#[test]
+fn mixed_workload_from_eight_clients_is_deterministic() {
+    let graph = serving_graph();
+    let n = graph.num_vertices();
+    // Oracle levels for every source any client will use.
+    let sources: Vec<VertexId> = (0..CLIENTS as VertexId)
+        .map(|i| (i * 97) % n as VertexId)
+        .collect();
+    let oracle: Vec<Vec<u32>> = sources
+        .iter()
+        .map(|&s| bfs_sequential(&graph, s).level)
+        .collect();
+    // PageRank through atomic f64 adds is order-sensitive in the last
+    // bits, so the oracle is a tolerance band around one reference run.
+    let pr_cfg = PrConfig {
+        max_iterations: 30,
+        ..PrConfig::default()
+    };
+    let engine = Arc::new(Engine::new(
+        graph.clone(),
+        EngineConfig {
+            threads: 2,
+            permits: 4,
+            heavy_permits: 2,
+        },
+    ));
+    let pr_ref = engine
+        .pagerank(pr_cfg, RunBudget::unlimited())
+        .expect("reference pagerank")
+        .rank;
+
+    let start = Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let engine = &engine;
+            let sources = &sources;
+            let oracle = &oracle;
+            let pr_ref = &pr_ref;
+            let start = &start;
+            scope.spawn(move || {
+                start.wait();
+                for round in 0..ROUNDS {
+                    match (c + round) % 3 {
+                        // Single-source probe: bit-identical to the oracle.
+                        0 => {
+                            let r = engine
+                                .bfs(sources[c], RunBudget::unlimited())
+                                .expect("bfs served");
+                            assert_eq!(r.level, oracle[c], "client {c} round {round}");
+                        }
+                        // Batched probe: every lane bit-identical.
+                        1 => {
+                            let batch = engine
+                                .bfs_batch(sources, RunBudget::unlimited())
+                                .expect("batch served");
+                            for (s, want) in oracle.iter().enumerate() {
+                                assert_eq!(
+                                    &batch.source_levels(s),
+                                    want,
+                                    "client {c} round {round} lane {s}"
+                                );
+                            }
+                            engine.recycle_batch(batch);
+                        }
+                        // Heavy analytics: within float-summation noise of
+                        // the reference (structure identical, order free).
+                        _ => {
+                            let pr = engine
+                                .pagerank(pr_cfg, RunBudget::unlimited())
+                                .expect("pagerank served");
+                            assert_eq!(pr.rank.len(), pr_ref.len());
+                            for (i, (a, b)) in pr.rank.iter().zip(pr_ref).enumerate() {
+                                assert!(
+                                    (a - b).abs() < 1e-9,
+                                    "client {c} round {round}: rank[{i}] {a} vs {b}"
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Every permit and lease returned.
+    assert_eq!(engine.load(), (0, 0, 0));
+}
+
+#[test]
+fn leased_scratch_slots_never_alias_across_threads() {
+    // The canary: each thread leases a slot, writes a thread-unique
+    // pattern into the slot's pooled f64 buffer, re-reads it after a
+    // scheduling gap, and releases. Concurrently-live keys are tracked in
+    // a set — a key inserted twice means the CAS protocol leaked a slot to
+    // two requests at once.
+    let pool = ScratchPool::new(4);
+    let tp = Arc::new(essentials_parallel::ThreadPool::new(1));
+    let live: Mutex<HashSet<usize>> = Mutex::new(HashSet::new());
+    let start = Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let pool = &pool;
+            let tp = &tp;
+            let live = &live;
+            let start = &start;
+            scope.spawn(move || {
+                start.wait();
+                for round in 0..40 {
+                    let Some(lease) = pool.checkout() else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    {
+                        let mut live = live.lock().expect("canary set");
+                        assert!(
+                            live.insert(lease.key()),
+                            "slot {} leased to two threads at once",
+                            lease.key()
+                        );
+                    }
+                    let ctx = Context::with_parts(tp.clone(), lease.scratch().clone());
+                    let mut buf = ctx.take_f64_buffer();
+                    buf.clear();
+                    let stamp = (c * 1000 + round) as f64;
+                    buf.resize(64, stamp);
+                    std::thread::yield_now();
+                    assert!(
+                        buf.iter().all(|&x| x == stamp),
+                        "scratch data poisoned by another request"
+                    );
+                    ctx.recycle_f64_buffer(buf);
+                    live.lock().expect("canary set").remove(&lease.key());
+                    drop(lease);
+                }
+            });
+        }
+    });
+    assert_eq!(pool.available(), 4, "every slot returned to the pool");
+}
+
+#[test]
+fn rejected_requests_leave_the_engine_reusable() {
+    let graph = serving_graph();
+    let want = bfs_sequential(&graph, 0).level;
+    let engine = Engine::new(
+        graph,
+        EngineConfig {
+            threads: 2,
+            permits: 1,
+            heavy_permits: 1,
+        },
+    );
+
+    // Deadline already expired: fails in the queue or at the first budget
+    // check, never with a wrong answer.
+    let expired = RunBudget::unlimited().with_timeout(Duration::ZERO);
+    let err = engine.bfs(0, expired).expect_err("expired deadline");
+    assert!(
+        matches!(err.kind(), "deadline-expired" | "queue-deadline"),
+        "got {}",
+        err.kind()
+    );
+
+    // Pre-cancelled token: same story through the cancellation path.
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = RunBudget::unlimited().with_cancel(token);
+    let err = engine.bfs(0, cancelled).expect_err("cancelled request");
+    assert_eq!(err.kind(), "cancelled");
+
+    // The engine still serves exact answers afterwards.
+    for _ in 0..3 {
+        let r = engine.bfs(0, RunBudget::unlimited()).expect("reusable");
+        assert_eq!(r.level, want);
+    }
+    assert_eq!(engine.load(), (0, 0, 0));
+}
