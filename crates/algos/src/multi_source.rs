@@ -120,8 +120,11 @@ pub fn bfs_multi_source<P: ExecutionPolicy, W: EdgeValue>(
 /// is checked at iteration boundaries and (via chunk hooks) inside the
 /// word sweep, fault-plan injections fire at their `(iteration, chunk)`
 /// coordinates, and worker panics surface as [`ExecError::WorkerPanic`].
-/// On any error every pooled buffer is returned to the scratch first, so
-/// the context — and the serving engine above it — stays fully reusable.
+/// A malformed request — more than [`MAX_BATCH`] sources, or a source
+/// outside the graph — is rejected up front as
+/// [`ExecError::InvalidInput`], before any pooled buffer is taken. On any
+/// error every pooled buffer is returned to the scratch first, so the
+/// context — and the serving engine above it — stays fully reusable.
 pub fn try_bfs_multi_source<P: ExecutionPolicy, W: EdgeValue>(
     policy: P,
     ctx: &Context,
@@ -132,7 +135,19 @@ pub fn try_bfs_multi_source<P: ExecutionPolicy, W: EdgeValue>(
     let _ = policy;
     let n = g.get_num_vertices();
     let k = sources.len();
-    assert!(k <= MAX_BATCH, "batch of {k} sources exceeds {MAX_BATCH}");
+    // Validate before touching the scratch pools: a bad request is a
+    // caller error, not an execution failure, and must leave every pooled
+    // buffer parked so the serving engine above stays warm and reusable.
+    if k > MAX_BATCH {
+        return Err(ExecError::InvalidInput {
+            detail: format!("batch of {k} sources exceeds the {MAX_BATCH}-lane mask width"),
+        });
+    }
+    if let Some(&bad) = sources.iter().find(|&&s| s as usize >= n) {
+        return Err(ExecError::InvalidInput {
+            detail: format!("source {bad} out of range (graph has {n} vertices)"),
+        });
+    }
     let mut levels = ctx.take_u32_buffer();
     levels.resize(n * k, UNVISITED);
     if k == 0 || n == 0 {
@@ -155,7 +170,6 @@ pub fn try_bfs_multi_source<P: ExecutionPolicy, W: EdgeValue>(
 
     for (s, &src) in sources.iter().enumerate() {
         let v = src as usize;
-        assert!(v < n, "source {src} out of range (n = {n})");
         let bit = 1u64 << s;
         visited[v] |= bit;
         frontier[v] |= bit;
@@ -371,6 +385,23 @@ mod tests {
             );
         }
         assert!(r.edges_inspected > 0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors_and_leave_scratch_parked() {
+        let g = Graph::from_coo(&gen::path(4));
+        let ctx = Context::sequential();
+        let err = try_bfs_multi_source(execution::seq, &ctx, &g, &[9])
+            .expect_err("out-of-range source must be rejected");
+        assert_eq!(err.kind(), "invalid-input");
+        let too_many = vec![0u32; MAX_BATCH + 1];
+        let err = try_bfs_multi_source(execution::seq, &ctx, &g, &too_many)
+            .expect_err("65-source batch must be rejected");
+        assert_eq!(err.kind(), "invalid-input");
+        // Rejection happened before any buffer was taken, so the context
+        // still serves exact answers.
+        let r = bfs_multi_source(execution::seq, &ctx, &g, &[0]);
+        assert_eq!(r.source_levels(0), bfs_sequential(&g, 0).level);
     }
 
     #[test]

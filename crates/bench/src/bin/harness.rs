@@ -628,7 +628,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
                     iterations: match &e {
                         ExecError::Budget { progress, .. } => progress.iterations,
                         ExecError::Diverged { iteration, .. } => *iteration,
-                        ExecError::WorkerPanic { .. } => 0,
+                        ExecError::WorkerPanic { .. } | ExecError::InvalidInput { .. } => 0,
                     },
                     work: 0,
                     mteps: 0.0,

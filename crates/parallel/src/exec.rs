@@ -57,6 +57,15 @@ pub enum ExecError {
         /// Human-readable description of what the watchdog saw.
         detail: String,
     },
+    /// The request itself was malformed — an out-of-range vertex, an
+    /// oversized batch, or a similar caller error. `try_*` entry points
+    /// raise this *before* any work starts or any pooled buffer is taken,
+    /// so a serving layer can reject the request as a typed error while
+    /// its context stays warm and fully reusable.
+    InvalidInput {
+        /// Human-readable description of what was rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -78,6 +87,7 @@ impl fmt::Display for ExecError {
             ExecError::Diverged { iteration, detail } => {
                 write!(f, "computation diverged at iteration {iteration}: {detail}")
             }
+            ExecError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
         }
     }
 }
@@ -91,6 +101,7 @@ impl ExecError {
             ExecError::WorkerPanic { .. } => "worker-panic",
             ExecError::Budget { reason, .. } => reason.name(),
             ExecError::Diverged { .. } => "diverged",
+            ExecError::InvalidInput { .. } => "invalid-input",
         }
     }
 
@@ -573,6 +584,11 @@ mod tests {
         };
         assert!(e.to_string().contains("iteration 9"));
         assert_eq!(e.kind(), "diverged");
+        let e = ExecError::InvalidInput {
+            detail: "source 9 out of range".into(),
+        };
+        assert!(e.to_string().contains("invalid input"));
+        assert_eq!(e.kind(), "invalid-input");
         let enriched = ExecError::Budget {
             reason: BudgetReason::Cancelled,
             progress: Progress::default(),

@@ -33,7 +33,7 @@ use essentials_obs::{ObsSink, RequestEvent};
 use essentials_parallel::{ExecError, RunBudget, ThreadPool};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Engine sizing knobs.
@@ -115,6 +115,12 @@ pub struct Engine<W: EdgeValue = ()> {
     admission: Admission,
     obs: Option<Arc<dyn ObsSink>>,
     ids: AtomicU64,
+    /// Recycled batch level tables, bounded by the permit count. A
+    /// side-channel free-list, deliberately *not* a scratch checkout:
+    /// recycling must never compete with an admitted request for a slot —
+    /// the pool is sized exactly to the permit count, and [`Engine::serve`]
+    /// relies on a free slot always existing for an admitted request.
+    recycled: Mutex<Vec<Vec<u32>>>,
 }
 
 impl<W: EdgeValue> Engine<W> {
@@ -128,6 +134,9 @@ impl<W: EdgeValue> Engine<W> {
             admission: Admission::new(permits, cfg.heavy_permits),
             obs: None,
             ids: AtomicU64::new(0),
+            // Full capacity up front so steady-state recycling never grows
+            // the free-list's own storage.
+            recycled: Mutex::new(Vec::with_capacity(permits)),
         }
     }
 
@@ -159,12 +168,21 @@ impl<W: EdgeValue> Engine<W> {
     /// Multi-source batched BFS (light class): up to 64 sources in one
     /// traversal — the engine's throughput lever. Recycle the result with
     /// [`Engine::recycle_batch`] to keep the steady state allocation-free.
+    /// A malformed batch (too many sources, a source outside the graph) is
+    /// rejected as a typed [`ServeError::Exec`] (`invalid-input`) before
+    /// any work runs, and the engine stays fully usable.
     pub fn bfs_batch(
         &self,
         sources: &[VertexId],
         budget: RunBudget,
     ) -> Result<MsBfsResult, ServeError> {
         self.serve(Class::Light, "bfs-batch", budget, |ctx| {
+            // Seed the leased scratch with a previously recycled level
+            // table: results leave the engine with their caller, so this
+            // hand-off is what keeps repeated batches allocation-free.
+            if let Some(levels) = unpoison(self.recycled.lock()).pop() {
+                ctx.recycle_u32_buffer(levels);
+            }
             try_bfs_multi_source(execution::par, ctx, &self.graph, sources)
         })
     }
@@ -176,16 +194,20 @@ impl<W: EdgeValue> Engine<W> {
         })
     }
 
-    /// Returns a batch result's level table to a scratch slot's pool so a
-    /// later request can reuse the storage. Bypasses admission — it is a
-    /// pointer hand-off, not work.
+    /// Returns a batch result's level-table storage to the engine so a
+    /// later [`Engine::bfs_batch`] reuses it instead of allocating.
+    ///
+    /// The buffer goes into a bounded free-list private to the engine —
+    /// never through a scratch checkout, which would transiently occupy a
+    /// slot and break the sizing invariant [`Engine::serve`] relies on
+    /// (permits == slots, so an admitted request always finds a free
+    /// slot). A full free-list simply drops the buffer: correctness never
+    /// depends on recycling.
     pub fn recycle_batch(&self, r: MsBfsResult) {
-        if let Some(lease) = self.scratch.checkout() {
-            let ctx = Context::with_parts(self.pool.clone(), lease.scratch().clone());
-            r.recycle(&ctx);
+        let mut stash = unpoison(self.recycled.lock());
+        if stash.len() < self.scratch.len() {
+            stash.push(r.levels);
         }
-        // Every slot busy: drop the buffer instead of blocking a real
-        // request — correctness never depends on recycling.
     }
 
     /// The shared request pipeline: admit, lease scratch, run, observe.
@@ -255,6 +277,18 @@ impl<W: EdgeValue> Engine<W> {
     }
 }
 
+/// Forgives lock poisoning on the recycle free-list: the state is a plain
+/// vector of owned buffers, consistent whenever the lock is free, and a
+/// panicking client thread must not wedge recycling forever.
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +322,43 @@ mod tests {
             ]
         );
         eng.recycle_batch(batch);
+    }
+
+    #[test]
+    fn recycled_batch_storage_feeds_the_next_batch() {
+        // The free-list hand-off: a recycled level table is the storage the
+        // next batched request runs on — without the recycler ever checking
+        // out a scratch slot (permits = 1 makes any transient checkout by
+        // recycling indistinguishable from a stolen slot).
+        let eng = chain_engine(EngineConfig {
+            threads: 2,
+            permits: 1,
+            heavy_permits: 1,
+        });
+        let b1 = eng.bfs_batch(&[0, 2], RunBudget::unlimited()).expect("batch 1");
+        let ptr = b1.levels.as_ptr();
+        eng.recycle_batch(b1);
+        let b2 = eng.bfs_batch(&[0, 2], RunBudget::unlimited()).expect("batch 2");
+        assert_eq!(b2.levels.as_ptr(), ptr, "recycled storage reused");
+    }
+
+    #[test]
+    fn malformed_batch_is_rejected_and_engine_stays_usable() {
+        let eng = chain_engine(EngineConfig::default());
+        let err = eng
+            .bfs_batch(&[99], RunBudget::unlimited())
+            .expect_err("out-of-range source must be rejected");
+        assert_eq!(err.kind(), "invalid-input");
+        let too_many = vec![0u32; 65];
+        let err = eng
+            .bfs_batch(&too_many, RunBudget::unlimited())
+            .expect_err("oversized batch must be rejected");
+        assert_eq!(err.kind(), "invalid-input");
+        let ok = eng
+            .bfs_batch(&[0], RunBudget::unlimited())
+            .expect("engine reusable after rejections");
+        assert_eq!(ok.source_levels(0)[3], 3);
+        assert_eq!(eng.load(), (0, 0, 0), "permits and leases all returned");
     }
 
     #[test]

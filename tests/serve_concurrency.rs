@@ -173,6 +173,64 @@ fn leased_scratch_slots_never_alias_across_threads() {
 }
 
 #[test]
+fn recycling_never_steals_a_slot_from_admitted_requests() {
+    // Regression guard: a recycle path that checks out a scratch slot can —
+    // with permits = 1 — transiently hold the engine's only slot exactly
+    // when a freshly admitted request leases, panicking the serving
+    // pipeline. Recycling goes through a private free-list instead, so
+    // servers and a concurrent recycler hammering a one-slot engine must
+    // never fail and every answer stays exact.
+    use essentials_algos::multi_source::MsBfsResult;
+    use std::sync::mpsc;
+
+    let graph = serving_graph();
+    let n = graph.num_vertices();
+    let sources: Vec<VertexId> = (0..8).map(|i| (i * 31) % n as VertexId).collect();
+    let oracle: Vec<Vec<u32>> = sources
+        .iter()
+        .map(|&s| bfs_sequential(&graph, s).level)
+        .collect();
+    let engine = Engine::new(
+        graph,
+        EngineConfig {
+            threads: 2,
+            permits: 1,
+            heavy_permits: 1,
+        },
+    );
+    let (tx, rx) = mpsc::channel::<MsBfsResult>();
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let recycler = scope.spawn(move || {
+            // Returns every served batch while the servers keep serving, so
+            // recycle_batch races real admissions the whole run.
+            for batch in rx {
+                engine.recycle_batch(batch);
+            }
+        });
+        for _ in 0..4 {
+            let tx = tx.clone();
+            let sources = &sources;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                for round in 0..24 {
+                    let batch = engine
+                        .bfs_batch(sources, RunBudget::unlimited())
+                        .expect("batch served");
+                    for (s, want) in oracle.iter().enumerate() {
+                        assert_eq!(&batch.source_levels(s), want, "round {round} lane {s}");
+                    }
+                    tx.send(batch).expect("recycler alive");
+                }
+            });
+        }
+        drop(tx);
+        recycler.join().expect("recycler thread");
+    });
+    assert_eq!(engine.load(), (0, 0, 0));
+}
+
+#[test]
 fn rejected_requests_leave_the_engine_reusable() {
     let graph = serving_graph();
     let want = bfs_sequential(&graph, 0).level;
