@@ -279,6 +279,76 @@ pub fn bfs_adaptive<P: ExecutionPolicy, W: EdgeValue>(
     bfs_direction_optimizing(policy, ctx, g, source, DoParams::default())
 }
 
+/// Adaptive BFS over byte-coded compressed adjacency: identical structure
+/// to [`bfs_with_policy`], dispatched through
+/// [`advance_adaptive_compressed`] so every iteration streams
+/// [`NeighborDecoder`]s instead of raw CSR slices. Works for any graph
+/// exposing the decode traits — an in-memory [`CompressedGraph`] or a
+/// borrowed [`CompressedGraphView`] over an mmapped container. The claim
+/// update is the same CAS, so levels are bit-identical to the raw variants
+/// (`tests/differential.rs`).
+pub fn bfs_adaptive_compressed<P, W, G>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    source: VertexId,
+    dir_policy: DirectionPolicy,
+) -> BfsResult
+where
+    P: ExecutionPolicy,
+    W: EdgeValue,
+    G: DecodeEdgeWeights<W> + DecodeInEdgeWeights<W> + Sync,
+{
+    let n = g.num_vertices();
+    let levels = init_levels(n, source);
+    let mut engine = AdaptiveAdvance::new(
+        g,
+        AdaptiveConfig {
+            policy: dir_policy,
+            early_exit: true,
+            settle: true,
+            bins: BlockedConfig::default(),
+        },
+    );
+    let mut trace = Vec::new();
+
+    let mut frontier = VertexFrontier::Sparse(SparseFrontier::single(source));
+    while frontier.len() > 0 {
+        let next_level = engine.iterations() as u32 + 1;
+        frontier = advance_adaptive_compressed(
+            policy,
+            ctx,
+            g,
+            &mut engine,
+            frontier,
+            |_src, dst, _e, _w| {
+                levels[dst as usize]
+                    .compare_exchange(UNVISITED, next_level, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            },
+            |dst| levels[dst as usize].load(Ordering::Acquire) == UNVISITED,
+            |_src, dst, _w| {
+                levels[dst as usize]
+                    .compare_exchange(UNVISITED, next_level, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            },
+        );
+        trace.push(frontier.len());
+    }
+    engine.finish(ctx);
+
+    BfsResult {
+        level: unwrap_levels(levels),
+        stats: LoopStats {
+            iterations: engine.iterations(),
+            frontier_trace: trace,
+            hit_iteration_cap: false,
+        },
+        edges_inspected: engine.edges_inspected(),
+        directions: engine.directions().to_vec(),
+    }
+}
+
 /// BFS with a **dense bitmap** frontier throughout, still traversing in the
 /// push direction: each iteration walks the bitmap's set bits and expands
 /// into a fresh bitmap. Measures pure representation cost against the

@@ -202,6 +202,72 @@ pub fn sssp_adaptive<P: ExecutionPolicy>(
     }
 }
 
+/// [`sssp_adaptive`] over byte-coded compressed adjacency, dispatched
+/// through [`advance_adaptive_compressed`]. The relaxation is the same
+/// monotone `fetch_min`, and decoders yield destinations in the same
+/// ascending order as the raw slices, so distances are bit-identical to
+/// [`sssp_adaptive`] (`tests/differential.rs`). Accepts any graph exposing
+/// the decode traits with `f32` weights (an in-memory [`CompressedGraph`]
+/// or a view over an mmapped container).
+pub fn sssp_adaptive_compressed<P, G>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    source: VertexId,
+) -> SsspResult
+where
+    P: ExecutionPolicy,
+    G: DecodeEdgeWeights<f32> + DecodeInEdgeWeights<f32> + Sync,
+{
+    let n = g.num_vertices();
+    let dist = init_dist(n, source);
+    let relaxations = Counter::new();
+    let mut engine = AdaptiveAdvance::new(
+        g,
+        AdaptiveConfig {
+            policy: DirectionPolicy::default(),
+            early_exit: false,
+            settle: false,
+            bins: BlockedConfig::default(),
+        },
+    );
+    let mut trace = Vec::new();
+    let mut frontier = VertexFrontier::Sparse(SparseFrontier::single(source));
+    while frontier.len() > 0 {
+        frontier = advance_adaptive_compressed(
+            policy,
+            ctx,
+            g,
+            &mut engine,
+            frontier,
+            |src, dst, _e, w: f32| {
+                relaxations.add(1);
+                let new_d = dist[src as usize].load(Ordering::Acquire) + w;
+                let curr_d = dist[dst as usize].fetch_min(new_d, Ordering::AcqRel);
+                new_d < curr_d
+            },
+            |_dst| true,
+            |src, dst, w: f32| {
+                relaxations.add(1);
+                let new_d = dist[src as usize].load(Ordering::Acquire) + w;
+                let curr_d = dist[dst as usize].fetch_min(new_d, Ordering::AcqRel);
+                new_d < curr_d
+            },
+        );
+        trace.push(frontier.len());
+    }
+    engine.finish(ctx);
+    SsspResult {
+        dist: unwrap_dist(dist),
+        stats: LoopStats {
+            iterations: engine.iterations(),
+            frontier_trace: trace,
+            hit_iteration_cap: false,
+        },
+        relaxations: relaxations.get(),
+    }
+}
+
 /// Asynchronous SSSP (§III-A's `par_nosync` timing model applied to the
 /// whole algorithm): active vertices drain through the work-queue engine; a
 /// successful relaxation pushes the destination; the run ends at queue
@@ -261,11 +327,21 @@ pub fn delta_stepping<P: ExecutionPolicy>(
 
     let bucket_of =
         |v: VertexId| -> usize { (dist[v as usize].load(Ordering::Acquire) / delta) as usize };
+    // Bucket storage recycles through a local free-list (drained buckets
+    // park there; fresh buckets draw from it), and the per-round lists
+    // below cycle through the context's pools, so once every bucket index
+    // has been seen the loop runs without touching the allocator.
     let mut buckets: Vec<Vec<VertexId>> = vec![vec![source]];
-    let stash = |buckets: &mut Vec<Vec<VertexId>>, v: VertexId| {
+    let mut spare: Vec<Vec<VertexId>> = Vec::new();
+    let stash = |buckets: &mut Vec<Vec<VertexId>>, spare: &mut Vec<Vec<VertexId>>, v: VertexId| {
         let b = bucket_of(v);
         if b >= buckets.len() {
             buckets.resize_with(b + 1, Vec::new);
+        }
+        if buckets[b].capacity() == 0 {
+            if let Some(recycled) = spare.pop() {
+                buckets[b] = recycled;
+            }
         }
         buckets[b].push(v);
     };
@@ -286,49 +362,69 @@ pub fn delta_stepping<P: ExecutionPolicy>(
         out
     };
 
+    // `active` and `settled` keep their capacity across buckets. The
+    // storage `active` hands to `relax` returns through the context's
+    // frontier pool, and each round's output frontier donates its storage
+    // back (`into_vec`), closing the cycle.
+    let mut active: Vec<VertexId> = ctx.take_u32_buffer();
+    let mut settled: Vec<VertexId> = ctx.take_u32_buffer();
     let mut bi = 0;
     while bi < buckets.len() {
         if buckets[bi].is_empty() {
             bi += 1;
             continue;
         }
-        let mut settled: Vec<VertexId> = Vec::new();
+        settled.clear();
         // Light phase: iterate until no vertex re-enters bucket bi. Skip
         // stale entries (vertices whose distance improved into an earlier,
         // already-settled bucket keep their result; re-relaxing is merely
         // redundant, so filter on exact membership).
-        let mut active: Vec<VertexId> = std::mem::take(&mut buckets[bi])
-            .into_iter()
-            .filter(|&v| bucket_of(v) == bi)
-            .collect();
+        let mut drained = std::mem::take(&mut buckets[bi]);
+        active.clear();
+        active.extend(drained.iter().copied().filter(|&v| bucket_of(v) == bi));
+        drained.clear();
+        spare.push(drained);
         active.sort_unstable();
         active.dedup();
         while !active.is_empty() {
             iterations += 1;
             trace.push(active.len());
             settled.extend(active.iter().copied());
-            let improved = relax(SparseFrontier::from_vec(active), true);
-            let mut next = Vec::new();
-            for v in improved.iter() {
+            let improved = relax(SparseFrontier::from_vec(std::mem::take(&mut active)), true);
+            // Partition in place: vertices still in this bucket become the
+            // next round's active list (reusing the output frontier's
+            // storage); the rest stash into their new buckets.
+            let mut buf = improved.into_vec();
+            buf.retain(|&v| {
                 if bucket_of(v) == bi {
-                    next.push(v);
+                    true
                 } else {
-                    stash(&mut buckets, v);
+                    stash(&mut buckets, &mut spare, v);
+                    false
                 }
-            }
-            ctx.recycle_frontier(improved);
-            active = next;
+            });
+            active = buf;
         }
         // Heavy phase: once over everything settled in this bucket.
         settled.sort_unstable();
         settled.dedup();
-        let heavy_improved = relax(SparseFrontier::from_vec(settled), false);
-        for v in heavy_improved.iter() {
-            stash(&mut buckets, v);
+        let heavy_improved = relax(
+            SparseFrontier::from_vec(std::mem::take(&mut settled)),
+            false,
+        );
+        let mut buf = heavy_improved.into_vec();
+        for &v in &buf {
+            stash(&mut buckets, &mut spare, v);
         }
-        ctx.recycle_frontier(heavy_improved);
+        buf.clear();
+        settled = buf;
         bi += 1;
     }
+    for b in buckets.into_iter().chain(spare) {
+        ctx.recycle_u32_buffer(b);
+    }
+    ctx.recycle_u32_buffer(active);
+    ctx.recycle_u32_buffer(settled);
 
     SsspResult {
         dist: unwrap_dist(dist),

@@ -4,7 +4,7 @@
 //! (default scale 12 ⇒ ~4k-vertex graphs; scale 14–16 for longer runs).
 //!
 //! With `--json FILE` the harness writes the machine-readable benchmark
-//! snapshot (schema `essentials-bench/v4`, see EXPERIMENTS.md). The
+//! snapshot (schema `essentials-bench/v5`, see EXPERIMENTS.md). The
 //! resilience flags `--deadline-ms N` and `--max-iters N` attach a
 //! `RunBudget` to a dedicated budget experiment in that session: the
 //! flagship algorithms run through their fallible `try_*` entry points and
@@ -451,6 +451,209 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
         }
     }
 
+    // --- compression: byte-coded CSR vs raw adjacency (DESIGN.md §14) ----
+    // Three claims, one experiment. (1) Layout: zigzag+class-coded gaps
+    // against the raw 4-bytes-per-edge column array — the bytes-per-edge
+    // row carries both totals and the reduction factor in extras.
+    // (2) Decode bandwidth: streaming decoders vs the raw u32 scan across
+    // frontier densities; the work column counts edges visited and the
+    // extras carry GB/s of adjacency bytes actually touched (the coded
+    // stream moves fewer bytes per edge, so equal-MTEPS decode already
+    // means less memory traffic). (3) End-to-end: adaptive BFS and pull
+    // PageRank over compressed adjacency vs their raw twins, asserted
+    // bit-identical before timing — the differential suite pins the same
+    // equality at small scale, the harness re-checks it at benchmark
+    // scale so the committed MTEPS compare like for like.
+    {
+        let build_ctx = Context::new(4);
+        for w in [Workload::Rmat, Workload::Grid] {
+            let g = w.symmetric(scale);
+            let n = g.get_num_vertices();
+            let m = g.get_num_edges();
+            let cg = CompressedGraph::from_graph(build_ctx.pool(), &g);
+
+            let coded = cg.out_ccsr().topology_bytes();
+            let raw = 4 * m;
+            rows.push(JsonRow {
+                experiment: "compression",
+                workload: w.name(),
+                algo: "layout",
+                variant: "bytes-per-edge".to_string(),
+                threads: 1,
+                ms: 0.0,
+                iterations: 1,
+                work: coded,
+                mteps: 0.0,
+                outcome: "ok",
+                extras: format!(
+                    ",\"coded_bytes\":{},\"raw_bytes\":{},\"bytes_per_edge\":{:.3},\"reduction\":{:.2}",
+                    coded,
+                    raw,
+                    coded as f64 / m.max(1) as f64,
+                    raw as f64 / coded.max(1) as f64
+                ),
+            });
+
+            let byte_offsets = cg.out_ccsr().sections().1;
+            let sink = std::sync::atomic::AtomicUsize::new(0);
+            for density_pct in [1usize, 10, 50, 100] {
+                let frontier: Vec<VertexId> = (0..n)
+                    .filter(|&v| (v.wrapping_mul(2654435761)) % 100 < density_pct)
+                    .map(|v| v as VertexId)
+                    .collect();
+                let edges: usize = frontier
+                    .iter()
+                    .map(|&v| DecodeOutNeighbors::out_degree(&cg, v))
+                    .sum();
+                let coded_bytes: usize = frontier
+                    .iter()
+                    .map(|&v| (byte_offsets[v as usize + 1] - byte_offsets[v as usize]) as usize)
+                    .sum();
+                let decode_pass = || {
+                    let mut acc = 0usize;
+                    for &v in &frontier {
+                        for u in cg.out_decoder(v) {
+                            acc = acc.wrapping_add(u as usize);
+                        }
+                    }
+                    acc
+                };
+                let raw_pass = || {
+                    let mut acc = 0usize;
+                    for &v in &frontier {
+                        for &u in g.out_neighbors(v) {
+                            acc = acc.wrapping_add(u as usize);
+                        }
+                    }
+                    acc
+                };
+                assert_eq!(decode_pass(), raw_pass(), "decoder diverged from raw scan");
+                let scans: [(&str, usize, Box<dyn Fn() -> usize>); 2] = [
+                    ("decode", coded_bytes, Box::new(decode_pass)),
+                    ("raw-scan", 4 * edges, Box::new(raw_pass)),
+                ];
+                for (variant, bytes, f) in scans {
+                    let ms = median_ms(3, || {
+                        sink.fetch_add(f(), std::sync::atomic::Ordering::Relaxed);
+                    });
+                    rows.push(JsonRow {
+                        experiment: "compression",
+                        workload: w.name(),
+                        algo: "scan",
+                        variant: format!("{variant}/{density_pct}pct"),
+                        threads: 1,
+                        ms,
+                        iterations: 1,
+                        work: edges,
+                        mteps: mteps(edges, ms),
+                        outcome: "ok",
+                        extras: format!(
+                            ",\"density_pct\":{},\"bytes\":{},\"gb_per_s\":{:.3}",
+                            density_pct,
+                            bytes,
+                            if ms > 0.0 {
+                                bytes as f64 / ms / 1e6
+                            } else {
+                                0.0
+                            }
+                        ),
+                    });
+                }
+            }
+
+            let ctx = Context::new(4);
+            let raw_bfs = bfs::bfs_adaptive(execution::par, &ctx, &g, 0);
+            let cmp_bfs = bfs::bfs_adaptive_compressed(
+                execution::par,
+                &ctx,
+                &cg,
+                0,
+                DirectionPolicy::default(),
+            );
+            assert_eq!(raw_bfs.level, cmp_bfs.level, "compressed BFS diverged");
+            let bfs_runs: [(&str, &bfs::BfsResult, Box<dyn Fn()>); 2] = [
+                (
+                    "raw-adaptive",
+                    &raw_bfs,
+                    Box::new(|| {
+                        bfs::bfs_adaptive(execution::par, &ctx, &g, 0);
+                    }),
+                ),
+                (
+                    "compressed-adaptive",
+                    &cmp_bfs,
+                    Box::new(|| {
+                        bfs::bfs_adaptive_compressed(
+                            execution::par,
+                            &ctx,
+                            &cg,
+                            0,
+                            DirectionPolicy::default(),
+                        );
+                    }),
+                ),
+            ];
+            for (variant, r, f) in bfs_runs {
+                let ms = median_ms(3, &*f);
+                rows.push(JsonRow {
+                    experiment: "compression",
+                    workload: w.name(),
+                    algo: "bfs",
+                    variant: variant.to_string(),
+                    threads: 4,
+                    ms,
+                    iterations: r.stats.iterations,
+                    work: r.edges_inspected,
+                    mteps: mteps(r.edges_inspected, ms),
+                    outcome: "ok",
+                    extras: String::new(),
+                });
+            }
+
+            let cfg = pagerank::PrConfig {
+                damping: 0.85,
+                tolerance: 0.0, // fixed iteration count: identical work per variant
+                max_iterations: 20,
+            };
+            let raw_pr = pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
+            let cmp_pr = pagerank::pagerank_pull_compressed(execution::par, &ctx, &cg, cfg);
+            assert_eq!(raw_pr.rank, cmp_pr.rank, "compressed PageRank diverged");
+            let pr_runs: [(&str, &pagerank::PageRankResult, Box<dyn Fn()>); 2] = [
+                (
+                    "raw-pull",
+                    &raw_pr,
+                    Box::new(|| {
+                        pagerank::pagerank_pull(execution::par, &ctx, &g, cfg);
+                    }),
+                ),
+                (
+                    "compressed-pull",
+                    &cmp_pr,
+                    Box::new(|| {
+                        pagerank::pagerank_pull_compressed(execution::par, &ctx, &cg, cfg);
+                    }),
+                ),
+            ];
+            for (variant, r, f) in pr_runs {
+                let ms = median_ms(3, &*f);
+                let work = m * r.stats.iterations;
+                rows.push(JsonRow {
+                    experiment: "compression",
+                    workload: w.name(),
+                    algo: "pagerank",
+                    variant: variant.to_string(),
+                    threads: 4,
+                    ms,
+                    iterations: r.stats.iterations,
+                    work,
+                    mteps: mteps(work, ms),
+                    outcome: "ok",
+                    extras: String::new(),
+                });
+            }
+        }
+    }
+
     // --- locality: naive vs blocked vs blocked+placement pull PageRank ---
     // The memory-locality ablation (DESIGN.md §12), measured at iteration
     // granularity: the blocked layout is built once per run (as the
@@ -810,7 +1013,7 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
     // --- serialize -------------------------------------------------------
     let mut out = String::with_capacity(rows.len() * 160 + 128);
     out.push_str(&format!(
-        "{{\n  \"schema\": \"essentials-bench/v4\",\n  \"scale\": {scale},\n  \"rows\": [\n"
+        "{{\n  \"schema\": \"essentials-bench/v5\",\n  \"scale\": {scale},\n  \"rows\": [\n"
     ));
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    ");

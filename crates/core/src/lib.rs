@@ -48,12 +48,17 @@ pub mod prelude {
     pub use crate::operators::blocked::{
         expand_blocked_pull, BlockedConfig, BlockedGather, GatherDirection,
     };
+    pub use crate::operators::compressed::{
+        expand_blocked_pull_compressed, expand_pull_counted_compressed,
+        expand_pull_masked_compressed, expand_push_dense_compressed, neighbors_expand_compressed,
+        neighbors_expand_unique_compressed,
+    };
     pub use crate::operators::compute::{
         fill_indexed, fill_indexed_into, foreach_active, foreach_vertex, try_foreach_vertex,
     };
     pub use crate::operators::direction::{
-        advance_adaptive, AdaptiveAdvance, AdaptiveConfig, BlockedPullPolicy, Direction,
-        DirectionPolicy,
+        advance_adaptive, advance_adaptive_compressed, AdaptiveAdvance, AdaptiveConfig,
+        BlockedPullPolicy, CompressedPullPolicy, Direction, DirectionPolicy,
     };
     pub use crate::operators::filter::{filter, try_filter, uniquify, uniquify_with_bitmap};
     pub use crate::operators::intersect::{intersect_count, intersect_count_gallop};
@@ -64,8 +69,10 @@ pub mod prelude {
         VertexFrontier,
     };
     pub use essentials_graph::{
-        Coo, Csr, EdgeId, EdgeValue, EdgeWeights, Graph, GraphBase, GraphBuilder, InNeighbors,
-        OutNeighbors, VertexId, INVALID_VERTEX,
+        Ccsr, CcsrView, CompressedGraph, CompressedGraphView, Coo, Csr, DecodeEdgeWeights,
+        DecodeInEdgeWeights, DecodeInNeighbors, DecodeOutNeighbors, EdgeId, EdgeValue, EdgeWeights,
+        Graph, GraphBase, GraphBuilder, InNeighbors, NeighborDecoder, OutNeighbors, VertexId,
+        INVALID_VERTEX,
     };
     pub use essentials_obs::{
         CounterTotals, CountersSink, NullSink, ObsSink, Summary, TeeSink, TraceSink,

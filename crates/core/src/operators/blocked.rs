@@ -41,7 +41,7 @@ const SRC_CHUNK: usize = 4096;
 
 /// Bitmap words per fixed chunk on the masked path (64 words = 4096
 /// source slots, mirroring [`SRC_CHUNK`]).
-const WORD_CHUNK: usize = 64;
+pub(crate) const WORD_CHUNK: usize = 64;
 
 /// Most worker segments the chunk scheduler tracks on the stack.
 const MAX_SEGMENTS: usize = 64;
@@ -62,7 +62,7 @@ impl Default for BlockedConfig {
 }
 
 impl BlockedConfig {
-    fn clamped_bits(self) -> u32 {
+    pub(crate) fn clamped_bits(self) -> u32 {
         self.bin_bits.clamp(4, 31)
     }
 }
@@ -82,9 +82,9 @@ pub enum GatherDirection {
 }
 
 /// Shared-pointer shim for disjoint-index writes from a parallel region.
-struct SendPtr<T>(*mut T);
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 impl<T> SendPtr<T> {
-    fn get(&self) -> *mut T {
+    pub(crate) fn get(&self) -> *mut T {
         self.0
     }
 }
@@ -103,7 +103,7 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 /// edges of work. Every chunk is executed exactly once regardless of
 /// worker count; `f` must tolerate concurrent invocation on distinct
 /// chunks.
-fn for_each_chunk<F>(ctx: &Context, parallel: bool, nchunks: usize, f: F)
+pub(crate) fn for_each_chunk<F>(ctx: &Context, parallel: bool, nchunks: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {

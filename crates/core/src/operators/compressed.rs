@@ -1,0 +1,817 @@
+//! Decode-aware advance operators over byte-coded compressed adjacency
+//! (DESIGN.md §14).
+//!
+//! These are the compressed twins of the raw-CSR operators in
+//! [`advance`](crate::operators::advance) and
+//! [`blocked`](crate::operators::blocked): same signatures, same output
+//! contracts, same observability events — but the adjacency is streamed
+//! through [`NeighborDecoder`]s ([`essentials_graph::ccsr`]) instead of
+//! sliced out of a raw column array. Neighbor ids decode in ascending
+//! order, and edge ids stay the contiguous CSR numbering (`out_edges(v)`
+//! yields the same range either way), so a side-effectful condition sees
+//! *exactly* the `(src, dst, e, w)` tuples the raw operator shows it —
+//! `tests/differential.rs` pins the results bit-identical.
+//!
+//! Load balancing composes unchanged: the per-vertex degree array
+//! (`edge_offsets` differences) drives the same prefix-sum/edge-chunk
+//! division as raw CSR; a chunk landing mid-row re-decodes the row prefix
+//! via [`NeighborDecoder::skip_ahead`] — bounded by one row per chunk
+//! boundary, and rows are short in exactly the graphs where compression
+//! matters.
+
+use essentials_frontier::{DenseFrontier, SparseFrontier};
+use essentials_graph::{
+    DecodeEdgeWeights, DecodeInEdgeWeights, DecodeOutNeighbors, EdgeId, EdgeValue, VertexId,
+};
+use essentials_obs::{AdvanceEvent, OpKind};
+use essentials_parallel::atomics::Counter;
+use essentials_parallel::{parallel_scan_with, ExecutionPolicy, Schedule};
+
+use crate::context::Context;
+use crate::operators::advance::PullConfig;
+use crate::operators::blocked::{for_each_chunk, BlockedConfig, SendPtr, WORD_CHUNK};
+use crate::scratch::AdvanceScratch;
+
+/// Sum of out-degrees over a frontier (degree array lookups only — no
+/// decoding). Evaluated only when a sink wants operator detail.
+fn frontier_out_edges_compressed<G: DecodeOutNeighbors>(g: &G, f: &SparseFrontier) -> u64 {
+    f.iter().map(|v| g.out_degree(v) as u64).sum()
+}
+
+/// Edge-balanced iteration over compressed adjacency:
+/// `f(worker, src, dst, edge)` is called once per out-edge of every
+/// frontier vertex, edge work divided evenly across workers by the same
+/// prefix-sum/chunk division as the raw path. Unlike raw CSR there is no
+/// random `edge_dest` access, so the destination is decoded in-stream and
+/// handed to the callback alongside the edge id.
+fn for_each_edge_balanced_decode<G, F>(
+    ctx: &Context,
+    g: &G,
+    frontier: &[VertexId],
+    offsets: &mut Vec<usize>,
+    chunk_sums: &mut Vec<usize>,
+    f: F,
+) where
+    G: DecodeOutNeighbors + Sync,
+    F: Fn(usize, VertexId, VertexId, EdgeId) + Sync,
+{
+    let total = parallel_scan_with(
+        ctx.pool(),
+        frontier.len(),
+        |i| g.out_degree(frontier[i]),
+        offsets,
+        chunk_sums,
+    );
+    if total == 0 {
+        return;
+    }
+    let offsets: &[usize] = offsets;
+    let threads = ctx.num_threads();
+    let grain = (total / (threads * 8).max(1)).clamp(256, 1 << 16);
+    let chunks = total.div_ceil(grain);
+
+    ctx.pool()
+        .parallel_for_with(0..chunks, Schedule::Dynamic(1), |tid, c| {
+            let work_lo = c * grain;
+            let work_hi = ((c + 1) * grain).min(total);
+            let mut fi = offsets.partition_point(|&o| o <= work_lo) - 1;
+            let mut w = work_lo;
+            while w < work_hi {
+                let src = frontier[fi];
+                let row = g.out_edges(src);
+                // Position inside src's neighbor list: a mid-row start
+                // decodes and discards the prefix (sequential codes have no
+                // random access), then streams the chunk's share.
+                let inner = w - offsets[fi];
+                let take = (offsets[fi + 1] - w).min(work_hi - w);
+                let mut dec = g.out_decoder(src);
+                dec.skip_ahead(inner);
+                for (e, dst) in (row.start + inner..).zip(dec.by_ref().take(take)) {
+                    f(tid, src, dst, e);
+                }
+                w += take;
+                fi += 1;
+            }
+        });
+}
+
+/// Push-direction neighbor expansion over compressed adjacency — the
+/// decode-aware twin of [`neighbors_expand`](crate::operators::advance::neighbors_expand).
+///
+/// For every active vertex `v` and out-edge `e = (v, n)` (destination
+/// decoded in ascending order, weight looked up by the contiguous edge
+/// id), evaluates `condition(v, n, e, w)`; admitting destinations enter
+/// the output frontier, duplicates possible as on the raw path.
+pub fn neighbors_expand_compressed<P, G, W, F>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: DecodeEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let _ = policy;
+    expand_compressed_impl::<P, _, _, _, false>(ctx, g, f, condition)
+}
+
+/// [`neighbors_expand_compressed`] with fused deduplication — the
+/// decode-aware twin of
+/// [`neighbors_expand_unique`](crate::operators::advance::neighbors_expand_unique):
+/// each destination enters the output at most once, recorded in the same
+/// reusable atomic bitmap, swept clean afterwards by walking the output.
+/// The condition still runs for every edge; only insertion is gated.
+pub fn neighbors_expand_unique_compressed<P, G, W, F>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: DecodeEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let _ = policy;
+    expand_compressed_impl::<P, _, _, _, true>(ctx, g, f, condition)
+}
+
+/// Shared body of the compressed push expansions. All transient memory —
+/// degree prefix sums, per-worker output buffers, the dedup bitmap, and
+/// the output vector — comes from the context's [`AdvanceScratch`], so
+/// steady-state calls allocate nothing (`tests/zero_alloc.rs` pins the
+/// compressed decode path too).
+fn expand_compressed_impl<P, G, W, F, const UNIQUE: bool>(
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> SparseFrontier
+where
+    P: ExecutionPolicy,
+    G: DecodeEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let mut scratch = ctx.take_scratch();
+    if UNIQUE {
+        scratch.ensure_seen(g.num_vertices());
+    }
+
+    let detail = ctx.obs_wants_detail();
+    let admitted = Counter::new();
+    let condition = |v: VertexId, n: VertexId, e: EdgeId, w: W| {
+        let ok = condition(v, n, e, w);
+        if detail && ok {
+            admitted.add(1);
+        }
+        ok
+    };
+    let emit = |ctx: &Context, frontier_in: usize, output_len: usize, per_worker: &[usize]| {
+        if let Some(sink) = ctx.obs() {
+            let adm = admitted.get() as u64;
+            sink.on_advance(&AdvanceEvent {
+                kind: if UNIQUE {
+                    OpKind::AdvanceUnique
+                } else {
+                    OpKind::Advance
+                },
+                policy: P::NAME,
+                frontier_in,
+                edges_inspected: if detail {
+                    frontier_out_edges_compressed(g, f)
+                } else {
+                    0
+                },
+                admitted: adm,
+                output_len,
+                dedup_hits: if UNIQUE && detail {
+                    adm.saturating_sub(output_len as u64)
+                } else {
+                    0
+                },
+                per_worker,
+            });
+        }
+    };
+
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        let mut out = scratch.take_vec();
+        let seen = &scratch.seen;
+        for v in f.iter() {
+            for (e, n) in (g.out_edges(v).start..).zip(g.out_decoder(v)) {
+                let w = g.edge_weight(e);
+                if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
+                    out.push(n); // alloc-ok: pooled output vec, capacity retained across iterations
+                }
+            }
+        }
+        if UNIQUE {
+            for &v in &out {
+                scratch.seen.clear(v as usize);
+            }
+        }
+        emit(ctx, f.len(), out.len(), &[]);
+        ctx.put_scratch(scratch);
+        return SparseFrontier::from_vec(out);
+    }
+
+    {
+        let AdvanceScratch {
+            offsets,
+            chunk_sums,
+            buffers,
+            seen,
+            ..
+        } = &mut *scratch;
+        buffers.ensure_workers(ctx.num_threads());
+        let seen = &*seen;
+        let view = buffers.view();
+        for_each_edge_balanced_decode(ctx, g, f.as_slice(), offsets, chunk_sums, |tid, v, n, e| {
+            let w = g.edge_weight(e);
+            if condition(v, n, e, w) && (!UNIQUE || seen.set(n as usize)) {
+                // SAFETY: `tid` is this worker's own id; the pool runs each
+                // worker id on exactly one thread per region.
+                unsafe { view.push(tid, n) }; // alloc-ok: worker buffer keeps its capacity; steady state is alloc-free (tests/zero_alloc.rs)
+            }
+        });
+    }
+
+    let per_worker = if detail && ctx.obs().is_some() {
+        scratch.buffers.slot_lens()
+    } else {
+        Vec::new() // alloc-ok: Vec::new never allocates; detail collection is gated above
+    };
+    let mut out = scratch.take_vec();
+    scratch.buffers.drain_into(&mut out);
+    if UNIQUE {
+        let seen = &scratch.seen;
+        let out_ref: &[VertexId] = &out;
+        ctx.pool()
+            .parallel_for(0..out_ref.len(), Schedule::Static, |i| {
+                seen.clear(out_ref[i] as usize);
+            });
+    }
+    emit(ctx, f.len(), out.len(), &per_worker);
+    ctx.put_scratch(scratch);
+    SparseFrontier::from_vec(out)
+}
+
+/// Compressed push expansion into a **dense** output frontier — the
+/// decode-aware twin of
+/// [`expand_push_dense`](crate::operators::advance::expand_push_dense).
+pub fn expand_push_dense_compressed<P, G, W, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    f: &SparseFrontier,
+    condition: F,
+) -> DenseFrontier
+where
+    P: ExecutionPolicy,
+    G: DecodeEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+{
+    let output = ctx.take_dense_frontier(g.num_vertices());
+    let detail = ctx.obs_wants_detail();
+    let admitted = Counter::new();
+    let body = |v: VertexId, n: VertexId, e: EdgeId| {
+        let w = g.edge_weight(e);
+        if condition(v, n, e, w) {
+            if detail {
+                admitted.add(1);
+            }
+            output.insert(n);
+        }
+    };
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        for v in f.iter() {
+            for (e, n) in (g.out_edges(v).start..).zip(g.out_decoder(v)) {
+                body(v, n, e);
+            }
+        }
+    } else {
+        let mut scratch = ctx.take_scratch();
+        {
+            let AdvanceScratch {
+                offsets,
+                chunk_sums,
+                ..
+            } = &mut *scratch;
+            for_each_edge_balanced_decode(
+                ctx,
+                g,
+                f.as_slice(),
+                offsets,
+                chunk_sums,
+                |_t, v, n, e| body(v, n, e),
+            );
+        }
+        ctx.put_scratch(scratch);
+    }
+    if let Some(sink) = ctx.obs() {
+        sink.on_advance(&AdvanceEvent {
+            kind: OpKind::AdvanceDense,
+            policy: P::NAME,
+            frontier_in: f.len(),
+            edges_inspected: if detail {
+                frontier_out_edges_compressed(g, f)
+            } else {
+                0
+            },
+            admitted: admitted.get() as u64,
+            output_len: output.len(),
+            dedup_hits: 0,
+            per_worker: &[],
+        });
+    }
+    output
+}
+
+/// Pull-direction expansion over compressed in-adjacency — the
+/// decode-aware twin of
+/// [`expand_pull_counted`](crate::operators::advance::expand_pull_counted):
+/// every candidate destination streams its in-neighbor decoder looking for
+/// active sources. Weights are looked up by the contiguous in-edge id, so
+/// the condition sees the same `(src, dst, w)` tuples in the same
+/// (ascending-source) order as the CSC slice scan.
+pub fn expand_pull_counted_compressed<P, G, W, C, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    input: &DenseFrontier,
+    cfg: PullConfig,
+    candidate: C,
+    condition: F,
+) -> (DenseFrontier, usize)
+where
+    P: ExecutionPolicy,
+    G: DecodeInEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    C: Fn(VertexId) -> bool + Sync,
+    F: Fn(VertexId, VertexId, W) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    let output = ctx.take_dense_frontier(n);
+    let scanned = Counter::new();
+    let scan = |dst: VertexId| {
+        if !candidate(dst) {
+            return;
+        }
+        let mut local_scans = 0usize;
+        for (e, src) in (g.in_edges(dst).start..).zip(g.in_decoder(dst)) {
+            local_scans += 1;
+            if input.contains(src) && condition(src, dst, g.in_edge_weight(e)) {
+                output.insert(dst);
+                if cfg.early_exit {
+                    break;
+                }
+            }
+        }
+        scanned.add(local_scans);
+    };
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        for dst in 0..n as VertexId {
+            scan(dst);
+        }
+    } else {
+        ctx.pool()
+            .parallel_for(0..n, Schedule::Dynamic(256), |i| scan(i as VertexId));
+    }
+    if let Some(sink) = ctx.obs() {
+        let out_len = output.len();
+        sink.on_advance(&AdvanceEvent {
+            kind: OpKind::Pull,
+            policy: P::NAME,
+            frontier_in: input.len(),
+            edges_inspected: scanned.get() as u64,
+            admitted: out_len as u64,
+            output_len: out_len,
+            dedup_hits: 0,
+            per_worker: &[],
+        });
+    }
+    (output, scanned.get())
+}
+
+/// Masked pull over compressed in-adjacency — the decode-aware twin of
+/// [`expand_pull_masked`](crate::operators::advance::expand_pull_masked):
+/// the candidate set is a bitmap iterated word-parallel; only its set
+/// destinations decode their in-neighbor streams.
+pub fn expand_pull_masked_compressed<P, G, W, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    input: &DenseFrontier,
+    candidates: &DenseFrontier,
+    cfg: PullConfig,
+    condition: F,
+) -> (DenseFrontier, usize)
+where
+    P: ExecutionPolicy,
+    G: DecodeInEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, W) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    debug_assert_eq!(candidates.capacity(), n);
+    let output = ctx.take_dense_frontier(n);
+    let scanned = Counter::new();
+    let scan = |dst: VertexId| {
+        let mut local_scans = 0usize;
+        for (e, src) in (g.in_edges(dst).start..).zip(g.in_decoder(dst)) {
+            local_scans += 1;
+            if input.contains(src) && condition(src, dst, g.in_edge_weight(e)) {
+                output.insert(dst);
+                if cfg.early_exit {
+                    break;
+                }
+            }
+        }
+        scanned.add(local_scans);
+    };
+    let mask = candidates.bits();
+    if !P::IS_PARALLEL || ctx.num_threads() == 1 {
+        mask.for_each_set(|i| scan(i as VertexId));
+    } else {
+        ctx.pool()
+            .parallel_for(0..mask.num_words(), Schedule::Dynamic(4), |wi| {
+                mask.for_each_set_in_words(wi, wi + 1, &mut |i| scan(i as VertexId));
+            });
+    }
+    if let Some(sink) = ctx.obs() {
+        let out_len = output.len();
+        sink.on_advance(&AdvanceEvent {
+            kind: OpKind::Pull,
+            policy: P::NAME,
+            frontier_in: input.len(),
+            edges_inspected: scanned.get() as u64,
+            admitted: out_len as u64,
+            output_len: out_len,
+            dedup_hits: 0,
+            per_worker: &[],
+        });
+    }
+    (output, scanned.get())
+}
+
+/// Frontier-masked blocked pull over compressed **out**-adjacency — the
+/// decode-aware twin of
+/// [`expand_blocked_pull`](crate::operators::blocked::expand_blocked_pull).
+/// Active sources' out-edges are decoded (twice: count pass, fill pass)
+/// into destination-binned entries, then each bin flushes with
+/// cache-resident candidate/output probes. Needs no compressed CSC at
+/// all — the same property that makes the raw blocked pull CSC-free.
+#[allow(clippy::too_many_arguments)]
+pub fn expand_blocked_pull_compressed<P, G, W, F>(
+    _policy: P,
+    ctx: &Context,
+    g: &G,
+    input: &DenseFrontier,
+    candidates: &DenseFrontier,
+    cfg: PullConfig,
+    bcfg: BlockedConfig,
+    condition: F,
+) -> (DenseFrontier, usize)
+where
+    P: ExecutionPolicy,
+    G: DecodeEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    F: Fn(VertexId, VertexId, W) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    debug_assert_eq!(candidates.capacity(), n);
+    assert!(
+        g.num_edges() <= u32::MAX as usize,
+        "expand_blocked_pull_compressed packs edge ids into u32 entries"
+    );
+    let output = ctx.take_dense_frontier(n);
+    let parallel = P::IS_PARALLEL && ctx.num_threads() > 1;
+    let bin_bits = bcfg.clamped_bits();
+    let nbins = n.div_ceil(1usize << bin_bits);
+    let words = input.bits().num_words();
+    let nchunks = words.div_ceil(WORD_CHUNK);
+    let cells = nbins * nchunks;
+
+    let mut s = ctx.take_scratch();
+    let mut offsets = s.take_usize();
+    let mut cursors = s.take_usize();
+    let mut entries = s.take_u32();
+    ctx.put_scratch(s);
+
+    offsets.resize(cells + 1, 0); // alloc-ok: cold growth, pooled across calls
+    cursors.resize(cells, 0); // alloc-ok: cold growth, pooled across calls
+    cursors[..].fill(0);
+    let bits = input.bits();
+
+    // Count pass over active sources, chunked by bitmap words; each
+    // source's destinations decode in-stream.
+    {
+        let cptr = SendPtr(cursors.as_mut_ptr());
+        let cptr = &cptr;
+        for_each_chunk(ctx, parallel, nchunks, |c| {
+            let w_lo = c * WORD_CHUNK;
+            let w_hi = ((c + 1) * WORD_CHUNK).min(words);
+            bits.for_each_set_in_words(w_lo, w_hi, &mut |src| {
+                for d in g.out_decoder(src as VertexId) {
+                    let cell = ((d as usize) >> bin_bits) * nchunks + c;
+                    // SAFETY: column `c` of the count matrix is owned by
+                    // this chunk invocation (see BlockedGather::build).
+                    unsafe { *cptr.get().add(cell) += 1 };
+                }
+            });
+        });
+    }
+
+    let mut acc = 0usize;
+    for i in 0..cells {
+        offsets[i] = acc;
+        acc += cursors[i];
+    }
+    offsets[cells] = acc;
+    let m = acc;
+
+    // Fill pass: second decode of the same rows, writing stride-3 entries
+    // (dst, src, edge) at the cell cursors. Edge ids advance with the
+    // decode position, so they match the raw CSR numbering exactly.
+    entries.resize(3 * m, 0); // alloc-ok: cold growth, pooled across calls
+    cursors.copy_from_slice(&offsets[..cells]);
+    {
+        let cptr = SendPtr(cursors.as_mut_ptr());
+        let eptr = SendPtr(entries.as_mut_ptr());
+        let (cptr, eptr) = (&cptr, &eptr);
+        for_each_chunk(ctx, parallel, nchunks, |c| {
+            let w_lo = c * WORD_CHUNK;
+            let w_hi = ((c + 1) * WORD_CHUNK).min(words);
+            bits.for_each_set_in_words(w_lo, w_hi, &mut |src| {
+                let row = g.out_edges(src as VertexId).start;
+                for (e, d) in (row..).zip(g.out_decoder(src as VertexId)) {
+                    let cell = ((d as usize) >> bin_bits) * nchunks + c;
+                    // SAFETY: column-disjoint cursors hand out unique
+                    // entry slots (see BlockedGather::build).
+                    unsafe {
+                        let k = *cptr.get().add(cell);
+                        *cptr.get().add(cell) = k + 1;
+                        let at = eptr.get().add(3 * k);
+                        *at = d;
+                        *at.add(1) = src as u32;
+                        *at.add(2) = e as u32;
+                    }
+                }
+            });
+        });
+    }
+
+    // Flush: identical to the raw blocked pull — the entries already carry
+    // everything; only the weight lookup touches the graph.
+    {
+        let output = &output;
+        let (offsets, entries) = (&offsets, &entries);
+        let condition = &condition;
+        for_each_chunk(ctx, parallel, nbins, |b| {
+            for k in offsets[b * nchunks]..offsets[(b + 1) * nchunks] {
+                let dst = entries[3 * k];
+                if cfg.early_exit && output.contains(dst) {
+                    continue;
+                }
+                if !candidates.contains(dst) {
+                    continue;
+                }
+                let src = entries[3 * k + 1];
+                let e = entries[3 * k + 2] as EdgeId;
+                if condition(src, dst, g.edge_weight(e)) {
+                    output.insert(dst);
+                }
+            }
+        });
+    }
+
+    let mut s = ctx.take_scratch();
+    s.put_usize(offsets);
+    s.put_usize(cursors);
+    s.put_u32(entries);
+    ctx.put_scratch(s);
+
+    if let Some(sink) = ctx.obs() {
+        let out_len = output.len();
+        sink.on_advance(&AdvanceEvent {
+            kind: OpKind::PullBlocked,
+            policy: P::NAME,
+            frontier_in: input.len(),
+            edges_inspected: m as u64,
+            admitted: out_len as u64,
+            output_len: out_len,
+            dedup_hits: 0,
+            per_worker: &[],
+        });
+    }
+    (output, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::advance::{
+        expand_pull_masked, expand_push_dense, neighbors_expand, neighbors_expand_unique,
+    };
+    use crate::operators::blocked::expand_blocked_pull;
+    use essentials_graph::{CompressedGraph, Graph, GraphBase, GraphBuilder};
+    use essentials_parallel::{execution, ThreadPool};
+
+    fn ring_with_chords(n: usize) -> Graph<f32> {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as VertexId {
+            let n32 = n as VertexId;
+            b = b.edge(v, (v + 1) % n32, (v % 7) as f32 + 0.5);
+            b = b.edge(v, (v * 7 + 3) % n32, (v % 3) as f32 + 1.0);
+        }
+        b.deduplicate().with_csc().build()
+    }
+
+    fn compress(g: &Graph<f32>, threads: usize) -> CompressedGraph<f32> {
+        let pool = ThreadPool::new(threads);
+        CompressedGraph::from_graph(&pool, g)
+    }
+
+    #[test]
+    fn compressed_push_matches_raw_push() {
+        let g = ring_with_chords(500);
+        let cg = compress(&g, 4);
+        for threads in [1, 4] {
+            let ctx = Context::new(threads);
+            let f = SparseFrontier::from_vec((0..250).collect());
+            let cond = |s: VertexId, d: VertexId, _e: EdgeId, w: f32| {
+                !(s + d).is_multiple_of(3) && w < 6.0
+            };
+            let raw = neighbors_expand(execution::par, &ctx, &g, &f, cond);
+            let comp = neighbors_expand_compressed(execution::par, &ctx, &cg, &f, cond);
+            let mut a: Vec<VertexId> = raw.iter().collect();
+            let mut b: Vec<VertexId> = comp.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compressed_unique_push_matches_raw_unique() {
+        let g = ring_with_chords(300);
+        let cg = compress(&g, 2);
+        for threads in [1, 4] {
+            let ctx = Context::new(threads);
+            let f = SparseFrontier::from_vec((0..300).collect());
+            let raw = neighbors_expand_unique(execution::par, &ctx, &g, &f, |_, _, _, _| true);
+            let comp =
+                neighbors_expand_unique_compressed(execution::par, &ctx, &cg, &f, |_, _, _, _| {
+                    true
+                });
+            let mut a: Vec<VertexId> = raw.iter().collect();
+            let mut b: Vec<VertexId> = comp.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compressed_dense_push_matches_raw() {
+        let g = ring_with_chords(400);
+        let cg = compress(&g, 4);
+        for threads in [1, 4] {
+            let ctx = Context::new(threads);
+            let f = SparseFrontier::from_vec((0..400).step_by(3).collect());
+            let cond = |_s: VertexId, d: VertexId, _e: EdgeId, _w: f32| d.is_multiple_of(2);
+            let raw = expand_push_dense(execution::par, &ctx, &g, &f, cond);
+            let comp = expand_push_dense_compressed(execution::par, &ctx, &cg, &f, cond);
+            let mut a: Vec<VertexId> = raw.iter().collect();
+            let mut b: Vec<VertexId> = comp.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compressed_masked_pull_matches_raw_and_counts_scans() {
+        let g = ring_with_chords(400);
+        let cg = compress(&g, 4);
+        let n = g.num_vertices();
+        for threads in [1, 4] {
+            let ctx = Context::new(threads);
+            let input = DenseFrontier::new(n);
+            for v in (0..n as VertexId).filter(|v| v % 3 == 0) {
+                input.insert(v);
+            }
+            let candidates = DenseFrontier::new(n);
+            for v in (0..n as VertexId).filter(|v| v % 2 == 0) {
+                candidates.insert(v);
+            }
+            let cond = |src: VertexId, dst: VertexId, _w: f32| !(src + dst).is_multiple_of(5);
+            let (raw, raw_scans) = expand_pull_masked(
+                execution::par,
+                &ctx,
+                &g,
+                &input,
+                &candidates,
+                PullConfig { early_exit: false },
+                cond,
+            );
+            let (comp, comp_scans) = expand_pull_masked_compressed(
+                execution::par,
+                &ctx,
+                &cg,
+                &input,
+                &candidates,
+                PullConfig { early_exit: false },
+                cond,
+            );
+            let mut a: Vec<VertexId> = raw.iter().collect();
+            let mut b: Vec<VertexId> = comp.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+            assert_eq!(raw_scans, comp_scans, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compressed_blocked_pull_matches_raw_blocked_pull() {
+        let g = ring_with_chords(400);
+        let cg = compress(&g, 4);
+        let n = g.num_vertices();
+        for threads in [1, 4] {
+            let ctx = Context::new(threads);
+            let input = DenseFrontier::new(n);
+            for v in (0..n as VertexId).filter(|v| v % 4 != 1) {
+                input.insert(v);
+            }
+            let candidates = DenseFrontier::new(n);
+            candidates.set_all();
+            let cond = |src: VertexId, dst: VertexId, _w: f32| (src ^ dst) % 7 != 2;
+            let (raw, raw_m) = expand_blocked_pull(
+                execution::par,
+                &ctx,
+                &g,
+                &input,
+                &candidates,
+                PullConfig { early_exit: false },
+                BlockedConfig { bin_bits: 5 },
+                cond,
+            );
+            let (comp, comp_m) = expand_blocked_pull_compressed(
+                execution::par,
+                &ctx,
+                &cg,
+                &input,
+                &candidates,
+                PullConfig { early_exit: false },
+                BlockedConfig { bin_bits: 5 },
+                cond,
+            );
+            let mut a: Vec<VertexId> = raw.iter().collect();
+            let mut b: Vec<VertexId> = comp.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+            assert_eq!(raw_m, comp_m, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compressed_push_passes_matching_edge_ids_and_weights() {
+        // The condition must see the same (src, dst, e, w) tuples as raw:
+        // weights here are edge-position-dependent, so a mismatched edge id
+        // would change the admitted set.
+        let g = ring_with_chords(200);
+        let cg = compress(&g, 2);
+        let ctx = Context::new(4);
+        let f = SparseFrontier::from_vec((0..200).collect());
+        let cond = |_s: VertexId, _d: VertexId, e: EdgeId, w: f32| {
+            e.is_multiple_of(2) ^ (w as usize).is_multiple_of(2)
+        };
+        let raw = neighbors_expand(execution::par, &ctx, &g, &f, cond);
+        let comp = neighbors_expand_compressed(execution::par, &ctx, &cg, &f, cond);
+        let mut a: Vec<VertexId> = raw.iter().collect();
+        let mut b: Vec<VertexId> = comp.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_frontier_and_empty_graph() {
+        let g: Graph<f32> = GraphBuilder::new(0).with_csc().build();
+        let cg = compress(&g, 1);
+        let ctx = Context::new(2);
+        let f = SparseFrontier::new();
+        let out = neighbors_expand_compressed(execution::par, &ctx, &cg, &f, |_, _, _, _| true);
+        assert!(out.is_empty());
+    }
+}

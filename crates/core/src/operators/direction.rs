@@ -24,7 +24,10 @@
 //! candidate predicate for all `n` vertices.
 
 use essentials_frontier::{convert, DenseFrontier, Frontier, SparseFrontier, VertexFrontier};
-use essentials_graph::{EdgeId, EdgeValue, EdgeWeights, GraphBase, InEdgeWeights, VertexId};
+use essentials_graph::{
+    DecodeEdgeWeights, DecodeInEdgeWeights, EdgeId, EdgeValue, EdgeWeights, GraphBase,
+    InEdgeWeights, VertexId,
+};
 use essentials_obs::DirectionEvent;
 use essentials_parallel::ExecutionPolicy;
 
@@ -33,6 +36,10 @@ use crate::operators::advance::{
     expand_pull_counted, expand_pull_masked, expand_push_dense, neighbors_expand_unique, PullConfig,
 };
 use crate::operators::blocked::{expand_blocked_pull, BlockedConfig};
+use crate::operators::compressed::{
+    expand_blocked_pull_compressed, expand_pull_counted_compressed, expand_pull_masked_compressed,
+    expand_push_dense_compressed, neighbors_expand_unique_compressed,
+};
 
 /// Traversal direction (and output representation) of one iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +87,12 @@ pub struct PolicyInputs {
     pub current: Direction,
     /// Iterations since the last push↔pull flip (hysteresis dwell input).
     pub since_switch: usize,
+    /// Whether the adjacency this advance traverses is byte-coded
+    /// compressed ([`essentials_graph::ccsr`]). Pull over compressed lists
+    /// has a different cost model — every scanned in-edge is a decode, not
+    /// a load — so the policy may carry a separate α/β pair for it
+    /// ([`DirectionPolicy::compressed`]).
+    pub compressed: bool,
 }
 
 /// The Beamer α/β direction heuristic, hoisted out of BFS into a reusable
@@ -115,6 +128,10 @@ pub struct DirectionPolicy {
     /// kernel. `None` (the default) never blocks, preserving the historic
     /// three-direction behavior.
     pub blocked: Option<BlockedPullPolicy>,
+    /// Separate α/β pair consulted when the advance runs over compressed
+    /// adjacency ([`PolicyInputs::compressed`]). `None` (the default) reuses
+    /// the raw thresholds, so existing policies behave identically.
+    pub compressed: Option<CompressedPullPolicy>,
 }
 
 /// The blocked-pull upgrade thresholds — a second α/β pair *inside* the
@@ -141,6 +158,36 @@ impl Default for BlockedPullPolicy {
     }
 }
 
+/// α/β thresholds for compressed adjacency — the same Beamer rules as the
+/// raw pair, retuned for the decode cost model.
+///
+/// A compressed pull pays a class-code decode per scanned in-edge where the raw
+/// pull pays a column load, and it cannot early-exit mid-word of the decode
+/// stream for free: the break saves the *rest* of the row but the prefix
+/// was already decoded. Pull is therefore relatively more expensive, so the
+/// compressed defaults make pull **harder to enter** (smaller α: the
+/// frontier's edge mass must be a larger fraction of the unexplored pool)
+/// and **earlier to exit** (smaller β: the frontier must stay fatter to
+/// keep the decode-heavy scan worthwhile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressedPullPolicy {
+    /// Push→pull when `growing && frontier_edges > unexplored_edges / alpha`
+    /// (compressed adjacency). Smaller than the raw α.
+    pub alpha: usize,
+    /// Pull→push when `frontier_len < n / beta` (compressed adjacency).
+    /// Smaller than the raw β.
+    pub beta: usize,
+}
+
+impl Default for CompressedPullPolicy {
+    fn default() -> Self {
+        CompressedPullPolicy {
+            alpha: 10,
+            beta: 16,
+        }
+    }
+}
+
 impl Default for DirectionPolicy {
     fn default() -> Self {
         DirectionPolicy {
@@ -149,6 +196,7 @@ impl Default for DirectionPolicy {
             gamma: 4,
             dwell: 1,
             blocked: None,
+            compressed: None,
         }
     }
 }
@@ -156,15 +204,22 @@ impl Default for DirectionPolicy {
 impl DirectionPolicy {
     /// Picks the direction (and push representation) for one iteration.
     pub fn decide(&self, s: &PolicyInputs) -> Direction {
+        // Compressed adjacency swaps in its own α/β pair when one is
+        // configured; everything else (γ, dwell, blocked upgrade) is a
+        // representation question that does not depend on the encoding.
+        let (alpha, beta) = match (s.compressed, self.compressed) {
+            (true, Some(cp)) => (cp.alpha, cp.beta),
+            _ => (self.alpha, self.beta),
+        };
         let pulling = s.current.is_pull();
         let want_pull = if pulling {
             // β rule: keep pulling while the frontier covers enough of the
             // universe for the candidate scan to amortize.
-            s.frontier_len >= s.n / self.beta.max(1)
+            s.frontier_len >= s.n / beta.max(1)
         } else {
             // α rule: only a still-growing frontier justifies the flip —
             // the shrinking tail on high-diameter graphs stays push.
-            s.growing && s.frontier_edges > s.unexplored_edges / self.alpha.max(1)
+            s.growing && s.frontier_edges > s.unexplored_edges / alpha.max(1)
         };
         let pull = if s.since_switch >= self.dwell.max(1) {
             want_pull
@@ -344,6 +399,7 @@ where
         growing,
         current: engine.current,
         since_switch: engine.since_switch,
+        compressed: false,
     });
     // The blocked kernel flushes against a candidate *bitmap*; without
     // settle mode there is none (candidacy is a predicate), so the upgrade
@@ -467,6 +523,183 @@ where
     }
 }
 
+/// [`advance_adaptive`] over byte-coded compressed adjacency: the same
+/// engine state, decision logic, representation conversions, bookkeeping,
+/// and [`DirectionEvent`] emission, dispatching to the decode-aware
+/// kernels ([`neighbors_expand_unique_compressed`],
+/// [`expand_push_dense_compressed`], [`expand_pull_masked_compressed`],
+/// [`expand_pull_counted_compressed`], [`expand_blocked_pull_compressed`])
+/// and consulting the policy with
+/// [`PolicyInputs::compressed`]` = true`, so a configured
+/// [`CompressedPullPolicy`] takes effect. An [`AdaptiveAdvance`] engine
+/// must not be shared between the raw and compressed entry points within
+/// one traversal — the unexplored-edge bookkeeping is identical, but
+/// mixing kernels mid-run would make the decision trace meaningless.
+#[allow(clippy::too_many_arguments)]
+pub fn advance_adaptive_compressed<P, G, W, FPush, C, FPull>(
+    policy: P,
+    ctx: &Context,
+    g: &G,
+    engine: &mut AdaptiveAdvance,
+    frontier: VertexFrontier,
+    push_condition: FPush,
+    pull_candidate: C,
+    pull_condition: FPull,
+) -> VertexFrontier
+where
+    P: ExecutionPolicy,
+    G: DecodeEdgeWeights<W> + DecodeInEdgeWeights<W> + Sync,
+    W: EdgeValue,
+    FPush: Fn(VertexId, VertexId, EdgeId, W) -> bool + Sync,
+    C: Fn(VertexId) -> bool + Sync,
+    FPull: Fn(VertexId, VertexId, W) -> bool + Sync,
+{
+    let n = engine.n;
+    let len = frontier.len();
+    let growing = len > engine.prev_len;
+    engine.prev_len = len;
+
+    // Degree lookups only (offset differences) — no decoding.
+    let frontier_edges = match &frontier {
+        VertexFrontier::Sparse(s) => s.iter().map(|v| g.out_degree(v)).sum(),
+        VertexFrontier::Dense(d) => {
+            let mut total = 0usize;
+            d.for_each_active(|v| total += g.out_degree(v));
+            total
+        }
+    };
+
+    let mut dir = engine.cfg.policy.decide(&PolicyInputs {
+        n,
+        frontier_len: len,
+        frontier_edges,
+        unexplored_edges: engine.unexplored_edges,
+        growing,
+        current: engine.current,
+        since_switch: engine.since_switch,
+        compressed: true,
+    });
+    if dir == Direction::BlockedPull && !engine.cfg.settle {
+        dir = Direction::Pull;
+    }
+    if dir.is_pull() != engine.current.is_pull() {
+        engine.since_switch = 1;
+    } else {
+        engine.since_switch = engine.since_switch.saturating_add(1);
+    }
+    engine.current = dir;
+    engine.directions.push(dir);
+    if let Some(sink) = ctx.obs() {
+        sink.on_direction(&DirectionEvent {
+            iteration: engine.iter,
+            frontier_len: len,
+            frontier_edges: match &frontier {
+                VertexFrontier::Sparse(_) => frontier_edges,
+                VertexFrontier::Dense(_) => 0,
+            },
+            unexplored_edges: engine.unexplored_edges,
+            growing,
+            pull: dir.is_pull(),
+        });
+    }
+    engine.unexplored_edges = engine.unexplored_edges.saturating_sub(frontier_edges);
+    engine.iter += 1;
+
+    match dir {
+        Direction::Push | Direction::DensePush => {
+            let sparse = match frontier {
+                VertexFrontier::Sparse(s) => s,
+                VertexFrontier::Dense(d) => {
+                    let mut scratch = ctx.take_scratch();
+                    let mut v = scratch.take_vec();
+                    ctx.put_scratch(scratch);
+                    convert::dense_to_sparse_into(&d, &mut v);
+                    ctx.recycle_dense_frontier(d);
+                    SparseFrontier::from_vec(v)
+                }
+            };
+            engine.edges += frontier_edges;
+            let out = if dir == Direction::DensePush {
+                let out = expand_push_dense_compressed(policy, ctx, g, &sparse, push_condition);
+                if let Some(mask) = &engine.unvisited {
+                    mask.and_not(&out);
+                }
+                VertexFrontier::Dense(out)
+            } else {
+                let out =
+                    neighbors_expand_unique_compressed(policy, ctx, g, &sparse, push_condition);
+                if let Some(mask) = &engine.unvisited {
+                    for &v in out.as_slice() {
+                        mask.remove(v);
+                    }
+                }
+                VertexFrontier::Sparse(out)
+            };
+            ctx.recycle_frontier(sparse);
+            out
+        }
+        Direction::Pull | Direction::BlockedPull => {
+            let dense = match frontier {
+                VertexFrontier::Sparse(s) => {
+                    let d = ctx.take_dense_frontier(n);
+                    for v in s.iter() {
+                        d.insert(v);
+                    }
+                    ctx.recycle_frontier(s);
+                    d
+                }
+                VertexFrontier::Dense(d) => d,
+            };
+            let pull_cfg = PullConfig {
+                early_exit: engine.cfg.early_exit,
+            };
+            let (out, scanned) = if dir == Direction::BlockedPull {
+                // Settle mode is guaranteed here (see the downgrade above).
+                engine.ensure_unvisited(ctx, &pull_candidate);
+                let mask = engine.unvisited.as_ref().unwrap(); // unwrap-ok: ensure_unvisited filled it
+                expand_blocked_pull_compressed(
+                    policy,
+                    ctx,
+                    g,
+                    &dense,
+                    mask,
+                    pull_cfg,
+                    engine.cfg.bins,
+                    &pull_condition,
+                )
+            } else if engine.cfg.settle {
+                engine.ensure_unvisited(ctx, &pull_candidate);
+                let mask = engine.unvisited.as_ref().unwrap(); // unwrap-ok: ensure_unvisited filled it
+                expand_pull_masked_compressed(
+                    policy,
+                    ctx,
+                    g,
+                    &dense,
+                    mask,
+                    pull_cfg,
+                    &pull_condition,
+                )
+            } else {
+                expand_pull_counted_compressed(
+                    policy,
+                    ctx,
+                    g,
+                    &dense,
+                    pull_cfg,
+                    &pull_candidate,
+                    &pull_condition,
+                )
+            };
+            engine.edges += scanned;
+            if let Some(mask) = &engine.unvisited {
+                mask.and_not(&out);
+            }
+            ctx.recycle_dense_frontier(dense);
+            VertexFrontier::Dense(out)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +713,7 @@ mod tests {
             growing: true,
             current,
             since_switch: usize::MAX,
+            compressed: false,
         }
     }
 
@@ -540,11 +774,41 @@ mod tests {
             gamma: 0,
             dwell: 0,
             blocked: Some(BlockedPullPolicy { alpha: 0, beta: 0 }),
+            compressed: Some(CompressedPullPolicy { alpha: 0, beta: 0 }),
         };
+        let mut s = inputs(Direction::Push);
+        s.compressed = true;
+        let _ = p.decide(&s);
         let s = inputs(Direction::Push);
         let _ = p.decide(&s); // must not panic
         let s = inputs(Direction::Pull);
         let _ = p.decide(&s);
+    }
+
+    #[test]
+    fn compressed_pair_substitutes_only_over_compressed_adjacency() {
+        let p = DirectionPolicy {
+            // Raw α = 14 would flip at frontier_edges > 10_000/14 ≈ 714; the
+            // compressed α = 4 demands > 2500.
+            compressed: Some(CompressedPullPolicy { alpha: 4, beta: 8 }),
+            ..DirectionPolicy::default()
+        };
+        let mut s = inputs(Direction::Push);
+        s.frontier_edges = 1000;
+        assert_eq!(p.decide(&s), Direction::Pull, "raw α fires");
+        s.compressed = true;
+        assert_eq!(p.decide(&s), Direction::Push, "compressed α is stricter");
+        s.frontier_edges = 3000;
+        assert_eq!(p.decide(&s), Direction::Pull);
+        // β side: raw keeps pulling down to n/24; compressed exits at n/8.
+        let mut s = inputs(Direction::Pull);
+        s.frontier_len = 100;
+        assert_eq!(p.decide(&s), Direction::Pull, "raw β keeps pulling");
+        s.compressed = true;
+        assert_eq!(p.decide(&s), Direction::Push, "compressed β exits earlier");
+        // Without a compressed pair, compressed inputs use the raw pair.
+        let plain = DirectionPolicy::default();
+        assert_eq!(plain.decide(&s), Direction::Pull);
     }
 
     #[test]

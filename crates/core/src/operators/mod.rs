@@ -10,6 +10,7 @@
 
 pub mod advance;
 pub mod blocked;
+pub mod compressed;
 pub mod compute;
 pub mod direction;
 pub mod filter;

@@ -2,7 +2,6 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use essentials_parallel::atomics::AtomicF64;
 use essentials_parallel::{ExecutionPolicy, Schedule};
 
 use crate::context::Context;
@@ -52,24 +51,28 @@ where
     reduce(policy, ctx, n, f64::NEG_INFINITY, map, f64::max)
 }
 
-/// Sum of `map(i)` over `0..n`. Parallel summation reassociates, so
-/// floating-point results may differ from sequential by rounding; callers
-/// compare with tolerances.
+/// Sum of `map(i)` over `0..n`, deterministically: the parallel path cuts
+/// `0..n` into fixed chunks, each claimed chunk writes its partial into a
+/// per-chunk slot, and the partials are combined **in chunk order** after
+/// the join. The association therefore depends only on `n` — never on
+/// thread count, chunk-claim order, or merge arrival — so repeated runs
+/// and different pool widths produce bit-identical sums. The differential
+/// suite leans on this: compressed pull PageRank must reproduce raw ranks
+/// bit-for-bit, and the dangling-mass and residual terms computed here
+/// feed every vertex's base each iteration.
 ///
-/// Unlike the generic [`reduce`], the parallel path is allocation-free:
-/// workers claim fixed chunks from a stack-resident counter, accumulate
-/// locally, and merge once per worker into an atomic total. The fixpoint
-/// algorithms call this twice per iteration (dangling mass, residual), so
-/// it must not disturb their steady-state zero-allocation contract
-/// (DESIGN.md §12). Inputs below the default schedule's sequential cutoff
-/// take the exact sequential loop, preserving seq/par bit-equality for
-/// small graphs.
+/// The partial table is a fixed stack array (the chunk grain grows with
+/// `n` so the table never overflows), keeping the fixpoint algorithms'
+/// per-iteration calls allocation-free (DESIGN.md §12). Inputs below the
+/// default schedule's sequential cutoff take the exact sequential loop,
+/// preserving seq/par bit-equality for small graphs.
 pub fn sum_f64<P, M>(_policy: P, ctx: &Context, n: usize, map: M) -> f64
 where
     P: ExecutionPolicy,
     M: Fn(usize) -> f64 + Sync,
 {
     const GRAIN: usize = 1024;
+    const MAX_CHUNKS: usize = 4096;
     if !P::IS_PARALLEL || ctx.num_threads() == 1 || n < Schedule::default().sequential_cutoff() {
         let mut acc = 0.0;
         for i in 0..n {
@@ -77,29 +80,40 @@ where
         }
         return acc;
     }
-    let nchunks = n.div_ceil(GRAIN);
-    let next = AtomicUsize::new(0);
-    let total = AtomicF64::new(0.0);
-    ctx.pool().run(|_tid| {
-        let mut local = 0.0;
-        loop {
-            let chunk = next.fetch_add(1, Ordering::Relaxed);
-            if chunk >= nchunks {
-                break;
-            }
-            let lo = chunk * GRAIN;
-            let hi = (lo + GRAIN).min(n);
-            for i in lo..hi {
-                local += map(i);
-            }
+    let grain = GRAIN.max(n.div_ceil(MAX_CHUNKS));
+    let nchunks = n.div_ceil(grain);
+    let mut partials = [0.0f64; MAX_CHUNKS];
+    struct SendPtr(*mut f64);
+    impl SendPtr {
+        fn get(&self) -> *mut f64 {
+            self.0
         }
-        // All-zero partials (e.g. dangling sums on dangling-free graphs)
-        // skip the contended merge entirely.
-        if local != 0.0 {
-            total.fetch_add(local, Ordering::AcqRel);
+    }
+    // SAFETY: the pointer is only used to write disjoint chunk slots from
+    // the workers; the array outlives the loop (`run` joins before the
+    // combine below reads it).
+    unsafe impl Sync for SendPtr {}
+    let ptr = SendPtr(partials.as_mut_ptr());
+    let ptr = &ptr;
+    let next = AtomicUsize::new(0);
+    ctx.pool().run(|_tid| loop {
+        let chunk = next.fetch_add(1, Ordering::Relaxed);
+        if chunk >= nchunks {
+            break;
+        }
+        let lo = chunk * grain;
+        let hi = (lo + grain).min(n);
+        let mut local = 0.0;
+        for i in lo..hi {
+            local += map(i);
+        }
+        // SAFETY: `chunk` came from the shared counter, so exactly one
+        // worker writes this slot.
+        unsafe {
+            *ptr.get().add(chunk) = local;
         }
     });
-    total.into_inner()
+    partials[..nchunks].iter().sum()
 }
 
 #[cfg(test)]
@@ -154,6 +168,25 @@ mod tests {
         // Integer-valued maps reassociate exactly.
         let exact = sum_f64(execution::par, &ctx, n, |i| (i % 7) as f64);
         assert_eq!(exact, (0..n).map(|i| (i % 7) as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn sum_f64_is_bit_deterministic_across_runs_and_pool_widths() {
+        // Rounding-sensitive map, n past the cutoff so the chunked parallel
+        // path runs. The per-chunk partial table makes the association a
+        // function of n alone, so every pool width and every repeat must
+        // produce the same bits — the compressed-vs-raw PageRank
+        // differential depends on exactly this.
+        let n = 100_000;
+        let map = |i: usize| 1.0 / (i + 1) as f64;
+        let baseline = sum_f64(execution::par, &Context::new(2), n, map);
+        for threads in [2, 3, 4, 8] {
+            let ctx = Context::new(threads);
+            for _ in 0..3 {
+                let s = sum_f64(execution::par, &ctx, n, map);
+                assert_eq!(s.to_bits(), baseline.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   format.
 //! * [`csr`] — compressed sparse row; the push-traversal representation.
 //!   CSC is the CSR of the transpose and needs no separate type.
+//! * [`ccsr`] — bit-coded (delta/length-class) compressed CSR with streaming
+//!   decoders: smaller edge streams for bandwidth-bound traversals and the
+//!   representation the mmap-backed out-of-core loader maps from disk.
 //! * [`graph`] — the multi-representation container with the Listing-1 API.
 //! * [`builder`] — edge-list ingestion: dedup, self-loop removal,
 //!   symmetrization, validation.
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod ccsr;
 pub mod coo;
 pub mod csr;
 pub mod graph;
@@ -36,6 +40,10 @@ pub mod traits;
 pub mod types;
 
 pub use builder::GraphBuilder;
+pub use ccsr::{
+    Ccsr, CcsrView, CompressedGraph, CompressedGraphView, DecodeEdgeWeights, DecodeInEdgeWeights,
+    DecodeInNeighbors, DecodeOutNeighbors, NeighborDecoder,
+};
 pub use coo::Coo;
 pub use csr::Csr;
 pub use graph::Graph;

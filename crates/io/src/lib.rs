@@ -15,18 +15,52 @@
 pub mod binary;
 pub mod edge_list;
 pub mod matrix_market;
+pub mod mmap;
 
-pub use binary::{read_binary, write_binary};
+pub use binary::{read_binary, write_binary, write_compressed_binary};
 pub use edge_list::{read_edge_list, write_edge_list};
 pub use matrix_market::{read_matrix_market, write_matrix_market, MmHeader, MmSymmetry};
+pub use mmap::{CompressedContainer, ContainerWeight};
 
 /// Errors surfaced by readers.
+///
+/// The binary-container variants are *typed* (rather than message strings)
+/// so the mmap loader's callers can distinguish "not one of our files"
+/// from "our file, damaged" — the text formats keep the line-numbered
+/// [`IoError::Parse`] messages.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// The input violates the format; the message says where and why.
     Parse(String),
+    /// The file does not start with the expected magic — a foreign file,
+    /// not a damaged one of ours.
+    Foreign {
+        /// The magic the reader expected.
+        expected: &'static str,
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// Recognized magic but a version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The file ends before the named section is complete. `offset` is
+    /// the byte position where the read stopped — the binary analog of
+    /// the text readers' line numbers.
+    Truncated {
+        /// Which section the reader was consuming.
+        what: &'static str,
+        /// Byte offset at which the data ran out.
+        offset: usize,
+    },
+    /// The footer checksum does not match the content — bit rot or a
+    /// partial overwrite that kept the right length.
+    Checksum {
+        /// Checksum recorded in the footer.
+        expected: u64,
+        /// Checksum recomputed over the content.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -34,6 +68,17 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse(msg) => write!(f, "parse error: {msg}"),
+            IoError::Foreign { expected, found } => {
+                write!(f, "not a {expected} file (magic bytes {found:?})")
+            }
+            IoError::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
+            IoError::Truncated { what, offset } => {
+                write!(f, "truncated at byte {offset} while reading {what}")
+            }
+            IoError::Checksum { expected, actual } => write!(
+                f,
+                "checksum mismatch: footer {expected:#018x}, content {actual:#018x}"
+            ),
         }
     }
 }

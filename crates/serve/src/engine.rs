@@ -335,10 +335,14 @@ mod tests {
             permits: 1,
             heavy_permits: 1,
         });
-        let b1 = eng.bfs_batch(&[0, 2], RunBudget::unlimited()).expect("batch 1");
+        let b1 = eng
+            .bfs_batch(&[0, 2], RunBudget::unlimited())
+            .expect("batch 1");
         let ptr = b1.levels.as_ptr();
         eng.recycle_batch(b1);
-        let b2 = eng.bfs_batch(&[0, 2], RunBudget::unlimited()).expect("batch 2");
+        let b2 = eng
+            .bfs_batch(&[0, 2], RunBudget::unlimited())
+            .expect("batch 2");
         assert_eq!(b2.levels.as_ptr(), ptr, "recycled storage reused");
     }
 

@@ -123,6 +123,7 @@ fn arb_policy() -> impl Strategy<Value = DirectionPolicy> {
                     alpha: ba,
                     beta: bb,
                 }),
+                compressed: None,
             },
         )
 }

@@ -454,6 +454,197 @@ fn null_sink_preserves_the_zero_allocation_guarantee() {
 }
 
 #[test]
+fn steady_state_delta_stepping_rounds_do_not_allocate() {
+    // The Δ-stepping hot loop — take the active list, relax with fused
+    // dedup, partition the survivors back into buckets — used to allocate
+    // three fresh vectors per round. It now cycles its storage through the
+    // context's pools (active list and partition buffer) and a local
+    // free-list (bucket storage); after warm-up one full round touches the
+    // allocator zero times. The per-round work here is deterministic: the
+    // distance table is reset before every round, so the improved set and
+    // the bucket assignment depend only on the graph.
+    let mut coo = gen::rmat(12, 8, gen::RmatParams::default(), 7);
+    coo.remove_self_loops();
+    coo.symmetrize();
+    coo.sort_and_dedup();
+    let g: Graph<f32> = Graph::from_coo(&gen::hash_weights(&coo, 0.1, 2.0, 42));
+    let n = g.num_vertices();
+    let ctx = Context::new(4);
+    let delta = 0.3f32;
+    let dist: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(f32::INFINITY)).collect();
+    let seeds: Vec<VertexId> = (0..n as VertexId).step_by(4).collect();
+
+    let mut buckets: Vec<Vec<VertexId>> = Vec::new();
+    let mut spare: Vec<Vec<VertexId>> = Vec::new();
+
+    let mut round = || {
+        for (i, d) in dist.iter().enumerate() {
+            let init = if i % 4 == 0 { 0.0 } else { f32::INFINITY };
+            d.store(init, Ordering::Relaxed);
+        }
+        // Active list from the context pool, exactly as `delta_stepping`
+        // hands its storage to the frontier.
+        let mut active = ctx.take_u32_buffer();
+        active.extend_from_slice(&seeds);
+        let f = SparseFrontier::from_vec(active);
+        let improved = neighbors_expand_unique(execution::par, &ctx, &g, &f, |s, d, _e, w| {
+            let nd = dist[s as usize].load(Ordering::Acquire) + w;
+            dist[d as usize].fetch_min(nd, Ordering::AcqRel) > nd
+        });
+        ctx.recycle_frontier(f);
+        // In-place partition: bucket-0 vertices stay, the rest stash into
+        // their buckets, fresh buckets draw storage from the free-list.
+        let mut buf = improved.into_vec();
+        buf.retain(|&v| {
+            let b = (dist[v as usize].load(Ordering::Acquire) / delta) as usize;
+            if b == 0 {
+                return true;
+            }
+            if b >= buckets.len() {
+                buckets.resize_with(b + 1, Vec::new);
+            }
+            if buckets[b].capacity() == 0 {
+                if let Some(recycled) = spare.pop() {
+                    buckets[b] = recycled;
+                }
+            }
+            buckets[b].push(v);
+            false
+        });
+        ctx.recycle_u32_buffer(buf);
+        // Bucket retirement: drained storage parks on the free-list.
+        for b in &mut buckets {
+            if b.capacity() > 0 {
+                let mut drained = std::mem::take(b);
+                drained.clear();
+                spare.push(drained);
+            }
+        }
+    };
+
+    for _ in 0..3 {
+        round();
+    }
+
+    let allocs = count_allocs(&mut round);
+    assert_eq!(
+        allocs, 0,
+        "steady-state Δ-stepping round hit the allocator {allocs} times"
+    );
+}
+
+#[test]
+fn steady_state_compressed_decode_iterations_do_not_allocate() {
+    // The compressed-adjacency side of the contract: decoders are stack
+    // values over borrowed byte slices, so the byte-coded expansion paths —
+    // sparse push with fused dedup, dense push, masked pull, blocked pull —
+    // must meet exactly the same steady-state guarantee as their raw
+    // CSR twins.
+    let raw: Graph<()> =
+        Graph::from_coo(&gen::rmat(12, 8, gen::RmatParams::default(), 7)).with_csc();
+    let n = raw.num_vertices();
+    let ctx = Context::new(4).with_obs(Arc::new(NullSink) as Arc<dyn ObsSink>);
+    let g = CompressedGraph::from_graph(ctx.pool(), &raw);
+    let frontier: SparseFrontier = (0..n as VertexId).step_by(2).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let dense_in = DenseFrontier::new(n);
+    for v in (0..n as VertexId).step_by(2) {
+        dense_in.insert(v);
+    }
+    let mask = DenseFrontier::new(n);
+
+    let reset = || {
+        for l in &levels {
+            l.store(u32::MAX, Ordering::Relaxed);
+        }
+    };
+    let claim = |d: VertexId| {
+        levels[d as usize]
+            .compare_exchange(u32::MAX, 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    };
+
+    let push_iteration = || {
+        reset();
+        let out = neighbors_expand_unique_compressed(
+            execution::par,
+            &ctx,
+            &g,
+            &frontier,
+            |_s, d, _e, _w| claim(d),
+        );
+        ctx.recycle_frontier(out);
+    };
+    let dense_push_iteration = || {
+        reset();
+        let out =
+            expand_push_dense_compressed(execution::par, &ctx, &g, &frontier, |_s, d, _e, _w| {
+                claim(d)
+            });
+        ctx.recycle_dense_frontier(out);
+    };
+    let pull_iteration = || {
+        reset();
+        mask.set_all();
+        let (out, _scanned) = expand_pull_masked_compressed(
+            execution::par,
+            &ctx,
+            &g,
+            &dense_in,
+            &mask,
+            PullConfig { early_exit: true },
+            |_s, d, _w| claim(d),
+        );
+        mask.and_not(&out);
+        ctx.recycle_dense_frontier(out);
+    };
+    let blocked_pull_iteration = || {
+        reset();
+        mask.set_all();
+        let (out, _scanned) = expand_blocked_pull_compressed(
+            execution::par,
+            &ctx,
+            &g,
+            &dense_in,
+            &mask,
+            PullConfig { early_exit: true },
+            BlockedConfig::default(),
+            |_s, d, _w| claim(d),
+        );
+        mask.and_not(&out);
+        ctx.recycle_dense_frontier(out);
+    };
+
+    for _ in 0..3 {
+        push_iteration();
+        dense_push_iteration();
+        pull_iteration();
+        blocked_pull_iteration();
+    }
+
+    let push_allocs = count_allocs(push_iteration);
+    assert_eq!(
+        push_allocs, 0,
+        "steady-state compressed push iteration hit the allocator {push_allocs} times"
+    );
+    let dense_allocs = count_allocs(dense_push_iteration);
+    assert_eq!(
+        dense_allocs, 0,
+        "steady-state compressed dense-push iteration hit the allocator {dense_allocs} times"
+    );
+    let pull_allocs = count_allocs(pull_iteration);
+    assert_eq!(
+        pull_allocs, 0,
+        "steady-state compressed masked-pull iteration hit the allocator {pull_allocs} times"
+    );
+    let blocked_allocs = count_allocs(blocked_pull_iteration);
+    assert_eq!(
+        blocked_allocs, 0,
+        "steady-state compressed blocked-pull iteration hit the allocator {blocked_allocs} times"
+    );
+}
+
+#[test]
 fn warm_serving_engine_requests_do_not_allocate() {
     // The serving layer's extension of the contract: a warm `Engine`
     // serving a batched-BFS request end to end — admission fast path,
