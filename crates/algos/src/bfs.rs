@@ -133,7 +133,7 @@ pub fn bfs_pull<P: ExecutionPolicy, W: EdgeValue>(
     let mut directions = Vec::new();
     let init = DenseFrontier::new(n);
     init.insert(source);
-    let (_, stats) = Enactor::for_ctx(ctx).run(init, |iter, f| {
+    let (last, stats) = Enactor::for_ctx(ctx).run(init, |iter, f| {
         directions.push(Direction::Pull);
         let next_level = iter as u32 + 1;
         let (out, scanned) = expand_pull_counted(
@@ -150,8 +150,12 @@ pub fn bfs_pull<P: ExecutionPolicy, W: EdgeValue>(
             },
         );
         edges.add(scanned);
+        // The consumed bitmap goes back to the pool; the next iteration's
+        // expansion draws from it instead of allocating.
+        ctx.recycle_dense_frontier(f);
         out
     });
+    ctx.recycle_dense_frontier(last);
     BfsResult {
         level: unwrap_levels(levels),
         stats,
@@ -366,10 +370,13 @@ pub fn bfs_dense<P: ExecutionPolicy, W: EdgeValue>(
     let edges = Counter::new();
     let init = DenseFrontier::new(n);
     init.insert(source);
-    let (_, stats) = Enactor::for_ctx(ctx).run(init, |iter, f| {
+    let (last, stats) = Enactor::for_ctx(ctx).run(init, |iter, f| {
         let next_level = iter as u32 + 1;
         // Walk the bitmap; expand push-style into the next bitmap.
         let active: SparseFrontier = f.iter().collect();
+        // The consumed bitmap goes back to the pool before expansion so the
+        // fresh output bitmap can reuse its words.
+        ctx.recycle_dense_frontier(f);
         expand_push_dense(policy, ctx, g, &active, |_src, dst, _e, _w| {
             edges.add(1);
             levels[dst as usize]
@@ -377,6 +384,7 @@ pub fn bfs_dense<P: ExecutionPolicy, W: EdgeValue>(
                 .is_ok()
         })
     });
+    ctx.recycle_dense_frontier(last);
     BfsResult {
         level: unwrap_levels(levels),
         stats,

@@ -51,7 +51,10 @@ pub fn kcore_peel<P: ExecutionPolicy, W: EdgeValue>(
             // Mark the peeled vertices dead with core number k-1.
             foreach_active(policy, ctx, &peel, |v| {
                 if alive.remove(v) {
-                    core[v as usize].store(k - 1, Ordering::Release);
+                    // Relaxed: each vertex is stored exactly once (the
+                    // `alive.remove` claim), and the only reader is
+                    // `into_inner` after the final region join below.
+                    core[v as usize].store(k - 1, Ordering::Relaxed);
                 }
             });
             remaining -= peel.len();

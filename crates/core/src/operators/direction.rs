@@ -330,7 +330,9 @@ impl AdaptiveAdvance {
         candidate: &C,
     ) -> &DenseFrontier {
         if self.unvisited.is_none() {
-            let mask = ctx.take_dense_frontier(self.n);
+            // Parked in `self.unvisited` for the traversal's lifetime;
+            // `finish()` recycles it when the loop exits.
+            let mask = ctx.take_dense_frontier(self.n); // lease-ok: parked in self.unvisited until finish()
             for v in 0..self.n as VertexId {
                 if candidate(v) {
                     mask.insert(v);

@@ -33,7 +33,10 @@ impl Collector {
     /// it exists to keep the API safe if the convention is broken.
     #[inline]
     pub fn push(&self, tid: usize, v: VertexId) {
-        self.buffers[tid % self.buffers.len()].lock().push(v);
+        // The per-thread buffer is the sanctioned alternative to allocating
+        // (or locking a shared output) inside operators, so both hot-path
+        // rules are waived at this one site:
+        self.buffers[tid % self.buffers.len()].lock().push(v); // alloc-ok: amortized lane growth; block-ok: lane lock is thread-private by convention, never contended
     }
 
     /// Pushes many vertices at once.

@@ -1,0 +1,293 @@
+//! Per-field atomic analysis: the observed-usage map behind the per-field
+//! `LINT_ORDERINGS.toml` checks (EL010/EL011/EL012) and the workspace-wide
+//! release/acquire pairing rule (EL013).
+//!
+//! Field keys come from the parser ([`crate::parse::AtomicSite`]):
+//! `struct.field` receivers resolve to the field name, statics to the
+//! static's name, orderings passed into helper functions to `fn:<helper>`,
+//! and orderings the parser could not attach to any call to `*`. Pairing
+//! (EL013) runs only over real field keys — helper-keyed sites have an
+//! unknown op direction, which is a documented unsoundness (DESIGN.md §15).
+
+use std::collections::BTreeMap;
+
+use crate::config::OrderingTable;
+use crate::lexer::contains_word;
+use crate::model::FileModel;
+use crate::parse::{op_reads, op_writes, FileSyntax};
+use crate::rules::Diagnostic;
+
+/// One observed `(ordering, line)` use of a field in a file.
+#[derive(Debug, Clone)]
+pub struct FieldUse {
+    pub ordering: &'static str,
+    /// 0-based line.
+    pub line: usize,
+    /// The op name (`load`, `store`, `fetch_or`, helper name, or `loose`).
+    pub op: String,
+    /// Whether the op can publish (write side) / observe (read side).
+    pub writes: bool,
+    pub reads: bool,
+}
+
+/// Observed atomic usage of one file: field key → uses.
+pub type FileAtomics = BTreeMap<String, Vec<FieldUse>>;
+
+/// Collects the per-field usage map for one file, reconciling the parsed
+/// sites against the lexical `Ordering::X` scan: any occurrence the parser
+/// did not attach to a call (stored orderings, match arms) lands on the
+/// pseudo-field `*` so nothing escapes the table.
+pub fn file_atomics(m: &FileModel, syn: &FileSyntax) -> FileAtomics {
+    let mut out: FileAtomics = BTreeMap::new();
+    let mut claimed: Vec<(usize, &'static str)> = Vec::new();
+    for f in &syn.fns {
+        for site in &f.atomic_sites {
+            let is_helper = site.field.starts_with("fn:");
+            for &(name, line) in &site.orderings {
+                claimed.push((line, name));
+                out.entry(site.field.clone()).or_default().push(FieldUse {
+                    ordering: name,
+                    line,
+                    op: site.op.clone(),
+                    writes: !is_helper && op_writes(&site.op),
+                    reads: !is_helper && op_reads(&site.op),
+                });
+            }
+        }
+    }
+    // Lexical reconciliation: every `Ordering::X` in the code channel must
+    // be accounted for.
+    for (name, lines) in crate::rules::orderings_used(m) {
+        for line in lines {
+            let hit = claimed.iter().position(|&(l, n)| l == line && n == name);
+            match hit {
+                Some(i) => {
+                    claimed.swap_remove(i);
+                }
+                None => out.entry("*".to_string()).or_default().push(FieldUse {
+                    ordering: name,
+                    line,
+                    op: "loose".to_string(),
+                    writes: false,
+                    reads: false,
+                }),
+            }
+        }
+    }
+    out
+}
+
+fn diag(path: &str, line: usize, rule: &'static str, msg: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: line + 1,
+        rule,
+        msg,
+    }
+}
+
+/// EL010 + EL011 for one file against the per-field table. Returns the
+/// fields observed (for the staleness pass).
+pub fn check_fields(
+    path: &str,
+    atomics: &FileAtomics,
+    table: &OrderingTable,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (field, uses) in atomics {
+        let Some(entry) = table.entry_for(path, field) else {
+            let first = uses.iter().map(|u| u.line).min().unwrap_or(0);
+            let mut names: Vec<&str> = uses.iter().map(|u| u.ordering).collect();
+            names.sort_unstable();
+            names.dedup();
+            out.push(diag(
+                path,
+                first,
+                "EL010",
+                format!(
+                    "atomic field `{field}` uses orderings ({}) but has no \
+                     LINT_ORDERINGS.toml entry for (path, field)",
+                    names.join(", ")
+                ),
+            ));
+            continue;
+        };
+        for u in uses {
+            if !entry.allow.iter().any(|a| a == u.ordering) {
+                out.push(diag(
+                    path,
+                    u.line,
+                    "EL011",
+                    format!(
+                        "Ordering::{} on field `{field}` is not in its allowed set \
+                         [{}] — change the code or update the table with a new `why`",
+                        u.ordering,
+                        entry.allow.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// EL012: table staleness in both directions, over the observed
+/// `(path → field → uses)` map.
+pub fn check_staleness(
+    table: &OrderingTable,
+    seen: &BTreeMap<String, FileAtomics>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for entry in &table.entries {
+        let observed = seen.get(&entry.path).and_then(|f| f.get(&entry.field));
+        match observed {
+            None => out.push(Diagnostic {
+                path: "LINT_ORDERINGS.toml".to_string(),
+                line: entry.line,
+                rule: "EL012",
+                msg: format!(
+                    "stale entry: no atomic use of field `{}` observed in `{}`",
+                    entry.field, entry.path
+                ),
+            }),
+            Some(uses) => {
+                for allowed in &entry.allow {
+                    if !uses.iter().any(|u| u.ordering == allowed) {
+                        out.push(Diagnostic {
+                            path: "LINT_ORDERINGS.toml".to_string(),
+                            line: entry.line,
+                            rule: "EL012",
+                            msg: format!(
+                                "stale entry: `{}` field `{}` allows Ordering::{} but \
+                                 the code no longer uses it",
+                                entry.path, entry.field, allowed
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// EL013: workspace-wide release/acquire pairing per field, plus the
+/// Relaxed-only barrier-justification requirement.
+///
+/// Pairing groups sites by *field name* across files: the release side of
+/// a protocol frequently lives in a different function (or crate) than its
+/// acquire side, and a same-named field in two unrelated structs would
+/// only mask a finding, never invent one on the release side (it can mask
+/// — documented unsoundness). Helper-keyed (`fn:…`) and loose (`*`) sites
+/// carry no direction and are excluded.
+pub fn check_pairing(
+    seen: &BTreeMap<String, FileAtomics>,
+    table: &OrderingTable,
+    out: &mut Vec<Diagnostic>,
+) {
+    // field name → (release-writes, acquire-reads, first write site).
+    struct Pair {
+        rel_writes: Vec<(String, usize)>,
+        acq_reads: usize,
+    }
+    let mut fields: BTreeMap<&str, Pair> = BTreeMap::new();
+    for (path, atomics) in seen {
+        for (field, uses) in atomics {
+            if field.starts_with("fn:") || field == "*" {
+                continue;
+            }
+            let p = fields.entry(field.as_str()).or_insert(Pair {
+                rel_writes: Vec::new(),
+                acq_reads: 0,
+            });
+            for u in uses {
+                let rel = matches!(u.ordering, "Release" | "AcqRel" | "SeqCst");
+                let acq = matches!(u.ordering, "Acquire" | "AcqRel" | "SeqCst");
+                if u.writes && rel {
+                    p.rel_writes.push((path.clone(), u.line));
+                }
+                if u.reads && acq {
+                    p.acq_reads += 1;
+                }
+            }
+        }
+    }
+    for (field, p) in &fields {
+        if !p.rel_writes.is_empty() && p.acq_reads == 0 {
+            let (path, line) = &p.rel_writes[0];
+            out.push(diag(
+                path,
+                *line,
+                "EL013",
+                format!(
+                    "field `{field}` is written with Release/AcqRel but no \
+                     Acquire/AcqRel reader of it exists anywhere in the workspace \
+                     — the publish has no observer to pair with"
+                ),
+            ));
+        }
+    }
+
+    // Relaxed-only fields must record what provides the happens-before
+    // edge instead (`barrier = "…"` in the table).
+    for (path, atomics) in seen {
+        for (field, uses) in atomics {
+            if field.starts_with("fn:") || field == "*" {
+                continue;
+            }
+            if !uses.iter().all(|u| u.ordering == "Relaxed") {
+                continue;
+            }
+            if let Some(entry) = table.entry_for(path, field) {
+                if entry.barrier.is_none() {
+                    out.push(Diagnostic {
+                        path: "LINT_ORDERINGS.toml".to_string(),
+                        line: entry.line,
+                        rule: "EL013",
+                        msg: format!(
+                            "field `{field}` in `{path}` is Relaxed-only: its table \
+                             entry must carry `barrier = \"…\"` naming what provides \
+                             the happens-before edge (region barrier, join, mutex)"
+                        ),
+                    });
+                }
+            }
+            // No entry at all is EL010's finding; don't double-report.
+        }
+    }
+}
+
+/// Renders the observed usage map as per-field TOML entry skeletons — the
+/// `--dump-atomics` migration aid.
+pub fn dump_toml(seen: &BTreeMap<String, FileAtomics>) -> String {
+    let mut out = String::new();
+    for (path, atomics) in seen {
+        for (field, uses) in atomics {
+            let mut names: Vec<&str> = uses.iter().map(|u| u.ordering).collect();
+            names.sort_unstable();
+            names.dedup();
+            let mut ops: Vec<&str> = uses.iter().map(|u| u.op.as_str()).collect();
+            ops.sort_unstable();
+            ops.dedup();
+            out.push_str("[[atomic]]\n");
+            out.push_str(&format!("path = \"{path}\"\n"));
+            out.push_str(&format!("field = \"{field}\"\n"));
+            out.push_str(&format!(
+                "allow = [{}]\n",
+                names
+                    .iter()
+                    .map(|n| format!("\"{n}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            out.push_str(&format!("why = \"TODO ({})\"\n\n", ops.join(", ")));
+        }
+    }
+    out
+}
+
+/// True when any line of the span carries the given waiver marker in its
+/// comment channel.
+pub fn line_waived(m: &FileModel, line: usize, marker: &str) -> bool {
+    m.lines
+        .get(line)
+        .is_some_and(|l| l.comment.contains(marker) || contains_word(&l.comment, marker))
+}

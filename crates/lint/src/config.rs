@@ -1,15 +1,21 @@
 //! `LINT_ORDERINGS.toml` — the checked-in atomic-ordering table.
 //!
-//! The table maps each workspace file that performs atomic operations to the
-//! set of `std::sync::atomic::Ordering`s it is permitted to use, with a
-//! one-line justification. The linter enforces the mapping in *both*
-//! directions: an ordering outside the set is a diagnostic, and so is a
-//! table entry that has gone stale (file removed, atomics removed, or an
-//! allowed ordering no longer used). Tightening or loosening an ordering is
-//! therefore always a reviewed table diff next to the code diff.
+//! Since the per-field migration (PR 9) the table maps each *atomic field*
+//! — a struct field or static holding an atomic, identified by
+//! `(path, field)` — to the set of `std::sync::atomic::Ordering`s it is
+//! permitted to use, with a one-line justification and, for Relaxed-only
+//! fields, a `barrier` line naming what provides the happens-before edge
+//! instead. The linter enforces the mapping in *both* directions: an
+//! ordering outside the set is a diagnostic (EL011), and so is a table
+//! entry that has gone stale (EL012). Tightening or loosening an ordering
+//! is therefore always a reviewed table diff next to the code diff.
+//!
+//! Two pseudo-field spellings exist for sites the parser cannot pin to a
+//! field: `fn:<name>` for orderings passed into a helper function, and `*`
+//! for orderings outside any call.
 //!
 //! The parser below understands exactly the subset of TOML the table uses —
-//! `[[file]]` array-of-tables headers, `key = "string"`, and
+//! `[[atomic]]` array-of-tables headers, `key = "string"`, and
 //! `key = ["a", "b"]` — so the linter stays dependency-free.
 
 use std::fmt;
@@ -17,16 +23,21 @@ use std::fmt;
 /// The five atomic orderings (the only legal members of an `allow` list).
 pub const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
-/// One `[[file]]` entry.
+/// One `[[atomic]]` entry.
 #[derive(Debug)]
-pub struct FileEntry {
+pub struct FieldEntry {
     /// Repo-relative path, forward slashes.
     pub path: String,
+    /// Field key: struct field / static name, `fn:<helper>`, or `*`.
+    pub field: String,
     /// Permitted ordering names.
     pub allow: Vec<String>,
     /// One-line justification (required — an ordering decision without a
     /// recorded reason is what this table exists to prevent).
     pub why: String,
+    /// For Relaxed-only fields: what provides the happens-before edge
+    /// (region barrier, thread join, mutex). Checked by EL013.
+    pub barrier: Option<String>,
     /// Line in the TOML where the entry starts (for diagnostics).
     pub line: usize,
 }
@@ -34,12 +45,14 @@ pub struct FileEntry {
 /// The parsed table.
 #[derive(Debug, Default)]
 pub struct OrderingTable {
-    pub entries: Vec<FileEntry>,
+    pub entries: Vec<FieldEntry>,
 }
 
 impl OrderingTable {
-    pub fn entry_for(&self, path: &str) -> Option<&FileEntry> {
-        self.entries.iter().find(|e| e.path == path)
+    pub fn entry_for(&self, path: &str, field: &str) -> Option<&FieldEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.path == path && e.field == field)
     }
 }
 
@@ -66,7 +79,7 @@ fn err(line: usize, msg: impl Into<String>) -> ParseError {
 /// Parses the ordering table.
 pub fn parse(src: &str) -> Result<OrderingTable, ParseError> {
     let mut table = OrderingTable::default();
-    let mut current: Option<FileEntry> = None;
+    let mut current: Option<FieldEntry> = None;
 
     for (idx, raw) in src.lines().enumerate() {
         let lineno = idx + 1;
@@ -74,17 +87,27 @@ pub fn parse(src: &str) -> Result<OrderingTable, ParseError> {
         if line.is_empty() {
             continue;
         }
-        if line == "[[file]]" {
+        if line == "[[atomic]]" {
             if let Some(e) = current.take() {
                 finish(&mut table, e)?;
             }
-            current = Some(FileEntry {
+            current = Some(FieldEntry {
                 path: String::new(),
+                field: String::new(),
                 allow: Vec::new(),
                 why: String::new(),
+                barrier: None,
                 line: lineno,
             });
             continue;
+        }
+        if line == "[[file]]" {
+            return Err(err(
+                lineno,
+                "per-file `[[file]]` entries were replaced by per-field \
+                 `[[atomic]]` entries (path + field + allow + why [+ barrier]) \
+                 — see the header of LINT_ORDERINGS.toml for the migration",
+            ));
         }
         if line.starts_with('[') {
             return Err(err(lineno, format!("unsupported table header `{line}`")));
@@ -94,11 +117,13 @@ pub fn parse(src: &str) -> Result<OrderingTable, ParseError> {
         };
         let entry = current
             .as_mut()
-            .ok_or_else(|| err(lineno, "key outside any [[file]] entry"))?;
+            .ok_or_else(|| err(lineno, "key outside any [[atomic]] entry"))?;
         let (key, value) = (key.trim(), value.trim());
         match key {
             "path" => entry.path = parse_string(value, lineno)?,
+            "field" => entry.field = parse_string(value, lineno)?,
             "why" => entry.why = parse_string(value, lineno)?,
+            "barrier" => entry.barrier = Some(parse_string(value, lineno)?),
             "allow" => entry.allow = parse_string_array(value, lineno)?,
             _ => return Err(err(lineno, format!("unknown key `{key}`"))),
         }
@@ -109,32 +134,47 @@ pub fn parse(src: &str) -> Result<OrderingTable, ParseError> {
     Ok(table)
 }
 
-fn finish(table: &mut OrderingTable, e: FileEntry) -> Result<(), ParseError> {
+fn finish(table: &mut OrderingTable, e: FieldEntry) -> Result<(), ParseError> {
     if e.path.is_empty() {
-        return Err(err(e.line, "[[file]] entry is missing `path`"));
+        return Err(err(e.line, "[[atomic]] entry is missing `path`"));
+    }
+    if e.field.is_empty() {
+        return Err(err(
+            e.line,
+            format!("entry for `{}` is missing its `field`", e.path),
+        ));
     }
     if e.why.trim().is_empty() {
         return Err(err(
             e.line,
-            format!("entry for `{}` is missing its `why` justification", e.path),
+            format!(
+                "entry for `{}` field `{}` is missing its `why` justification",
+                e.path, e.field
+            ),
         ));
     }
     if e.allow.is_empty() {
         return Err(err(
             e.line,
-            format!("entry for `{}` allows nothing", e.path),
+            format!("entry for `{}` field `{}` allows nothing", e.path, e.field),
         ));
     }
     for o in &e.allow {
         if !ATOMIC_ORDERINGS.contains(&o.as_str()) {
             return Err(err(
                 e.line,
-                format!("`{}` is not an atomic ordering (entry `{}`)", o, e.path),
+                format!(
+                    "`{}` is not an atomic ordering (entry `{}` field `{}`)",
+                    o, e.path, e.field
+                ),
             ));
         }
     }
-    if table.entry_for(&e.path).is_some() {
-        return Err(err(e.line, format!("duplicate entry for `{}`", e.path)));
+    if table.entry_for(&e.path, &e.field).is_some() {
+        return Err(err(
+            e.line,
+            format!("duplicate entry for `{}` field `{}`", e.path, e.field),
+        ));
     }
     table.entries.push(e);
     Ok(())
@@ -184,46 +224,57 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_entries() {
+    fn parses_per_field_entries() {
         let t = parse(
             r#"
 # header comment
-[[file]]
+[[atomic]]
 path = "crates/x/src/a.rs"
+field = "claimed"
 allow = ["Relaxed", "AcqRel"]
 why = "counter + claim"
 
-[[file]]
-path = "crates/x/src/b.rs"  # trailing comment
+[[atomic]]
+path = "crates/x/src/a.rs"  # trailing comment
+field = "published"
 allow = ["Acquire"]
 why = "load side of the handoff"
+barrier = "none needed"
 "#,
         )
         .unwrap();
         assert_eq!(t.entries.len(), 2);
         assert_eq!(t.entries[0].allow, vec!["Relaxed", "AcqRel"]);
-        assert_eq!(
-            t.entry_for("crates/x/src/b.rs").unwrap().why.trim(),
-            "load side of the handoff"
-        );
+        let e = t.entry_for("crates/x/src/a.rs", "published").unwrap();
+        assert_eq!(e.why, "load side of the handoff");
+        assert_eq!(e.barrier.as_deref(), Some("none needed"));
+        assert!(t.entry_for("crates/x/src/a.rs", "missing").is_none());
     }
 
     #[test]
-    fn rejects_missing_why() {
-        let e = parse("[[file]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\n").unwrap_err();
+    fn rejects_missing_field_and_why() {
+        let e =
+            parse("[[atomic]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\nwhy = \"x\"\n").unwrap_err();
+        assert!(e.msg.contains("field"), "{e}");
+        let e = parse("[[atomic]]\npath = \"a.rs\"\nfield = \"f\"\nallow = [\"Relaxed\"]\n")
+            .unwrap_err();
         assert!(e.msg.contains("why"), "{e}");
     }
 
     #[test]
-    fn rejects_unknown_ordering() {
-        let e = parse("[[file]]\npath = \"a.rs\"\nallow = [\"Sequential\"]\nwhy = \"x\"\n")
-            .unwrap_err();
+    fn rejects_unknown_ordering_and_old_schema() {
+        let e = parse(
+            "[[atomic]]\npath = \"a.rs\"\nfield = \"f\"\nallow = [\"Sequential\"]\nwhy = \"x\"\n",
+        )
+        .unwrap_err();
         assert!(e.msg.contains("not an atomic ordering"), "{e}");
+        let e = parse("[[file]]\npath = \"a.rs\"\n").unwrap_err();
+        assert!(e.msg.contains("migration"), "{e}");
     }
 
     #[test]
     fn rejects_duplicates_and_stray_keys() {
-        let dup = "[[file]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\nwhy = \"x\"\n[[file]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\nwhy = \"x\"\n";
+        let dup = "[[atomic]]\npath = \"a.rs\"\nfield = \"f\"\nallow = [\"Relaxed\"]\nwhy = \"x\"\n[[atomic]]\npath = \"a.rs\"\nfield = \"f\"\nallow = [\"Relaxed\"]\nwhy = \"x\"\n";
         assert!(parse(dup).unwrap_err().msg.contains("duplicate"));
         assert!(parse("x = \"y\"\n").unwrap_err().msg.contains("outside"));
     }

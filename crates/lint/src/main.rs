@@ -1,37 +1,59 @@
 //! CLI for `essentials-lint`.
 //!
 //! ```text
-//! cargo run -p essentials-lint            # lint the enclosing workspace
-//! cargo run -p essentials-lint -- --root path/to/tree
+//! cargo run -p essentials-lint                      # lint the workspace
+//! cargo run -p essentials-lint -- --root DIR        # lint another tree
+//! cargo run -p essentials-lint -- --json out.json   # write the CI artifact
+//! cargo run -p essentials-lint -- --baseline FILE   # fail only on findings
+//!                                                   # not in FILE
+//! cargo run -p essentials-lint -- --write-baseline FILE
+//! cargo run -p essentials-lint -- --dump-atomics    # [[atomic]] skeletons
 //! ```
 //!
-//! Exit status: 0 clean, 1 diagnostics found, 2 the run itself failed.
+//! Exit status: 0 clean (or all findings baselined), 1 findings, 2 the run
+//! itself failed. The unresolved-call-edge count is always reported — a
+//! resolver that silently resolves nothing would otherwise look perfect.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut dump_atomics = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--root needs a path");
-                    return ExitCode::from(2);
-                }
+                None => return usage_err("--root needs a path"),
             },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage_err("--json needs a file path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage_err("--baseline needs a file path"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage_err("--write-baseline needs a file path"),
+            },
+            "--dump-atomics" => dump_atomics = true,
             "--help" | "-h" => {
-                eprintln!("usage: essentials-lint [--root DIR]");
+                eprintln!(
+                    "usage: essentials-lint [--root DIR] [--json FILE] \
+                     [--baseline FILE] [--write-baseline FILE] [--dump-atomics]"
+                );
                 eprintln!("Lints the workspace rooted at DIR (default: nearest");
                 eprintln!("ancestor of the current directory with LINT_ORDERINGS.toml).");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("unknown argument `{other}` (try --help)");
-                return ExitCode::from(2);
-            }
+            other => return usage_err(&format!("unknown argument `{other}` (try --help)")),
         }
     }
     let root = match root.or_else(find_root) {
@@ -42,23 +64,99 @@ fn main() -> ExitCode {
         }
     };
 
-    match essentials_lint::run_root(&root) {
-        Ok(diags) if diags.is_empty() => {
-            eprintln!("essentials-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+    if dump_atomics {
+        return match essentials_lint::dump_atomics(&root) {
+            Ok(toml) => {
+                print!("{toml}");
+                ExitCode::SUCCESS
             }
-            eprintln!("essentials-lint: {} diagnostic(s)", diags.len());
-            ExitCode::FAILURE
-        }
+            Err(e) => {
+                eprintln!("essentials-lint: error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = match essentials_lint::run_root(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("essentials-lint: error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_out {
+        let json = essentials_lint::report_to_json(&report);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("essentials-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
     }
+
+    // Baselines hold one `path:line: RULE msg` line per finding — the same
+    // shape the run prints, so `--write-baseline` output diffs cleanly.
+    if let Some(path) = &write_baseline {
+        let mut s = String::new();
+        for d in &report.diagnostics {
+            s.push_str(&format!("{d}\n"));
+        }
+        if let Err(e) = std::fs::write(path, s) {
+            eprintln!("essentials-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let baselined: BTreeSet<String> = match &baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s.lines().map(str::to_string).collect(),
+            Err(e) => {
+                eprintln!("essentials-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => BTreeSet::new(),
+    };
+
+    let mut fresh = 0usize;
+    for d in &report.diagnostics {
+        let line = d.to_string();
+        if baselined.contains(&line) {
+            continue;
+        }
+        println!("{line}");
+        fresh += 1;
+    }
+
+    let st = &report.stats;
+    eprintln!(
+        "essentials-lint: {} file(s), {} function(s), {} resolved / {} unresolved \
+         call edge(s), {} atomic field(s)",
+        st.files, st.functions, st.resolved_calls, st.unresolved_calls, st.atomic_fields
+    );
+    let suppressed = report.diagnostics.len() - fresh;
+    if fresh == 0 {
+        if suppressed > 0 {
+            eprintln!("essentials-lint: clean ({suppressed} baselined finding(s))");
+        } else {
+            eprintln!("essentials-lint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "essentials-lint: {fresh} finding(s){}",
+            if suppressed > 0 {
+                format!(" ({suppressed} baselined)")
+            } else {
+                String::new()
+            }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::from(2)
 }
 
 /// Nearest ancestor of the current directory containing the ordering table.

@@ -1,15 +1,21 @@
-//! The rule catalog.
+//! The rule catalog (the lexical half — the interprocedural rules live in
+//! `interproc`, the per-field atomic checks in `atomics`).
 //!
 //! | id    | invariant                                                        |
 //! |-------|------------------------------------------------------------------|
 //! | EL001 | every `unsafe` is annotated with a `SAFETY:`/`# Safety` comment  |
 //! | EL002 | `unsafe` only appears in allowlisted low-level modules           |
-//! | EL010 | a file doing atomic ops has a `LINT_ORDERINGS.toml` entry        |
-//! | EL011 | every atomic `Ordering` is in the file's allowed set             |
-//! | EL012 | the ordering table carries no stale entries                      |
+//! | EL010 | an atomic *field* has a `LINT_ORDERINGS.toml` entry              |
+//! | EL011 | every atomic `Ordering` is in its field's allowed set            |
+//! | EL012 | the ordering table carries no stale entries (both directions)    |
+//! | EL013 | Release/AcqRel writes pair with an Acquire reader somewhere in   |
+//! |       | the workspace; Relaxed-only fields record a `barrier =` instead  |
 //! | EL020 | hot-path modules don't allocate without an `alloc-ok:` waiver    |
+//! | EL021 | no alloc-shaped code within k call hops of a worker chunk body   |
 //! | EL030 | `take_scratch`/`put_scratch` are paired per function             |
+//! | EL031 | checked-out leases are recycled or returned on every path        |
 //! | EL040 | resilience-audited crates don't `unwrap()`/`expect()` unwaived   |
+//! | EL050 | no blocking call reachable from a worker chunk body              |
 //!
 //! Diagnostics are `path:line: ELxxx message` — one line each, sorted, no
 //! colors, no fix-ups — so CI output diffs cleanly against a previous run.
@@ -17,7 +23,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::config::{OrderingTable, ATOMIC_ORDERINGS};
+use crate::config::ATOMIC_ORDERINGS;
 use crate::lexer::{contains_word, find_word};
 use crate::model::FileModel;
 
@@ -93,8 +99,9 @@ pub const NO_UNWRAP_CRATES: &[&str] = &[
 /// infallible or themselves assertions about errors.
 const UNWRAP_PATTERNS: &[&str] = &[".unwrap()", ".expect("];
 
-/// Allocation-shaped constructs flagged in hot-path modules.
-const ALLOC_PATTERNS: &[&str] = &[
+/// Allocation-shaped constructs flagged in hot-path modules (EL020) and in
+/// code reachable from worker chunk bodies (EL021).
+pub const ALLOC_PATTERNS: &[&str] = &[
     "Vec::new(",
     "Vec::with_capacity(",
     "vec!",
@@ -133,7 +140,7 @@ fn diag(path: &str, line: usize, rule: &'static str, msg: impl Into<String>) -> 
 
 /// True for files whose whole content is test code (integration tests,
 /// fixtures aside — those are never walked).
-fn is_test_file(path: &str) -> bool {
+pub fn is_test_file(path: &str) -> bool {
     path.starts_with("tests/") || path.contains("/tests/")
 }
 
@@ -214,89 +221,6 @@ pub fn orderings_used(m: &FileModel) -> BTreeMap<&'static str, Vec<usize>> {
         }
     }
     used
-}
-
-/// EL010 + EL011: per-file ordering checks. Returns the set of orderings
-/// actually used so the caller can run the staleness pass (EL012).
-pub fn check_orderings(
-    path: &str,
-    m: &FileModel,
-    table: &OrderingTable,
-    out: &mut Vec<Diagnostic>,
-) -> Vec<&'static str> {
-    let used = orderings_used(m);
-    if used.is_empty() {
-        return Vec::new();
-    }
-    let Some(entry) = table.entry_for(path) else {
-        let first = used.values().flatten().min().copied().unwrap_or(0);
-        let names: Vec<&str> = used.keys().copied().collect();
-        out.push(diag(
-            path,
-            first,
-            "EL010",
-            format!(
-                "file uses atomic orderings ({}) but has no LINT_ORDERINGS.toml entry",
-                names.join(", ")
-            ),
-        ));
-        return used.keys().copied().collect();
-    };
-    for (name, lines) in &used {
-        if !entry.allow.iter().any(|a| a == name) {
-            for &l in lines {
-                out.push(diag(
-                    path,
-                    l,
-                    "EL011",
-                    format!(
-                        "Ordering::{} is not in this file's allowed set [{}] — \
-                         change the code or update the table with a new `why`",
-                        name,
-                        entry.allow.join(", ")
-                    ),
-                ));
-            }
-        }
-    }
-    used.keys().copied().collect()
-}
-
-/// EL012: staleness of the table against the observed per-file usage map.
-pub fn check_table_staleness(
-    table: &OrderingTable,
-    seen: &BTreeMap<String, Vec<&'static str>>,
-    out: &mut Vec<Diagnostic>,
-) {
-    for entry in &table.entries {
-        match seen.get(&entry.path) {
-            None => out.push(Diagnostic {
-                path: "LINT_ORDERINGS.toml".to_string(),
-                line: entry.line,
-                rule: "EL012",
-                msg: format!(
-                    "stale entry: `{}` is not a walked workspace file with atomic orderings",
-                    entry.path
-                ),
-            }),
-            Some(used) => {
-                for allowed in &entry.allow {
-                    if !used.iter().any(|u| u == allowed) {
-                        out.push(Diagnostic {
-                            path: "LINT_ORDERINGS.toml".to_string(),
-                            line: entry.line,
-                            rule: "EL012",
-                            msg: format!(
-                                "stale entry: `{}` allows Ordering::{} but the file no \
-                                 longer uses it",
-                                entry.path, allowed
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
 }
 
 /// EL020: allocation-shaped code in hot-path modules without a waiver.

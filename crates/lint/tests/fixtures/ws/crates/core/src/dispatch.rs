@@ -1,0 +1,24 @@
+//! Fixture: the resolver reports what it cannot pin down — trait-object
+//! dispatch and ambiguous bare names are unresolved edges, never dropped.
+
+pub trait Sink {
+    fn emit(&self, v: u32);
+}
+
+pub struct Console;
+
+impl Sink for Console {
+    fn emit(&self, _v: u32) {}
+}
+
+pub fn drive(s: &dyn Sink, v: u32) {
+    s.emit(v);
+}
+
+pub fn call_twin() -> u32 {
+    twin()
+}
+
+pub fn twin() -> u32 {
+    1
+}

@@ -1,0 +1,36 @@
+//! Fixture: EL031 — one leaked lease, one source whose caller drops the
+//! handoff, one forwarder (silent), one balanced pair (silent).
+
+pub struct Ctx;
+pub struct DenseFrontier;
+
+impl Ctx {
+    pub fn take_dense_frontier(&self, _n: usize) -> DenseFrontier {
+        DenseFrontier
+    }
+    pub fn recycle_dense_frontier(&self, _f: DenseFrontier) {}
+}
+
+pub fn leaky(ctx: &Ctx) -> usize {
+    let f = ctx.take_dense_frontier(8);
+    let _ = f;
+    0
+}
+
+pub fn source(ctx: &Ctx) -> DenseFrontier {
+    ctx.take_dense_frontier(8)
+}
+
+pub fn dropper(ctx: &Ctx) {
+    let f = source(ctx);
+    let _ = f;
+}
+
+pub fn forwarder(ctx: &Ctx) -> DenseFrontier {
+    source(ctx)
+}
+
+pub fn balanced(ctx: &Ctx) {
+    let f = source(ctx);
+    ctx.recycle_dense_frontier(f);
+}

@@ -1,0 +1,16 @@
+//! Fixture: EL013 — a Release publish that no Acquire ever observes, and
+//! a Relaxed-only field whose table entry lacks a `barrier`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn publish(flag: &AtomicU32) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn peek(flag: &AtomicU32) -> u32 {
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn tick(ticks: &AtomicU32) -> u32 {
+    ticks.fetch_add(1, Ordering::Relaxed)
+}

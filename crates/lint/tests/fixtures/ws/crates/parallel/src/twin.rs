@@ -1,0 +1,6 @@
+//! Fixture: the second `twin` — makes the bare-name call in
+//! `crates/core/src/dispatch.rs` ambiguous.
+
+pub fn twin() -> u32 {
+    2
+}

@@ -10,15 +10,43 @@ fn the_workspace_lints_clean() {
         .join("../..")
         .canonicalize()
         .expect("workspace root");
-    let diags = essentials_lint::run_root(&root).expect("lint run must succeed");
+    let report = essentials_lint::run_root(&root).expect("lint run must succeed");
     assert!(
-        diags.is_empty(),
+        report.diagnostics.is_empty(),
         "essentials-lint found {} violation(s):\n{}",
-        diags.len(),
-        diags
+        report.diagnostics.len(),
+        report
+            .diagnostics
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    // The analyzer's own health: a resolver regression that silently zeroes
+    // a category would make "clean" meaningless.
+    let st = &report.stats;
+    assert!(
+        st.files > 100,
+        "workspace walk collapsed: {} files",
+        st.files
+    );
+    assert!(
+        st.functions > 500,
+        "parser lost functions: {}",
+        st.functions
+    );
+    assert!(
+        st.resolved_calls > 1000,
+        "resolver collapsed: {} resolved edges",
+        st.resolved_calls
+    );
+    assert!(
+        st.unresolved_calls > 0,
+        "an unresolved count of zero is a resolver bug, not perfection"
+    );
+    assert!(
+        st.atomic_fields > 50,
+        "atomic-field extraction collapsed: {}",
+        st.atomic_fields
     );
 }
