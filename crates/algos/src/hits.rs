@@ -16,6 +16,10 @@ pub struct HitsResult {
     pub authority: Vec<f64>,
     /// Iterations run.
     pub stats: LoopStats,
+    /// L1 change of the combined score vectors at the last completed
+    /// iteration — the achieved residual, reported alongside partial
+    /// (iteration-capped / browned-out) results. Zero for the empty graph.
+    pub final_error: f64,
 }
 
 /// Configuration for the power iteration.
@@ -64,12 +68,14 @@ pub fn try_hits<P: ExecutionPolicy, W: EdgeValue>(
             hub: Vec::new(),
             authority: Vec::new(),
             stats: LoopStats::default(),
+            final_error: 0.0,
         });
     }
     let init = (vec![1.0f64; n], vec![1.0f64; n]);
     let mut next_auth = take_zeroed_f64(ctx, n);
     let mut next_hub = take_zeroed_f64(ctx, n);
     let mut watchdog = ResidualWatchdog::new();
+    let mut final_error = f64::INFINITY;
     let result = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
         .try_run_until(init, |iter, (hub, auth), progress| {
@@ -102,6 +108,7 @@ pub fn try_hits<P: ExecutionPolicy, W: EdgeValue>(
                 .sum();
             std::mem::swap(hub, &mut next_hub);
             std::mem::swap(auth, &mut next_auth);
+            final_error = err;
             watchdog.check(iter, err)?;
             Ok(err < cfg.tolerance)
         });
@@ -112,6 +119,7 @@ pub fn try_hits<P: ExecutionPolicy, W: EdgeValue>(
         hub,
         authority,
         stats,
+        final_error,
     })
 }
 
@@ -150,6 +158,7 @@ pub fn try_hits_blocked<P: ExecutionPolicy, W: EdgeValue>(
             hub: Vec::new(),
             authority: Vec::new(),
             stats: LoopStats::default(),
+            final_error: 0.0,
         });
     }
     let init = (vec![1.0f64; n], vec![1.0f64; n]);
@@ -160,6 +169,7 @@ pub fn try_hits_blocked<P: ExecutionPolicy, W: EdgeValue>(
     // hub'[u] sums auth' over out-edges (u → v): scatter auth' along the CSC.
     let mut hub_gather = BlockedGather::over_in_edges(policy, ctx, g, bins);
     let mut watchdog = ResidualWatchdog::new();
+    let mut final_error = f64::INFINITY;
     let result = Enactor::for_ctx(ctx)
         .max_iterations(cfg.max_iterations)
         .try_run_until(init, |iter, (hub, auth), progress| {
@@ -178,6 +188,7 @@ pub fn try_hits_blocked<P: ExecutionPolicy, W: EdgeValue>(
                 .sum();
             std::mem::swap(hub, &mut next_hub);
             std::mem::swap(auth, &mut next_auth);
+            final_error = err;
             watchdog.check(iter, err)?;
             Ok(err < cfg.tolerance)
         });
@@ -190,6 +201,7 @@ pub fn try_hits_blocked<P: ExecutionPolicy, W: EdgeValue>(
         hub,
         authority,
         stats,
+        final_error,
     })
 }
 
@@ -278,6 +290,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn final_error_reports_the_achieved_residual() {
+        let g = Graph::from_coo(&gen::gnm(150, 800, 4)).with_csc();
+        let ctx = Context::new(2);
+        // A tightly capped partial run reports how far it got...
+        let short = hits(
+            execution::par,
+            &ctx,
+            &g,
+            HitsConfig {
+                tolerance: 0.0,
+                max_iterations: 2,
+            },
+        );
+        assert!(short.final_error.is_finite());
+        assert!(short.final_error > 0.0);
+        // ...and a much longer run achieves a strictly smaller residual.
+        let long = hits(
+            execution::par,
+            &ctx,
+            &g,
+            HitsConfig {
+                tolerance: 1e-12,
+                max_iterations: 80,
+            },
+        );
+        assert!(long.final_error < short.final_error);
     }
 
     #[test]

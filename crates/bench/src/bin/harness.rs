@@ -4,12 +4,16 @@
 //! (default scale 12 ⇒ ~4k-vertex graphs; scale 14–16 for longer runs).
 //!
 //! With `--json FILE` the harness writes the machine-readable benchmark
-//! snapshot (schema `essentials-bench/v5`, see EXPERIMENTS.md). The
+//! snapshot (schema `essentials-bench/v6`, see EXPERIMENTS.md). The
 //! resilience flags `--deadline-ms N` and `--max-iters N` attach a
 //! `RunBudget` to a dedicated budget experiment in that session: the
 //! flagship algorithms run through their fallible `try_*` entry points and
 //! every `ExecError` outcome (deadline-expired, iteration-cap, …) lands in
-//! the output as its own row instead of aborting the process.
+//! the output as its own row instead of aborting the process. The `chaos`
+//! experiment (always part of a `--json` session) drives a seeded
+//! fault-injection storm through the serving engine; `--chaos-seed N`
+//! overrides the default seed so a failing schedule can be replayed
+//! deterministically — every fault key is `(request, iteration, chunk)`.
 //!
 //! With `--obs FILE` the harness instead runs an *observed* session: the
 //! flagship traversals execute with a `TeeSink(CountersSink, TraceSink)`
@@ -45,6 +49,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut max_iters: Option<usize> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--obs" {
@@ -61,12 +66,14 @@ fn main() {
             deadline_ms = Some(number_arg(args.next(), "--deadline-ms"));
         } else if arg == "--max-iters" {
             max_iters = Some(number_arg(args.next(), "--max-iters"));
+        } else if arg == "--chaos-seed" {
+            chaos_seed = Some(number_arg(args.next(), "--chaos-seed"));
         } else if let Ok(s) = arg.parse() {
             scale = s;
         } else {
             eprintln!(
                 "unrecognized argument {arg:?}; usage: harness [scale] [--obs FILE] \
-                 [--json FILE [--deadline-ms N] [--max-iters N]]"
+                 [--json FILE [--deadline-ms N] [--max-iters N] [--chaos-seed N]]"
             );
             std::process::exit(2);
         }
@@ -85,11 +92,11 @@ fn main() {
         }
     };
     if let Some(path) = json_path {
-        json_session(scale, &path, budget);
+        json_session(scale, &path, budget, chaos_seed.unwrap_or(0xC0FFEE));
         return;
     }
-    if budget.is_some() {
-        eprintln!("--deadline-ms/--max-iters only apply to --json sessions");
+    if budget.is_some() || chaos_seed.is_some() {
+        eprintln!("--deadline-ms/--max-iters/--chaos-seed only apply to --json sessions");
         std::process::exit(2);
     }
     if let Some(path) = obs_path {
@@ -220,7 +227,15 @@ fn mteps(work: usize, ms: f64) -> f64 {
 /// experiment runs the flagship algorithms through their fallible `try_*`
 /// entry points under that [`RunBudget`]; `ExecError` stops become rows
 /// with a non-`ok` outcome instead of aborting the session.
-fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
+///
+/// The `chaos` experiment always runs: a seeded fault-injection storm
+/// (worker panics at `(iteration, chunk)` coordinates, service delays,
+/// exhausted budgets, poisoned recycle locks) against 1-permit and
+/// 8-permit serving engines, verifying the resilience contract of
+/// DESIGN.md §16 and reporting shed/degraded/quarantine counters. The
+/// seed comes from `--chaos-seed` (default `0xC0FFEE`) so any failing
+/// schedule replays deterministically.
+fn json_session(scale: u32, path: &str, budget: Option<RunBudget>, chaos_seed: u64) {
     use essentials_parallel::atomics::AtomicBitset;
 
     let mut rows: Vec<JsonRow> = Vec::new();
@@ -1010,10 +1025,401 @@ fn json_session(scale: u32, path: &str, budget: Option<RunBudget>) {
         }
     }
 
+    // --- chaos: seeded fault-injection storm through the serving engine --
+    // The resilience contract of DESIGN.md §16 as a benchmark row: a
+    // seeded [`RequestFaultPlan`] (mid-run worker panics at
+    // `(iteration, chunk)` coordinates, service delays, exhausted budgets,
+    // poisoned recycle locks) is driven through 1-permit and 8-permit
+    // engines by closed-loop clients running a mixed light/heavy workload.
+    // Every outcome must be a bit-identical result or a documented typed
+    // error; slot accounting must never leak; after the storm a recovery
+    // wave rebuilds the quarantined scratch and clean results must match
+    // the serial oracles. Any violated check prints the plan's exact
+    // `(request, iteration, chunk)` fault keys so the schedule replays
+    // from `--chaos-seed`.
+    {
+        use essentials_parallel::{RequestFault, RequestFaultPlan};
+        use essentials_serve::{Brownout, Engine, EngineConfig, Outcome};
+        use std::sync::Barrier;
+        use std::time::Duration;
+
+        #[derive(Debug, Default, Clone, Copy)]
+        struct ChaosTally {
+            requests: usize,
+            ok: usize,
+            degraded: usize,
+            panics: usize,
+            sheds: usize,
+            other_typed: usize,
+            slot_leaks: usize,
+        }
+
+        /// Error kinds a chaos request may legitimately surface.
+        const CHAOS_KINDS: &[&str] = &[
+            "worker-panic",
+            "cancelled",
+            "deadline-expired",
+            "iteration-cap",
+            "diverged",
+            "invalid-input",
+            "queue-deadline",
+            "shed",
+        ];
+
+        /// Prints the failed check plus every planned fault key
+        /// (`(request, iteration, chunk)`), then aborts the experiment —
+        /// rerunning with the printed `--chaos-seed` replays the schedule.
+        fn chaos_bail(msg: &str, seed: u64, plan: &RequestFaultPlan) -> ! {
+            eprintln!("chaos assertion failed: {msg}");
+            eprintln!("replay with --chaos-seed {seed}; planned fault keys:");
+            for &(id, ref f) in plan.faults() {
+                let (i, c) = f.coordinate();
+                eprintln!("  (request {id}, iteration {i}, chunk {c}) [{}]", f.name());
+            }
+            panic!("chaos experiment failed (seed {seed}): {msg}");
+        }
+
+        let seed = chaos_seed;
+        // Time-boxed even at large --json scales: this experiment measures
+        // resilience counters, not throughput scaling.
+        let graph = Arc::new(Workload::Rmat.symmetric(scale.min(11)));
+        let n = graph.get_num_vertices();
+        const CLIENTS: usize = 4;
+        const ROUNDS: usize = 30;
+        let storm_requests = (CLIENTS * ROUNDS) as u64;
+
+        // The engine captures injected panics and quarantines the slot; the
+        // default hook would still spray their backtraces. Filter only the
+        // expected chaos payloads — real panics keep the default report.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if msg.contains("injected fault at") || msg.contains("chaos-injected") {
+                return;
+            }
+            default_hook(info);
+        }));
+
+        for &(permits, heavy_permits) in &[(1usize, 1usize), (8usize, 2usize)] {
+            let base = RequestFaultPlan::seeded(seed, storm_requests, 45, 30, 20, 10, 3, 2, 300);
+            // Recovery-wave requests (ids past the storm) get a service
+            // delay so `permits` concurrent requests overlap and claim
+            // every slot — quarantined scratch only rebuilds on claim.
+            let mut plan = base;
+            for id in storm_requests..storm_requests + (permits * 20) as u64 {
+                plan = plan.fault_at(id, RequestFault::Delay { micros: 20_000 });
+            }
+            let plan = Arc::new(plan);
+            let faults = plan.len();
+
+            // Serial oracles, computed before any chaos.
+            let sources: Vec<VertexId> = (0..CLIENTS as VertexId)
+                .map(|i| (i * 97) % n as VertexId)
+                .collect();
+            let oracle: Vec<Vec<u32>> = sources
+                .iter()
+                .map(|&s| bfs::bfs_sequential(&graph, s).level)
+                .collect();
+            let pr_cfg = pagerank::PrConfig {
+                damping: 0.85,
+                tolerance: 1e-12,
+                max_iterations: 20,
+            };
+            let clean = Engine::new(
+                graph.clone(),
+                EngineConfig {
+                    threads: 2,
+                    permits,
+                    heavy_permits,
+                },
+            );
+            let pr_ref = clean
+                .pagerank(pr_cfg, RunBudget::unlimited())
+                .expect("reference pagerank")
+                .rank;
+
+            let engine = Engine::new(
+                graph.clone(),
+                EngineConfig {
+                    threads: 2,
+                    permits,
+                    heavy_permits,
+                },
+            )
+            .with_chaos(plan.clone());
+
+            let start = Barrier::new(CLIENTS);
+            let t0 = std::time::Instant::now();
+            let results: Vec<(ChaosTally, Vec<f64>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|c| {
+                        let engine = &engine;
+                        let sources = &sources;
+                        let oracle = &oracle;
+                        let pr_ref = &pr_ref;
+                        let plan = &plan;
+                        let start = &start;
+                        scope.spawn(move || {
+                            start.wait();
+                            let mut t = ChaosTally::default();
+                            let mut light_ms: Vec<f64> = Vec::new();
+                            let mut lcg: u64 = seed ^ (c as u64).wrapping_mul(0x9E37_79B9);
+                            for round in 0..ROUNDS {
+                                lcg = lcg
+                                    .wrapping_mul(6364136223846793005)
+                                    .wrapping_add(1442695040888963407);
+                                std::thread::sleep(Duration::from_micros((lcg >> 56) * 2));
+                                t.requests += 1;
+                                let req_t0 = std::time::Instant::now();
+                                let err = match (c + round) % 4 {
+                                    // Light probe (bounded deadline feeds
+                                    // the shed gate): bit-identical on Ok.
+                                    0 => match engine.bfs(
+                                        sources[c],
+                                        RunBudget::unlimited()
+                                            .with_timeout(Duration::from_millis(80)),
+                                    ) {
+                                        Ok(r) => {
+                                            if r.level != oracle[c] {
+                                                chaos_bail(
+                                                    &format!("client {c} round {round}: wrong bfs under chaos"),
+                                                    seed,
+                                                    plan,
+                                                );
+                                            }
+                                            light_ms
+                                                .push(req_t0.elapsed().as_secs_f64() * 1e3);
+                                            None
+                                        }
+                                        Err(e) => Some(e),
+                                    },
+                                    // Batched probe: every lane identical.
+                                    1 => match engine.bfs_batch(sources, RunBudget::unlimited())
+                                    {
+                                        Ok(batch) => {
+                                            for (s, want) in oracle.iter().enumerate() {
+                                                if &batch.source_levels(s) != want {
+                                                    chaos_bail(
+                                                        &format!("client {c} round {round} lane {s}: wrong batch under chaos"),
+                                                        seed,
+                                                        plan,
+                                                    );
+                                                }
+                                            }
+                                            engine.recycle_batch(batch);
+                                            None
+                                        }
+                                        Err(e) => Some(e),
+                                    },
+                                    // Degradable heavy: browns out under
+                                    // pressure instead of shedding.
+                                    2 => match engine.pagerank_degradable(
+                                        pr_cfg,
+                                        RunBudget::unlimited()
+                                            .with_timeout(Duration::from_millis(250)),
+                                        Brownout::new(3),
+                                    ) {
+                                        Ok(resp) => {
+                                            let sum: f64 = resp.value.rank.iter().sum();
+                                            if (sum - 1.0).abs() > 1e-6 {
+                                                chaos_bail(
+                                                    &format!("client {c} round {round}: ranks sum to {sum}"),
+                                                    seed,
+                                                    plan,
+                                                );
+                                            }
+                                            if let Outcome::Degraded { .. } = resp.outcome {
+                                                t.degraded += 1;
+                                            }
+                                            None
+                                        }
+                                        Err(e) => Some(e),
+                                    },
+                                    // Plain heavy: within summation noise.
+                                    _ => match engine.pagerank(pr_cfg, RunBudget::unlimited())
+                                    {
+                                        Ok(pr) => {
+                                            for (a, b) in pr.rank.iter().zip(pr_ref) {
+                                                if (a - b).abs() > 1e-9 {
+                                                    chaos_bail(
+                                                        &format!("client {c} round {round}: rank drift under chaos"),
+                                                        seed,
+                                                        plan,
+                                                    );
+                                                }
+                                            }
+                                            None
+                                        }
+                                        Err(e) => Some(e),
+                                    },
+                                };
+                                match err {
+                                    Some(e) => {
+                                        let kind = e.kind();
+                                        if !CHAOS_KINDS.contains(&kind) {
+                                            chaos_bail(
+                                                &format!("client {c} round {round}: unexpected error kind {kind:?}"),
+                                                seed,
+                                                plan,
+                                            );
+                                        }
+                                        match kind {
+                                            "worker-panic" => t.panics += 1,
+                                            "shed" => t.sheds += 1,
+                                            _ => t.other_typed += 1,
+                                        }
+                                    }
+                                    None => t.ok += 1,
+                                }
+                                // Zero-leak invariant, sampled while faults
+                                // fly: free + leased + quarantined == permits.
+                                let h = engine.health();
+                                if h.free_slots + h.leased_slots + h.quarantined_slots
+                                    != h.permits
+                                {
+                                    t.slot_leaks += 1;
+                                }
+                            }
+                            (t, light_ms)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chaos client panicked"))
+                    .collect()
+            });
+            let storm_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let mut total = ChaosTally::default();
+            let mut light_ms: Vec<f64> = Vec::new();
+            for (t, l) in results {
+                total.requests += t.requests;
+                total.ok += t.ok;
+                total.degraded += t.degraded;
+                total.panics += t.panics;
+                total.sheds += t.sheds;
+                total.other_typed += t.other_typed;
+                total.slot_leaks += t.slot_leaks;
+                light_ms.extend(l);
+            }
+            light_ms.sort_by(|a, b| a.total_cmp(b));
+            let h = engine.health();
+            if total.slot_leaks > 0 {
+                chaos_bail(
+                    &format!("{} slot-leak samples mid-storm", total.slot_leaks),
+                    seed,
+                    &plan,
+                );
+            }
+            if h.leased_slots != 0 || h.free_slots + h.quarantined_slots != h.permits {
+                chaos_bail("slot accounting broken after the storm", seed, &plan);
+            }
+            if h.quarantined_total != total.panics as u64
+                || h.quarantined_total - h.rebuilt_total != h.quarantined_slots as u64
+            {
+                chaos_bail("quarantine counters do not reconcile", seed, &plan);
+            }
+            if total.sheds > total.requests / 2 {
+                chaos_bail(
+                    &format!("unbounded shed rate: {} of {}", total.sheds, total.requests),
+                    seed,
+                    &plan,
+                );
+            }
+
+            // Recovery: delay-pinned waves claim (and rebuild) every slot.
+            let mut waves = 0;
+            while engine.health().quarantined_slots > 0 && waves < 20 {
+                let wave_start = Barrier::new(permits);
+                std::thread::scope(|scope| {
+                    for w in 0..permits {
+                        let engine = &engine;
+                        let graph = &graph;
+                        let plan = &plan;
+                        let wave_start = &wave_start;
+                        scope.spawn(move || {
+                            wave_start.wait();
+                            let s = (w as VertexId * 131) % n as VertexId;
+                            let got = engine
+                                .bfs(s, RunBudget::unlimited())
+                                .expect("recovery request must succeed");
+                            if got.level != bfs::bfs_sequential(graph, s).level {
+                                chaos_bail("recovery bfs not bit-identical", seed, plan);
+                            }
+                        });
+                    }
+                });
+                waves += 1;
+            }
+            let h = engine.health();
+            if h.quarantined_slots != 0 || h.free_slots != h.permits {
+                chaos_bail("quarantined slots did not rebuild", seed, &plan);
+            }
+            // Post-chaos clean requests: bit-identical vs the oracles.
+            let batch = engine
+                .bfs_batch(&sources, RunBudget::unlimited())
+                .expect("post-chaos batch");
+            for (s, want) in oracle.iter().enumerate() {
+                if &batch.source_levels(s) != want {
+                    chaos_bail("post-chaos batch lane drifted", seed, &plan);
+                }
+            }
+            engine.recycle_batch(batch);
+            let pr = engine
+                .pagerank(pr_cfg, RunBudget::unlimited())
+                .expect("post-chaos pagerank");
+            if pr
+                .rank
+                .iter()
+                .zip(&pr_ref)
+                .any(|(a, b)| (a - b).abs() > 1e-9)
+            {
+                chaos_bail("post-chaos rank drifted", seed, &plan);
+            }
+
+            let p99 = if light_ms.is_empty() {
+                0.0
+            } else {
+                light_ms[((light_ms.len() - 1) as f64 * 0.99).round() as usize]
+            };
+            rows.push(JsonRow {
+                experiment: "chaos",
+                workload: "rmat",
+                algo: "serve",
+                variant: format!("permits-{permits}"),
+                threads: 2,
+                ms: storm_ms,
+                iterations: total.requests,
+                work: total.ok,
+                mteps: 0.0,
+                outcome: "ok",
+                extras: format!(
+                    ",\"seed\":{seed},\"faults\":{faults},\"ok\":{},\"sheds\":{},\"degraded\":{},\"panics\":{},\"other_typed\":{},\"quarantined_total\":{},\"rebuilt_total\":{},\"slot_leaks\":{},\"recovered_identical\":true,\"p99_light_ms\":{p99:.3}",
+                    total.ok,
+                    total.sheds,
+                    total.degraded,
+                    total.panics,
+                    total.other_typed,
+                    h.quarantined_total,
+                    h.rebuilt_total,
+                    total.slot_leaks,
+                ),
+            });
+        }
+        // Restore the default panic reporting for the rest of the session.
+        let _ = std::panic::take_hook();
+    }
+
     // --- serialize -------------------------------------------------------
     let mut out = String::with_capacity(rows.len() * 160 + 128);
     out.push_str(&format!(
-        "{{\n  \"schema\": \"essentials-bench/v5\",\n  \"scale\": {scale},\n  \"rows\": [\n"
+        "{{\n  \"schema\": \"essentials-bench/v6\",\n  \"scale\": {scale},\n  \"rows\": [\n"
     ));
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    ");

@@ -1,0 +1,166 @@
+//! Per-class EWMA service-time estimation, fed by [`RequestEvent`]
+//! telemetry.
+//!
+//! The serving engine's deadline-feasibility shedding (DESIGN.md §16)
+//! needs one number per admission class: "how long does a request of this
+//! class take right now?". The estimator keeps an exponentially weighted
+//! moving average of observed service times (α = 1/8, the classic TCP RTT
+//! smoothing constant: new = old − old/8 + sample/8), one per class, as
+//! lock-free atomics — feeding it from the request path costs two relaxed
+//! loads and one relaxed store, and reading a prediction costs one load.
+//!
+//! Only *completed* service feeds the average (outcome `"ok"` or
+//! `"degraded"` with a nonzero service time). Shed and queue-rejected
+//! requests report zero service and would drag the estimate toward zero,
+//! creating an admit/shed oscillation; mid-run failures (panics, expired
+//! deadlines) report *truncated* service and would bias the estimate low
+//! exactly when the system is struggling. Skipping both keeps the
+//! estimator conservative under stress, which is the safe direction for an
+//! admission decision.
+
+use crate::event::RequestEvent;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// EWMA smoothing shift: α = 1/8 (`new = old - old/8 + sample/8`).
+const EWMA_SHIFT: u32 = 3;
+
+/// Per-class EWMA of request service times, in nanoseconds. Zero means "no
+/// samples yet" — predictions are unavailable until the first completed
+/// request of that class, so a cold engine never sheds.
+#[derive(Debug, Default)]
+pub struct ServiceEstimator {
+    /// Smoothed light-class service time (ns); 0 = no samples.
+    light_ns: AtomicU64,
+    /// Smoothed heavy-class service time (ns); 0 = no samples.
+    heavy_ns: AtomicU64,
+}
+
+impl ServiceEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one request event. Only completed service counts (see module
+    /// docs); everything else is ignored.
+    pub fn observe(&self, ev: &RequestEvent) {
+        if ev.service_ns == 0 || !matches!(ev.outcome, "ok" | "degraded") {
+            return;
+        }
+        self.record_class(ev.class, ev.service_ns);
+    }
+
+    /// Feeds one completed service time for a class label (`"light"` /
+    /// `"heavy"`; other labels are ignored).
+    pub fn record_class(&self, class: &str, service_ns: u64) {
+        let cell = match class {
+            "light" => &self.light_ns,
+            "heavy" => &self.heavy_ns,
+            _ => return,
+        };
+        // A racy read-modify-write: two concurrent updates may lose one
+        // sample, which for a smoothed average of an ongoing stream is
+        // noise, not corruption. The estimate is advisory by contract.
+        let sample = service_ns.max(1);
+        let old = cell.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - (old >> EWMA_SHIFT) + (sample >> EWMA_SHIFT)
+        };
+        cell.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// The smoothed service-time estimate for a class label, or `None`
+    /// before the first sample (or for an unknown label).
+    pub fn estimate_ns(&self, class: &str) -> Option<u64> {
+        let cell = match class {
+            "light" => &self.light_ns,
+            "heavy" => &self.heavy_ns,
+            _ => return None,
+        };
+        match cell.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// The largest per-class estimate available — the conservative
+    /// "how long does *some* in-flight request hold a permit" number used
+    /// to predict queue drain. `None` until any class has a sample.
+    pub fn worst_case_ns(&self) -> Option<u64> {
+        let l = self.light_ns.load(Ordering::Relaxed);
+        let h = self.heavy_ns.load(Ordering::Relaxed);
+        match l.max(h) {
+            0 => None,
+            ns => Some(ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(class: &'static str, outcome: &'static str, service_ns: u64) -> RequestEvent {
+        RequestEvent {
+            id: 0,
+            class,
+            kind: "bfs",
+            outcome,
+            queue_ns: 0,
+            service_ns,
+            scratch_key: 0,
+        }
+    }
+
+    #[test]
+    fn cold_estimator_predicts_nothing() {
+        let e = ServiceEstimator::new();
+        assert_eq!(e.estimate_ns("light"), None);
+        assert_eq!(e.estimate_ns("heavy"), None);
+        assert_eq!(e.worst_case_ns(), None);
+    }
+
+    #[test]
+    fn first_sample_seeds_then_ewma_smooths() {
+        let e = ServiceEstimator::new();
+        e.observe(&ev("light", "ok", 8_000));
+        assert_eq!(e.estimate_ns("light"), Some(8_000));
+        // new = 8000 - 1000 + 2000 = 9000
+        e.observe(&ev("light", "ok", 16_000));
+        assert_eq!(e.estimate_ns("light"), Some(9_000));
+        assert_eq!(e.estimate_ns("heavy"), None);
+        assert_eq!(e.worst_case_ns(), Some(9_000));
+    }
+
+    #[test]
+    fn classes_are_independent_and_worst_case_takes_the_max() {
+        let e = ServiceEstimator::new();
+        e.observe(&ev("light", "ok", 1_000));
+        e.observe(&ev("heavy", "ok", 50_000));
+        assert_eq!(e.estimate_ns("light"), Some(1_000));
+        assert_eq!(e.estimate_ns("heavy"), Some(50_000));
+        assert_eq!(e.worst_case_ns(), Some(50_000));
+    }
+
+    #[test]
+    fn degraded_feeds_but_failures_and_sheds_do_not() {
+        let e = ServiceEstimator::new();
+        e.observe(&ev("heavy", "degraded", 4_000));
+        assert_eq!(e.estimate_ns("heavy"), Some(4_000));
+        e.observe(&ev("heavy", "worker-panic", 1));
+        e.observe(&ev("heavy", "deadline-expired", 1));
+        e.observe(&ev("heavy", "shed", 0));
+        e.observe(&ev("heavy", "ok", 0)); // zero service never feeds
+        assert_eq!(e.estimate_ns("heavy"), Some(4_000));
+    }
+
+    #[test]
+    fn unknown_class_labels_are_ignored() {
+        let e = ServiceEstimator::new();
+        e.record_class("medium", 5_000);
+        assert_eq!(e.estimate_ns("medium"), None);
+        assert_eq!(e.worst_case_ns(), None);
+    }
+}

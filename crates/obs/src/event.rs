@@ -166,9 +166,11 @@ pub struct RequestEvent {
     pub class: &'static str,
     /// Request kind label (`"bfs"`, `"bfs-batch"`, `"pagerank"`, …).
     pub kind: &'static str,
-    /// Outcome label: `"ok"`, an [`crate::ObsSink::on_abort`]-style error
-    /// kind (`"cancelled"`, `"deadline-expired"`, …), or
-    /// `"queue-deadline"` when the request never got past admission.
+    /// Outcome label: `"ok"`, `"degraded"` (a brownout run that returned a
+    /// capped partial result), an [`crate::ObsSink::on_abort`]-style error
+    /// kind (`"cancelled"`, `"deadline-expired"`, …), `"queue-deadline"`
+    /// when the request never got past admission, or `"shed"` when the
+    /// deadline-feasibility gate rejected it on arrival.
     pub outcome: &'static str,
     /// Nanoseconds spent waiting for an admission permit.
     pub queue_ns: u64,

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod estimator;
 pub mod event;
 pub mod export;
 pub mod sink;
@@ -39,6 +40,7 @@ pub mod summary;
 pub mod trace;
 
 pub use counters::{CounterTotals, CountersSink};
+pub use estimator::ServiceEstimator;
 pub use event::{
     AbortEvent, AdvanceEvent, ComputeEvent, DirectionEvent, FilterEvent, IterSpan, LoopKind,
     OpKind, RequestEvent,

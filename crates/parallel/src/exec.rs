@@ -332,15 +332,7 @@ impl FaultPlan {
         iter_range: u64,
         chunk_range: u64,
     ) -> Self {
-        let mut state = seed;
-        let mut next = move || {
-            // splitmix64: the reference seeding PRNG, period 2^64.
-            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
+        let mut next = splitmix64(seed);
         let iter_range = iter_range.max(1);
         let chunk_range = chunk_range.max(1);
         let mut plan = FaultPlan::new();
@@ -372,6 +364,175 @@ impl FaultPlan {
             .iter()
             .find(|(i, c, _)| *i == iteration && *c == chunk)
             .map(|(_, _, a)| *a)
+    }
+}
+
+/// The seeding PRNG shared by every deterministic fault generator
+/// (splitmix64: the reference seeding PRNG, period 2^64). Same seed, same
+/// stream — fault sweeps stay reproducible.
+fn splitmix64(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One request-level fault, keyed by the serving engine's request id. The
+/// chunk-level [`FaultPlan`] asks "what breaks at `(iteration, chunk)` of
+/// *this run*"; a [`RequestFaultPlan`] asks "what breaks for *request r* of
+/// a serving workload" — the vocabulary of the chaos soak harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestFault {
+    /// Inject a worker panic through the pool's real `catch_unwind` path at
+    /// the given `(iteration, chunk)` coordinate of the request's run (the
+    /// engine attaches a single-point [`FaultPlan`] to the request context).
+    Panic {
+        /// Iteration coordinate of the injected panic.
+        iteration: u64,
+        /// Chunk coordinate of the injected panic.
+        chunk: u64,
+    },
+    /// Stall the request for the given duration at service start — models a
+    /// slow dependency and inflates the measured service time the shedding
+    /// estimator learns from.
+    Delay {
+        /// Stall length in microseconds.
+        micros: u64,
+    },
+    /// Exhaust the request's iteration budget on arrival (`max_iterations`
+    /// forced to zero), so the run stops with a typed `iteration-cap` error
+    /// at its first boundary check.
+    BudgetExhaust,
+    /// Poison a serving-layer mutex (the engine's recycle free-list) by
+    /// panicking while the lock is held, exercising the poison-forgiveness
+    /// path.
+    PoisonLock,
+}
+
+impl RequestFault {
+    /// The `(iteration, chunk)` coordinate of the fault within its
+    /// request's run. Request-scoped faults (delay, budget-exhaust,
+    /// poison-lock) fire before any chunk runs and report `(0, 0)`.
+    pub fn coordinate(self) -> (u64, u64) {
+        match self {
+            RequestFault::Panic { iteration, chunk } => (iteration, chunk),
+            _ => (0, 0),
+        }
+    }
+
+    /// Stable lowercase label for logs and replay keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestFault::Panic { .. } => "panic",
+            RequestFault::Delay { .. } => "delay",
+            RequestFault::BudgetExhaust => "budget-exhaust",
+            RequestFault::PoisonLock => "poison-lock",
+        }
+    }
+}
+
+/// Deterministic request-keyed fault injection for a serving engine: a map
+/// from request id to the [`RequestFault`] that request suffers. Built
+/// up-front (usually [`RequestFaultPlan::seeded`]) and handed to the
+/// engine, which consults it once per request by id.
+///
+/// Every fault has a replayable key `(request, iteration, chunk)` — the
+/// request id plus [`RequestFault::coordinate`] — printed verbatim by the
+/// chaos harness on any assertion failure so the exact failing schedule
+/// reruns from the seed.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RequestFaultPlan {
+    faults: Vec<(u64, RequestFault)>,
+}
+
+impl RequestFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault for request `request`. The first fault registered for
+    /// an id wins; later duplicates are inert.
+    pub fn fault_at(mut self, request: u64, fault: RequestFault) -> Self {
+        self.faults.push((request, fault));
+        self
+    }
+
+    /// A mixed plan drawn from a seeded splitmix64 stream: `panics` panic
+    /// faults (coordinates over `[0, iter_range) × [0, chunk_range)`),
+    /// `delays` stalls of `delay_micros`, `budgets` budget-exhausts, and
+    /// `poisons` lock poisonings, each keyed to a request id in
+    /// `[0, requests)`. Same seed, same plan.
+    #[allow(clippy::too_many_arguments)] // a seeded recipe, not an API surface: every knob is a count
+    pub fn seeded(
+        seed: u64,
+        requests: u64,
+        panics: usize,
+        delays: usize,
+        budgets: usize,
+        poisons: usize,
+        iter_range: u64,
+        chunk_range: u64,
+        delay_micros: u64,
+    ) -> Self {
+        let mut next = splitmix64(seed);
+        let requests = requests.max(1);
+        let iter_range = iter_range.max(1);
+        let chunk_range = chunk_range.max(1);
+        let mut plan = RequestFaultPlan::new();
+        for _ in 0..panics {
+            let (r, i, c) = (next() % requests, next() % iter_range, next() % chunk_range);
+            plan = plan.fault_at(
+                r,
+                RequestFault::Panic {
+                    iteration: i,
+                    chunk: c,
+                },
+            );
+        }
+        for _ in 0..delays {
+            let r = next() % requests;
+            plan = plan.fault_at(
+                r,
+                RequestFault::Delay {
+                    micros: delay_micros,
+                },
+            );
+        }
+        for _ in 0..budgets {
+            let r = next() % requests;
+            plan = plan.fault_at(r, RequestFault::BudgetExhaust);
+        }
+        for _ in 0..poisons {
+            let r = next() % requests;
+            plan = plan.fault_at(r, RequestFault::PoisonLock);
+        }
+        plan
+    }
+
+    /// The fault planned for request `id`, if any (first registration wins).
+    pub fn for_request(&self, id: u64) -> Option<RequestFault> {
+        self.faults.iter().find(|(r, _)| *r == id).map(|(_, f)| *f)
+    }
+
+    /// Every planned fault as `(request, fault)` pairs, in registration
+    /// order — the harness renders these as replay keys.
+    pub fn faults(&self) -> &[(u64, RequestFault)] {
+        &self.faults
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
     }
 }
 
@@ -558,6 +719,38 @@ mod tests {
         let c = FaultPlan::seeded(43, 3, 2, 10, 100);
         assert_ne!(a.points, c.points);
         assert_eq!(a.points.len(), 5);
+    }
+
+    #[test]
+    fn request_fault_plans_are_reproducible_and_first_wins() {
+        let a = RequestFaultPlan::seeded(42, 100, 5, 4, 3, 2, 8, 64, 500);
+        let b = RequestFaultPlan::seeded(42, 100, 5, 4, 3, 2, 8, 64, 500);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 14);
+        let c = RequestFaultPlan::seeded(43, 100, 5, 4, 3, 2, 8, 64, 500);
+        assert_ne!(a, c);
+        // Every planned fault is findable under its request id, and the
+        // first registration for an id wins.
+        let dup = RequestFaultPlan::new()
+            .fault_at(7, RequestFault::BudgetExhaust)
+            .fault_at(7, RequestFault::PoisonLock);
+        assert_eq!(dup.for_request(7), Some(RequestFault::BudgetExhaust));
+        assert_eq!(dup.for_request(8), None);
+        assert!(!dup.is_empty());
+    }
+
+    #[test]
+    fn request_fault_coordinates_and_names() {
+        let p = RequestFault::Panic {
+            iteration: 3,
+            chunk: 9,
+        };
+        assert_eq!(p.coordinate(), (3, 9));
+        assert_eq!(p.name(), "panic");
+        assert_eq!(RequestFault::Delay { micros: 5 }.coordinate(), (0, 0));
+        assert_eq!(RequestFault::Delay { micros: 5 }.name(), "delay");
+        assert_eq!(RequestFault::BudgetExhaust.name(), "budget-exhaust");
+        assert_eq!(RequestFault::PoisonLock.name(), "poison-lock");
     }
 
     #[test]

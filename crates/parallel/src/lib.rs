@@ -44,7 +44,8 @@ pub use affinity::pin_current_thread;
 pub use async_engine::{run_async, run_async_seq, try_run_async, AsyncStats, Pusher};
 pub use barrier::SpinBarrier;
 pub use exec::{
-    BudgetReason, CancelToken, ChunkAction, ChunkHooks, ExecError, FaultPlan, Progress, RunBudget,
+    panic_payload_string, BudgetReason, CancelToken, ChunkAction, ChunkHooks, ExecError, FaultPlan,
+    Progress, RequestFault, RequestFaultPlan, RunBudget,
 };
 pub use placement::Placement;
 pub use policy::{execution, ExecutionPolicy, Par, ParNosync, Seq};

@@ -67,6 +67,12 @@ pub enum AdmissionError {
     QueueDeadline,
     /// The request's cancellation token fired while it was still queued.
     Cancelled,
+    /// The deadline-feasibility gate predicted, at arrival, that the
+    /// request could not finish before its deadline given the current
+    /// backlog, and rejected it without queueing (DESIGN.md §16). Raised
+    /// by the serving engine, not the gate itself — the gate only defines
+    /// the rejection vocabulary.
+    Shed,
 }
 
 impl AdmissionError {
@@ -76,6 +82,7 @@ impl AdmissionError {
         match self {
             AdmissionError::QueueDeadline => "queue-deadline",
             AdmissionError::Cancelled => "cancelled",
+            AdmissionError::Shed => "shed",
         }
     }
 }
@@ -87,6 +94,9 @@ impl fmt::Display for AdmissionError {
                 write!(f, "deadline expired while queued for admission")
             }
             AdmissionError::Cancelled => write!(f, "cancelled while queued for admission"),
+            AdmissionError::Shed => {
+                write!(f, "shed on arrival: predicted to miss its deadline")
+            }
         }
     }
 }
@@ -350,6 +360,55 @@ mod tests {
             Some(AdmissionError::Cancelled)
         );
         drop(hold);
+    }
+
+    #[test]
+    fn cancelling_a_parked_waiter_unblocks_promptly_and_leaves_no_fifo_hole() {
+        // The race under test: the token fires while the waiter is parked
+        // *inside* the condvar wait (not on the pre-wait check). The
+        // bounded CANCEL_POLL sleep must observe it promptly, and the
+        // departing waiter must remove its own ticket so the waiter queued
+        // behind it is not stranded behind a ghost entry.
+        let adm = Arc::new(Admission::new(1, 1));
+        let hold = adm.acquire(Class::Light, None, None).expect("holder");
+        // Waiter A: queued first, no cancel token, will eventually win.
+        let a_adm = adm.clone();
+        let waiter_a =
+            std::thread::spawn(move || a_adm.acquire(Class::Light, None, None).map(drop).is_ok());
+        while adm.snapshot().2 < 1 {
+            std::thread::yield_now();
+        }
+        // Waiter B: queued behind A with a cancel token.
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        let b_adm = adm.clone();
+        let waiter_b =
+            std::thread::spawn(move || b_adm.acquire(Class::Light, None, Some(&t2)).err());
+        while adm.snapshot().2 < 2 {
+            std::thread::yield_now();
+        }
+        // Give B time to park in the condvar wait, then cancel.
+        std::thread::sleep(Duration::from_millis(30));
+        let fired = Instant::now();
+        token.cancel();
+        assert_eq!(
+            waiter_b.join().expect("no panic"),
+            Some(AdmissionError::Cancelled)
+        );
+        assert!(
+            fired.elapsed() < Duration::from_millis(500),
+            "cancellation must unblock within the polling bound, took {:?}",
+            fired.elapsed()
+        );
+        // B's ticket is gone (no FIFO hole): only A still waits...
+        assert_eq!(adm.snapshot(), (1, 0, 1), "cancelled ticket released");
+        // ...and releasing the holder admits A normally.
+        drop(hold);
+        assert!(
+            waiter_a.join().expect("no panic"),
+            "A admitted after B left"
+        );
+        assert_eq!(adm.snapshot(), (0, 0, 0));
     }
 
     #[test]

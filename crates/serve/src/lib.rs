@@ -18,11 +18,17 @@
 //! determinism per request, and the zero-steady-state-allocation contract
 //! — are specified in DESIGN.md §13 and enforced by
 //! `tests/serve_concurrency.rs` and `tests/zero_alloc.rs`.
+//!
+//! Overload resilience — deadline-feasibility shedding, degraded-mode
+//! (brownout) results, scratch quarantine after captured panics, and
+//! request-keyed chaos injection — is specified in DESIGN.md §16 and
+//! exercised by `tests/chaos.rs` plus the bench harness `chaos`
+//! experiment.
 
 pub mod admission;
 pub mod engine;
 pub mod pool;
 
 pub use admission::{Admission, AdmissionError, Class, Permit};
-pub use engine::{Engine, EngineConfig, ServeError};
-pub use pool::{ScratchLease, ScratchPool};
+pub use engine::{Brownout, Engine, EngineConfig, EngineHealth, Outcome, Response, ServeError};
+pub use pool::{PoolCounts, ScratchLease, ScratchPool};

@@ -1,5 +1,5 @@
 //! The keyed scratch pool: N independent [`ScratchSlot`]s behind a
-//! lock-free checkout protocol.
+//! lock-free checkout protocol, with panic quarantine.
 //!
 //! A single `Context` owns a single scratch slot — perfect for one
 //! algorithm at a time, but a serving engine runs N requests concurrently,
@@ -11,29 +11,78 @@
 //! contract of the frontier pipeline extends to concurrent serving
 //! (`tests/zero_alloc.rs`, `tests/serve_concurrency.rs`).
 //!
-//! Checkout is a CAS scan over per-slot `in_use` flags — no locks, no
-//! allocation, O(slots) worst case with slots sized to the admission
-//! permit count (a handful). The engine admits at most `slots` requests,
-//! so an admitted request always finds a free slot.
+//! Checkout is a CAS scan over per-slot state words — no waiting, no
+//! allocation on the warm path, O(slots) worst case with slots sized to
+//! the admission permit count (a handful). The engine admits at most
+//! `slots` requests, so an admitted request always finds a claimable slot.
+//!
+//! ## Quarantine (DESIGN.md §16)
+//!
+//! A slot is a three-state machine: `FREE → LEASED` on checkout (CAS,
+//! Acquire), `LEASED → FREE` on lease drop (store, Release), and
+//! `LEASED → QUARANTINED` when the engine's `catch_unwind` captured a
+//! panic while the lease was held ([`ScratchLease::quarantine`]). A
+//! quarantined slot's scratch may hold buffers a panicking chunk left
+//! half-written, so it is never CAS-returned to the free set. It still
+//! *counts* toward capacity: checkout claims quarantined slots as a second
+//! choice (`QUARANTINED → LEASED`, Acquire) and rebuilds the scratch
+//! fresh before handing it out — lazy replacement, paid only when an
+//! admitted request actually needs the capacity. The invariant
+//! `free + leased + quarantined == permits` therefore holds at every
+//! instant (each slot is in exactly one state), which is how the chaos
+//! soak proves zero slot leaks.
+//!
+//! The scratch handle itself sits behind a tiny per-slot mutex. It is
+//! *uncontended by construction* — only the CAS winner for a slot touches
+//! its handle — so the lock is a formality that buys safe interior
+//! mutability for the cold rebuild path without `unsafe`.
 
 use essentials_core::ScratchSlot;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-/// One slot of the pool: the scratch plus its checkout flag.
+/// Slot states (the values of [`PoolSlot::state`]).
+const FREE: u8 = 0;
+const LEASED: u8 = 1;
+const QUARANTINED: u8 = 2;
+
+/// One slot of the pool: the scratch handle plus its state word.
 struct PoolSlot {
-    /// Claimed by `compare_exchange(false → true, Acquire)`; released by a
-    /// `store(false, Release)` in [`ScratchLease::drop`]. The pair makes
+    /// Claimed by `compare_exchange(FREE → LEASED, Acquire)`; released by
+    /// a `store(FREE, Release)` in [`ScratchLease::drop`]. The pair makes
     /// every scratch write of the previous leaseholder visible to the
-    /// next.
-    in_use: AtomicBool,
-    scratch: Arc<ScratchSlot>,
+    /// next. Quarantine stores `QUARANTINED` with Release; the rebuild CAS
+    /// (`QUARANTINED → LEASED`, Acquire) pairs with it.
+    state: AtomicU8,
+    /// The scratch handle. Locked only by the CAS winner of this slot
+    /// (checkout clone, quarantine-rebuild replacement), so the mutex is
+    /// never contended; see module docs.
+    scratch: Mutex<Arc<ScratchSlot>>,
+}
+
+/// Live + cumulative pool occupancy, from one pass over the slot states.
+/// Each slot is in exactly one state per load, so
+/// `free + leased + quarantined` always equals the slot count — the
+/// zero-leak invariant the chaos soak asserts at every sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCounts {
+    /// Slots currently free.
+    pub free: usize,
+    /// Slots currently leased to a request.
+    pub leased: usize,
+    /// Slots currently quarantined (awaiting lazy rebuild).
+    pub quarantined: usize,
 }
 
 /// Fixed-size pool of scratch slots, checked out one whole slot per
 /// request (see module docs).
 pub struct ScratchPool {
     slots: Box<[PoolSlot]>,
+    /// Cumulative count of quarantine events (diagnostic; the live count
+    /// comes from the slot states).
+    quarantined_ever: AtomicU64,
+    /// Cumulative count of lazy rebuilds of quarantined slots.
+    rebuilt_ever: AtomicU64,
 }
 
 impl ScratchPool {
@@ -44,10 +93,12 @@ impl ScratchPool {
         ScratchPool {
             slots: (0..slots)
                 .map(|_| PoolSlot {
-                    in_use: AtomicBool::new(false),
-                    scratch: Arc::new(ScratchSlot::new()), // alloc-ok: cold constructor
+                    state: AtomicU8::new(FREE),
+                    scratch: Mutex::new(Arc::new(ScratchSlot::new())), // alloc-ok: cold constructor
                 })
                 .collect(), // alloc-ok: cold constructor, one boxed slice for the engine's lifetime
+            quarantined_ever: AtomicU64::new(0),
+            rebuilt_ever: AtomicU64::new(0),
         }
     }
 
@@ -64,37 +115,104 @@ impl ScratchPool {
 
     /// Currently free slots (advisory snapshot; racy by nature).
     pub fn available(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| !s.in_use.load(Ordering::Relaxed))
-            .count()
+        self.counts().free
     }
 
-    /// Claims the first free slot, or `None` when every slot is leased.
-    /// Lock-free: one successful CAS, no allocation, no waiting — the
-    /// admission layer guarantees a free slot for every admitted request,
-    /// so `None` here means the caller bypassed admission.
+    /// Occupancy snapshot: one relaxed load per slot, each slot observed
+    /// in exactly one state, so the three counts always sum to
+    /// [`ScratchPool::len`].
+    pub fn counts(&self) -> PoolCounts {
+        let mut c = PoolCounts {
+            free: 0,
+            leased: 0,
+            quarantined: 0,
+        };
+        for slot in self.slots.iter() {
+            match slot.state.load(Ordering::Relaxed) {
+                FREE => c.free += 1,
+                LEASED => c.leased += 1,
+                _ => c.quarantined += 1,
+            }
+        }
+        c
+    }
+
+    /// Cumulative quarantine events over the pool's lifetime.
+    pub fn quarantined_ever(&self) -> u64 {
+        self.quarantined_ever.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative lazy rebuilds of quarantined slots.
+    pub fn rebuilt_ever(&self) -> u64 {
+        self.rebuilt_ever.load(Ordering::Relaxed)
+    }
+
+    /// Claims a slot, or `None` when every slot is leased. Free slots are
+    /// preferred (one successful CAS, no allocation — the warm path);
+    /// quarantined slots are claimed second choice and their scratch is
+    /// rebuilt fresh first (the lazy-recovery path, which allocates — an
+    /// accepted cost of surviving a panic). The admission layer guarantees
+    /// a claimable slot for every admitted request, so `None` here means
+    /// the caller bypassed admission.
     pub fn checkout(&self) -> Option<ScratchLease<'_>> {
         for (key, slot) in self.slots.iter().enumerate() {
             if slot
-                .in_use
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .state
+                .compare_exchange(FREE, LEASED, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
-                return Some(ScratchLease { pool: self, key });
+                let scratch = Arc::clone(&lock_handle(&slot.scratch)); // alloc-ok: Arc handle copy, refcount bump only
+                return Some(ScratchLease {
+                    pool: self,
+                    key,
+                    scratch,
+                    quarantine: false,
+                });
+            }
+        }
+        for (key, slot) in self.slots.iter().enumerate() {
+            if slot
+                .state
+                .compare_exchange(QUARANTINED, LEASED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // We own the slot now: replace the possibly-inconsistent
+                // scratch with a fresh one before anyone runs on it.
+                let fresh = Arc::new(ScratchSlot::new());
+                *lock_handle(&slot.scratch) = Arc::clone(&fresh); // alloc-ok: Arc handle copy on the cold rebuild path
+                self.rebuilt_ever.fetch_add(1, Ordering::Relaxed);
+                return Some(ScratchLease {
+                    pool: self,
+                    key,
+                    scratch: fresh,
+                    quarantine: false,
+                });
             }
         }
         None
     }
 }
 
-/// Exclusive lease on one pool slot; returns the slot on drop. The key
-/// identifies the slot for observability (cross-request aliasing shows up
-/// as two live leases with one key — impossible by the CAS protocol, and
-/// asserted by the concurrency stress test).
+/// Locks a slot's scratch handle, forgiving poison: the handle is a single
+/// `Arc` pointer, swapped or cloned atomically under the lock with no
+/// intermediate states, so a panicking holder cannot leave it torn.
+fn lock_handle(m: &Mutex<Arc<ScratchSlot>>) -> MutexGuard<'_, Arc<ScratchSlot>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Exclusive lease on one pool slot; returns the slot on drop, or parks it
+/// in quarantine via [`ScratchLease::quarantine`]. The key identifies the
+/// slot for observability (cross-request aliasing shows up as two live
+/// leases with one key — impossible by the CAS protocol, and asserted by
+/// the concurrency stress test).
 pub struct ScratchLease<'a> {
     pool: &'a ScratchPool,
     key: usize,
+    scratch: Arc<ScratchSlot>,
+    quarantine: bool,
 }
 
 impl ScratchLease<'_> {
@@ -106,18 +224,35 @@ impl ScratchLease<'_> {
     /// The leased scratch slot, to thread into a request-scoped
     /// [`essentials_core::Context::with_parts`].
     pub fn scratch(&self) -> &Arc<ScratchSlot> {
-        &self.pool.slots[self.key].scratch
+        &self.scratch
+    }
+
+    /// Consumes the lease, parking the slot in quarantine instead of
+    /// returning it to the free set. Call when a panic was captured while
+    /// this lease was held: the scratch may hold half-written buffers, so
+    /// the next checkout of this slot rebuilds it fresh (see module docs).
+    pub fn quarantine(mut self) {
+        self.quarantine = true;
     }
 }
 
 impl Drop for ScratchLease<'_> {
     fn drop(&mut self) {
-        // Release pairs with the Acquire CAS in `checkout`: the next
-        // leaseholder of this key sees every write this request parked in
-        // the scratch.
-        self.pool.slots[self.key]
-            .in_use
-            .store(false, Ordering::Release);
+        if self.quarantine {
+            // Release pairs with the rebuild CAS in `checkout`; the slot
+            // never re-enters the free set with its current scratch.
+            self.pool.quarantined_ever.fetch_add(1, Ordering::Relaxed);
+            self.pool.slots[self.key]
+                .state
+                .store(QUARANTINED, Ordering::Release);
+        } else {
+            // Release pairs with the Acquire CAS in `checkout`: the next
+            // leaseholder of this key sees every write this request parked
+            // in the scratch.
+            self.pool.slots[self.key]
+                .state
+                .store(FREE, Ordering::Release);
+        }
     }
 }
 
@@ -168,5 +303,102 @@ mod tests {
             "same key, same warmed scratch allocation"
         );
         ctx.recycle_f64_buffer(v);
+    }
+
+    #[test]
+    fn quarantine_removes_the_slot_from_the_free_set_but_not_from_capacity() {
+        let pool = ScratchPool::new(2);
+        let lease = pool.checkout().expect("slot");
+        let key = lease.key();
+        lease.quarantine();
+        assert_eq!(
+            pool.counts(),
+            PoolCounts {
+                free: 1,
+                leased: 0,
+                quarantined: 1
+            }
+        );
+        assert_eq!(pool.quarantined_ever(), 1);
+        assert_eq!(pool.rebuilt_ever(), 0);
+        // Both remaining capacity units are still claimable: the free slot
+        // first, then the quarantined one (rebuilt on claim).
+        let a = pool.checkout().expect("free slot preferred");
+        assert_ne!(a.key(), key);
+        let b = pool.checkout().expect("quarantined slot rebuilt lazily");
+        assert_eq!(b.key(), key);
+        assert_eq!(pool.rebuilt_ever(), 1);
+        assert_eq!(
+            pool.counts(),
+            PoolCounts {
+                free: 0,
+                leased: 2,
+                quarantined: 0
+            }
+        );
+        drop(a);
+        drop(b);
+        assert_eq!(pool.available(), 2, "rebuilt slot returns to the free set");
+    }
+
+    #[test]
+    fn quarantined_scratch_is_replaced_not_reused() {
+        use essentials_core::Context;
+        use essentials_parallel::ThreadPool;
+
+        let pool = ScratchPool::new(1);
+        let tp = Arc::new(ThreadPool::new(1));
+        let lease = pool.checkout().expect("slot");
+        // Hold the quarantined scratch alive so its warmed buffer address
+        // cannot be recycled by the allocator for the rebuilt one.
+        let old = lease.scratch().clone();
+        let warmed = {
+            let ctx = Context::with_parts(tp.clone(), old.clone());
+            let mut v = ctx.take_f64_buffer();
+            v.reserve(777);
+            let addr = v.as_ptr() as usize;
+            ctx.recycle_f64_buffer(v);
+            addr
+        };
+        lease.quarantine();
+        // The rebuilt slot must not hand back the possibly-inconsistent
+        // warmed scratch — it is a fresh ScratchSlot with fresh buffers.
+        let lease = pool.checkout().expect("rebuilt slot");
+        assert!(
+            !Arc::ptr_eq(lease.scratch(), &old),
+            "quarantined scratch must be replaced, not reused"
+        );
+        let ctx = Context::with_parts(tp, lease.scratch().clone());
+        let mut v = ctx.take_f64_buffer();
+        v.reserve(777);
+        assert_ne!(
+            v.as_ptr() as usize,
+            warmed,
+            "rebuilt scratch must not alias the quarantined buffers"
+        );
+        ctx.recycle_f64_buffer(v);
+        assert_eq!(pool.quarantined_ever(), 1);
+        assert_eq!(pool.rebuilt_ever(), 1);
+    }
+
+    #[test]
+    fn counts_always_sum_to_capacity() {
+        let pool = ScratchPool::new(3);
+        let a = pool.checkout().expect("a");
+        let b = pool.checkout().expect("b");
+        b.quarantine();
+        let c = pool.counts();
+        assert_eq!(c.free + c.leased + c.quarantined, 3);
+        assert_eq!(
+            c,
+            PoolCounts {
+                free: 1,
+                leased: 1,
+                quarantined: 1
+            }
+        );
+        drop(a);
+        let c = pool.counts();
+        assert_eq!(c.free + c.leased + c.quarantined, 3);
     }
 }

@@ -1,0 +1,175 @@
+//! The failure-taxonomy contract: every typed error the serving stack can
+//! surface has a `kind()` label that is **stable** (pinned here — renaming
+//! one is an API break for obs rows and harness JSON), **unique** within
+//! its taxonomy, and **documented** in DESIGN.md (§10 for execution
+//! errors, §13/§16 for serving rejections and outcomes).
+//!
+//! The one deliberate cross-taxonomy overlap is `"cancelled"`: the same
+//! client action (firing a `CancelToken`) is reported with the same label
+//! whether it lands while the request is queued (`AdmissionError`) or
+//! mid-run (`ExecError::Budget`) — the stage split is visible in
+//! `queue_ns`/`service_ns`, not in the label.
+
+use essentials_parallel::{BudgetReason, ExecError, Progress};
+use essentials_serve::{AdmissionError, Outcome, ServeError};
+use std::collections::HashSet;
+
+fn exec_errors() -> Vec<(ExecError, &'static str)> {
+    vec![
+        (
+            ExecError::WorkerPanic {
+                payload: "boom".into(),
+                chunk: 3,
+            },
+            "worker-panic",
+        ),
+        (
+            ExecError::Budget {
+                reason: BudgetReason::Cancelled,
+                progress: Progress::default(),
+            },
+            "cancelled",
+        ),
+        (
+            ExecError::Budget {
+                reason: BudgetReason::DeadlineExpired,
+                progress: Progress::default(),
+            },
+            "deadline-expired",
+        ),
+        (
+            ExecError::Budget {
+                reason: BudgetReason::IterationCap,
+                progress: Progress::default(),
+            },
+            "iteration-cap",
+        ),
+        (
+            ExecError::Diverged {
+                iteration: 2,
+                detail: "residual rose".into(),
+            },
+            "diverged",
+        ),
+        (
+            ExecError::InvalidInput {
+                detail: "source 99 out of range".into(),
+            },
+            "invalid-input",
+        ),
+    ]
+}
+
+fn admission_errors() -> Vec<(AdmissionError, &'static str)> {
+    vec![
+        (AdmissionError::QueueDeadline, "queue-deadline"),
+        (AdmissionError::Cancelled, "cancelled"),
+        (AdmissionError::Shed, "shed"),
+    ]
+}
+
+fn outcomes() -> Vec<(Outcome, &'static str)> {
+    vec![
+        (Outcome::Full, "ok"),
+        (
+            Outcome::Degraded {
+                iterations: 3,
+                residual: 0.25,
+            },
+            "degraded",
+        ),
+    ]
+}
+
+#[test]
+fn every_kind_label_is_stable_and_unique_within_its_taxonomy() {
+    let mut exec_seen = HashSet::new();
+    for (e, want) in exec_errors() {
+        assert_eq!(e.kind(), want, "ExecError label drifted for {e:?}");
+        assert!(
+            exec_seen.insert(e.kind()),
+            "duplicate ExecError label {:?}",
+            e.kind()
+        );
+    }
+    let mut adm_seen = HashSet::new();
+    for (e, want) in admission_errors() {
+        assert_eq!(e.kind(), want, "AdmissionError label drifted for {e:?}");
+        assert!(
+            adm_seen.insert(e.kind()),
+            "duplicate AdmissionError label {:?}",
+            e.kind()
+        );
+    }
+    let mut out_seen = HashSet::new();
+    for (o, want) in outcomes() {
+        assert_eq!(o.label(), want, "Outcome label drifted for {o:?}");
+        assert!(
+            out_seen.insert(o.label()),
+            "duplicate Outcome label {:?}",
+            o.label()
+        );
+    }
+    // Outcome labels never collide with error kinds — a RequestEvent
+    // outcome column is unambiguous.
+    for o in out_seen {
+        assert!(
+            !exec_seen.contains(o) && !adm_seen.contains(o),
+            "outcome label {o:?} collides with an error kind"
+        );
+    }
+    // Across the two error taxonomies, the only shared label is the
+    // documented "cancelled" overlap (same client action, either stage).
+    let overlap: Vec<_> = exec_seen.intersection(&adm_seen).collect();
+    assert_eq!(
+        overlap,
+        vec![&"cancelled"],
+        "unexpected cross-taxonomy overlap"
+    );
+}
+
+#[test]
+fn serve_error_passes_kinds_through_unchanged() {
+    for (e, want) in admission_errors() {
+        assert_eq!(ServeError::Rejected(e).kind(), want);
+    }
+    for (e, want) in exec_errors() {
+        assert_eq!(ServeError::Exec(e).kind(), want);
+    }
+}
+
+#[test]
+fn every_label_is_kebab_case_or_ok() {
+    let all: Vec<&'static str> = exec_errors()
+        .iter()
+        .map(|&(_, k)| k)
+        .chain(admission_errors().iter().map(|&(_, k)| k))
+        .chain(outcomes().iter().map(|&(_, k)| k))
+        .collect();
+    for label in all {
+        assert!(
+            label.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+            "label {label:?} is not lowercase-kebab"
+        );
+        assert!(!label.starts_with('-') && !label.ends_with('-'));
+    }
+}
+
+#[test]
+fn every_label_is_documented_in_design_md() {
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md"))
+        .expect("DESIGN.md readable");
+    let labels: Vec<&'static str> = exec_errors()
+        .iter()
+        .map(|&(_, k)| k)
+        .chain(admission_errors().iter().map(|&(_, k)| k))
+        .chain(outcomes().iter().map(|&(_, k)| k))
+        .collect();
+    for label in labels {
+        let tagged = format!("`{label}`");
+        assert!(
+            design.contains(&tagged),
+            "label {label:?} must be documented (as {tagged}) in DESIGN.md"
+        );
+    }
+}
